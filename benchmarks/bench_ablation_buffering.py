@@ -1,0 +1,75 @@
+"""Ablation: repeater insertion vs the quadratic line-delay growth of Fig. 13.
+
+The PLA sweep shows delay growing quadratically with line length.  Repeater
+insertion is the structural fix; this ablation sweeps line length, finds the
+optimal repeater count for each length, and reports the guaranteed delay of
+the unbuffered and buffered lines side by side -- quadratic vs (approximately)
+linear growth.
+"""
+
+import pytest
+
+from repro.mos.drivers import DriverModel
+from repro.opt.buffering import Repeater, compare_buffering, optimal_buffer_count
+from repro.utils.tables import format_table
+
+DRIVER = DriverModel("drv", effective_resistance=500.0, output_capacitance=20e-15)
+REPEATER = Repeater("rep", drive_resistance=500.0, input_capacitance=20e-15, intrinsic_delay=30e-12)
+
+#: Line lengths expressed as (total resistance, total capacitance): 1x .. 8x.
+LINE_SCALES = (1, 2, 4, 8)
+BASE_RESISTANCE = 2.0e3
+BASE_CAPACITANCE = 0.4e-12
+LOAD = 30e-15
+
+
+@pytest.fixture(scope="module")
+def buffering_rows():
+    rows = []
+    for scale in LINE_SCALES:
+        comparison = compare_buffering(
+            DRIVER,
+            REPEATER,
+            BASE_RESISTANCE * scale,
+            BASE_CAPACITANCE * scale,
+            LOAD,
+        )
+        rows.append(
+            (
+                scale,
+                comparison.unbuffered.total_delay * 1e9,
+                comparison.buffered.total_delay * 1e9,
+                comparison.buffered.repeater_count,
+                comparison.improvement,
+            )
+        )
+    return rows
+
+
+def test_buffering_vs_line_length(benchmark, buffering_rows, report):
+    plan = benchmark(
+        optimal_buffer_count,
+        DRIVER,
+        REPEATER,
+        BASE_RESISTANCE * 4,
+        BASE_CAPACITANCE * 4,
+        LOAD,
+    )
+    assert plan.repeater_count >= 1
+
+    table = format_table(
+        ["line length (x)", "unbuffered (ns)", "buffered (ns)", "repeaters", "speed-up"],
+        buffering_rows,
+        precision=4,
+        title="Ablation: repeater insertion vs line length (guaranteed 50% delays)",
+    )
+    report("ablation: repeater insertion", table)
+
+    # Unbuffered delay grows ~quadratically (x8 vs x4 -> ~4x), buffered ~linearly.
+    unbuffered = {row[0]: row[1] for row in buffering_rows}
+    buffered = {row[0]: row[2] for row in buffering_rows}
+    assert unbuffered[8] / unbuffered[4] > 3.0
+    assert buffered[8] / buffered[4] < 2.6
+    # Buffering never hurts, and pays off massively on the longest line.
+    assert all(row[4] >= 1.0 for row in buffering_rows)
+    assert buffering_rows[-1][4] > 3.0

@@ -1,0 +1,49 @@
+"""Ablation: how many lumped sections does a distributed line need? (DESIGN.md)
+
+The characteristic-time engine handles URC lines in closed form, but the
+exact simulator (and any external SPICE run) must lump them.  This ablation
+sweeps the section count and reports the voltage and delay error against the
+analytic diffusion-equation solution, which justifies the default of 20-50
+sections used elsewhere in the repository.
+"""
+
+import pytest
+
+from repro.distributed.segmentation import convergence_study, segmentation_error
+from repro.utils.tables import format_table
+
+SEGMENT_COUNTS = (1, 2, 3, 5, 10, 20, 50)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return convergence_study(segment_counts=SEGMENT_COUNTS)
+
+
+def test_segmentation_convergence_table(benchmark, study, report):
+    # Time a single representative case (10 sections) for the benchmark record.
+    point = benchmark(segmentation_error, 1.0, 1.0, 10)
+    assert point.segments == 10
+
+    table = format_table(
+        ["sections", "max |dV|", "50% delay error (RC)"],
+        [(p.segments, p.max_error, p.delay_error_50) for p in study],
+        precision=3,
+        title="Ablation: lumped-section count vs analytic URC response",
+    )
+    report("ablation: URC segmentation", table)
+
+    errors = [p.max_error for p in study]
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < 5e-3
+
+
+def test_pi_beats_l_sections_at_equal_count(report):
+    pi = segmentation_error(1.0, 1.0, 5, style="pi")
+    ell = segmentation_error(1.0, 1.0, 5, style="L")
+    report(
+        "ablation: pi vs L sections (5 segments)",
+        f"pi : max error {pi.max_error:.4f}, 50% delay error {pi.delay_error_50:+.4f} RC\n"
+        f"L  : max error {ell.max_error:.4f}, 50% delay error {ell.delay_error_50:+.4f} RC",
+    )
+    assert abs(pi.delay_error_50) < abs(ell.delay_error_50)

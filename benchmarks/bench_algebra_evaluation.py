@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the algebra and analysis kernels.
+
+Not tied to a specific paper figure; these keep the cost of the core
+operations visible so regressions are caught: two-port evaluation of a tree,
+expression parsing, bound evaluation, and the per-output cost on a large
+random tree.
+"""
+
+import numpy as np
+
+from repro.algebra.compiler import tree_to_twoport
+from repro.algebra.expression import parse_expression
+from repro.core.bounds import delay_bounds, voltage_lower_bound, voltage_upper_bound
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+FIG7_TEXT = "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9"
+
+BIG_TREE = random_tree(seed=42, config=RandomTreeConfig(nodes=2000, branching_bias=0.6))
+BIG_OUTPUT = BIG_TREE.leaves()[-1]
+
+
+def test_parse_figure7_expression(benchmark):
+    expr = benchmark(parse_expression, FIG7_TEXT)
+    assert expr.to_twoport().td2 == 363.0
+
+
+def test_twoport_evaluation_large_tree(benchmark):
+    twoport = benchmark(tree_to_twoport, BIG_TREE, BIG_OUTPUT)
+    assert twoport.ct > 0
+
+
+def test_direct_characteristic_times_large_tree(benchmark):
+    times = benchmark(characteristic_times, BIG_TREE, BIG_OUTPUT)
+    assert times.tp > 0
+
+
+def test_delay_bound_evaluation(benchmark):
+    times = characteristic_times(BIG_TREE, BIG_OUTPUT)
+    bounds = benchmark(delay_bounds, times, 0.5)
+    assert bounds.lower <= bounds.upper
+
+
+def test_vectorised_envelope_evaluation(benchmark):
+    times = characteristic_times(BIG_TREE, BIG_OUTPUT)
+    grid = np.linspace(0.0, 10.0 * times.tp, 10_000)
+
+    def evaluate():
+        return voltage_lower_bound(times, grid), voltage_upper_bound(times, grid)
+
+    lower, upper = benchmark(evaluate)
+    assert np.all(lower <= upper + 1e-12)

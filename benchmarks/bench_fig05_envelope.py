@@ -1,0 +1,30 @@
+"""Benchmark / reproduction of Figure 5: the qualitative bound envelope (E-fig5).
+
+Figure 5 is a sketch, so there is no number to match; the benchmark times the
+envelope + exact-response sampling for the Figure 7 network and asserts the
+structural facts the sketch depicts (ordered envelopes that sandwich the
+exact response and converge to the final value).
+"""
+
+from repro.experiments.figure05 import figure05_envelope
+
+
+def run_envelope():
+    return figure05_envelope(points=200, segments_per_line=30)
+
+
+def test_fig05_envelope(benchmark, report):
+    envelope = benchmark(run_envelope)
+
+    summary = (
+        f"samples                    : {len(envelope.times)}\n"
+        f"upper envelope at t=0      : {envelope.upper_start:.4f} (= 1 - T_De/T_P)\n"
+        f"envelopes ordered          : {envelope.envelopes_ordered}\n"
+        f"exact response inside      : {envelope.exact_inside}\n"
+        f"both envelopes approach 1  : {envelope.approaches_one}"
+    )
+    report("E-fig5: qualitative form of the bounds", summary)
+
+    assert envelope.envelopes_ordered
+    assert envelope.exact_inside
+    assert envelope.approaches_one

@@ -1,0 +1,39 @@
+"""Benchmark / reproduction of Figure 10's delay-bound table (E-fig10a).
+
+Regenerates the TMIN / TMAX rows for thresholds 0.1 .. 0.9 of the Figure 7
+network through the full Section IV pipeline (expression -> two-port algebra
+-> bound formulas), times that pipeline, and checks the rows against the
+values printed in the paper.
+"""
+
+import pytest
+
+from repro.algebra.expression import figure7_expression
+from repro.core.bounds import delay_bound_table
+from repro.core.networks import FIGURE10_DELAY_ROWS
+from repro.experiments.figure10 import PAPER_THRESHOLDS
+from repro.utils.tables import format_table
+
+
+def regenerate_rows():
+    times = figure7_expression().to_twoport().characteristic_times("out")
+    return delay_bound_table(times, PAPER_THRESHOLDS)
+
+
+def test_fig10_delay_table(benchmark, report):
+    rows = benchmark(regenerate_rows)
+
+    table = format_table(
+        ["V", "TMIN (ours)", "TMAX (ours)", "TMIN (paper)", "TMAX (paper)"],
+        [
+            (ours[0], ours[1], ours[2], paper[1], paper[2])
+            for ours, paper in zip(rows, FIGURE10_DELAY_ROWS)
+        ],
+        precision=5,
+        title="Figure 10 (delay bounds) -- regenerated vs paper",
+    )
+    report("E-fig10a: delay-bound table", table)
+
+    for ours, paper in zip(rows, FIGURE10_DELAY_ROWS):
+        assert ours[1] == pytest.approx(paper[1], rel=5e-4, abs=5e-3)
+        assert ours[2] == pytest.approx(paper[2], rel=5e-4)

@@ -1,0 +1,37 @@
+"""Benchmark / reproduction of Figure 10's voltage-bound table (E-fig10b).
+
+Regenerates the VMIN / VMAX rows for times 20 .. 2000 of the Figure 7
+network and checks them against the paper's printed values.
+"""
+
+import pytest
+
+from repro.algebra.expression import figure7_expression
+from repro.core.bounds import voltage_bound_table
+from repro.core.networks import FIGURE10_VOLTAGE_ROWS
+from repro.experiments.figure10 import PAPER_TIMES
+from repro.utils.tables import format_table
+
+
+def regenerate_rows():
+    times = figure7_expression().to_twoport().characteristic_times("out")
+    return voltage_bound_table(times, PAPER_TIMES)
+
+
+def test_fig10_voltage_table(benchmark, report):
+    rows = benchmark(regenerate_rows)
+
+    table = format_table(
+        ["T", "VMIN (ours)", "VMAX (ours)", "VMIN (paper)", "VMAX (paper)"],
+        [
+            (ours[0], ours[1], ours[2], paper[1], paper[2])
+            for ours, paper in zip(rows, FIGURE10_VOLTAGE_ROWS)
+        ],
+        precision=5,
+        title="Figure 10 (voltage bounds) -- regenerated vs paper",
+    )
+    report("E-fig10b: voltage-bound table", table)
+
+    for ours, paper in zip(rows, FIGURE10_VOLTAGE_ROWS):
+        assert ours[1] == pytest.approx(paper[1], abs=5e-5)
+        assert ours[2] == pytest.approx(paper[2], abs=5e-5)

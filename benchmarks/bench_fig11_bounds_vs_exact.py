@@ -1,0 +1,36 @@
+"""Benchmark / reproduction of Figure 11: bounds versus the exact response (E-fig11).
+
+Times the full comparison (exact modal simulation of the Figure 7 network
+plus envelope evaluation over 0-600 time units), prints the crossing table,
+and asserts that the exact response never escapes the envelope and that each
+exact crossing falls inside its delay bounds.
+"""
+
+from repro.experiments.figure11 import figure11_comparison
+from repro.utils.tables import format_table
+
+
+def run_comparison():
+    return figure11_comparison(points=300, segments_per_line=40)
+
+
+def test_fig11_bounds_vs_exact(benchmark, report):
+    comparison = benchmark(run_comparison)
+
+    table = format_table(
+        ["threshold", "t_min (bound)", "t_exact (sim)", "t_max (bound)"],
+        comparison.crossings,
+        precision=5,
+        title="Figure 11 -- exact simulated crossings vs delay bounds",
+    )
+    summary = (
+        f"{table}\n"
+        f"worst lower-bound escape: {comparison.check.worst_lower_violation:.3e}\n"
+        f"worst upper-bound escape: {comparison.check.worst_upper_violation:.3e}\n"
+        f"mean envelope width     : {comparison.mean_envelope_width:.4f}"
+    )
+    report("E-fig11: bounds vs exact simulation", summary)
+
+    assert comparison.check.within(5e-3)
+    for _, t_lower, t_exact, t_upper in comparison.crossings:
+        assert t_lower <= t_exact <= t_upper

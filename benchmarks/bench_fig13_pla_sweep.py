@@ -1,0 +1,36 @@
+"""Benchmark / reproduction of Figure 13: PLA delay versus minterm count (E-fig13).
+
+Times the whole sweep (2 .. 100 minterms, bounds at a 0.7 threshold), prints
+the regenerated table, and checks the two conclusions the paper draws from
+the log-log plot: quadratic growth and a guaranteed delay of roughly 10 ns at
+100 minterms.
+"""
+
+from repro.experiments.figure13 import PAPER_MINTERM_COUNTS, figure13_sweep
+from repro.utils.tables import format_table
+
+
+def run_sweep():
+    return figure13_sweep(PAPER_MINTERM_COUNTS)
+
+
+def test_fig13_pla_sweep(benchmark, report):
+    sweep = benchmark(run_sweep)
+
+    table = format_table(
+        ["minterms", "t_min (ns)", "t_max (ns)"],
+        [(row.minterms, row.t_lower_ns, row.t_upper_ns) for row in sweep.rows],
+        precision=4,
+        title="Figure 13 -- PLA line delay bounds (threshold 0.7)",
+    )
+    summary = (
+        f"{table}\n"
+        f"upper bound at 100 minterms: {sweep.upper_bound_at_100_ns:.2f} ns (paper: ~10 ns)\n"
+        f"log-log slope (upper bound): {sweep.loglog_slope():.2f} (paper: quadratic)"
+    )
+    report("E-fig13: PLA minterm sweep", summary)
+
+    assert 8.0 <= sweep.upper_bound_at_100_ns <= 12.0
+    assert 1.5 <= sweep.loglog_slope() <= 2.2
+    uppers = [row.t_upper for row in sweep.rows]
+    assert uppers == sorted(uppers)

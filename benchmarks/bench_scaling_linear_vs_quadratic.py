@@ -1,0 +1,87 @@
+"""Benchmark of the Section IV algorithmic claim (E-alg).
+
+The paper contrasts two ways of obtaining the characteristic times of every
+output:
+
+* the direct approach, which costs time proportional to the *square* of the
+  number of elements when applied to all outputs, and
+* the constructive (algebraic / recurrence) approach, which is linear.
+
+This benchmark times both on chains of growing size and prints the measured
+per-size timings; pytest-benchmark records the largest case of each so the
+two numbers appear side by side in the benchmark table.
+"""
+
+import time
+
+import pytest
+
+from repro.core.networks import rc_ladder
+from repro.core.timeconstants import characteristic_times, characteristic_times_all
+from repro.utils.tables import format_table
+
+SIZES = (50, 100, 200, 400)
+LARGEST = SIZES[-1]
+
+
+def all_outputs_quadratic(tree):
+    """The O(N^2) route: independent direct summation per output."""
+    return {node: characteristic_times(tree, node) for node in tree.nodes if node != tree.root}
+
+
+def all_outputs_linear(tree):
+    """The O(N) route: the shared-recurrence computation of all outputs at once."""
+    return characteristic_times_all(tree, [n for n in tree.nodes if n != tree.root])
+
+
+def _measure(function, tree, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function(tree)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def scaling_table():
+    rows = []
+    for size in SIZES:
+        tree = rc_ladder(size, 10.0, 1e-12)
+        quadratic = _measure(all_outputs_quadratic, tree)
+        linear = _measure(all_outputs_linear, tree)
+        rows.append((size, quadratic * 1e3, linear * 1e3, quadratic / linear))
+    return rows
+
+
+def test_scaling_quadratic_baseline(benchmark, scaling_table, report):
+    tree = rc_ladder(LARGEST, 10.0, 1e-12)
+    result = benchmark(all_outputs_quadratic, tree)
+    assert len(result) == LARGEST
+
+    table = format_table(
+        ["sections", "direct all-outputs (ms)", "linear all-outputs (ms)", "speedup"],
+        scaling_table,
+        precision=4,
+        title="E-alg: quadratic vs linear computation of all outputs",
+    )
+    report("E-alg: scaling study", table)
+
+    # The linear algorithm must win, and win by more on bigger networks.
+    speedups = [row[3] for row in scaling_table]
+    assert speedups[-1] > 5.0
+    assert speedups[-1] > speedups[0]
+
+
+def test_scaling_linear_algorithm(benchmark):
+    tree = rc_ladder(LARGEST, 10.0, 1e-12)
+    result = benchmark(all_outputs_linear, tree)
+    assert len(result) == LARGEST
+
+
+def test_linear_and_quadratic_agree_on_largest_case():
+    tree = rc_ladder(LARGEST, 10.0, 1e-12)
+    direct = all_outputs_quadratic(tree)
+    fast = all_outputs_linear(tree)
+    worst = max(abs(direct[n].tde - fast[n].tde) / direct[n].tde for n in direct)
+    assert worst < 1e-9

@@ -1,0 +1,61 @@
+"""Benchmarks of the simulation substrate (modal vs transient engines).
+
+These are substrate benchmarks rather than paper figures: they record how
+expensive the "exact solution from circuit simulation" used by Fig. 11 is,
+relative to the closed-form bounds, which is the whole point of the paper --
+the bounds cost microseconds where the simulation costs milliseconds.
+"""
+
+import time
+
+from repro.core.bounds import delay_bounds
+from repro.core.networks import figure7_tree, rc_ladder
+from repro.core.timeconstants import characteristic_times
+from repro.simulate.state_space import exact_step_response
+from repro.simulate.transient import transient_step_response
+
+LADDER = rc_ladder(200, 10.0, 1e-12)
+
+
+def test_modal_simulation_figure7(benchmark):
+    response = benchmark(exact_step_response, figure7_tree(), segments_per_line=40)
+    assert response.final_values.max() > 0.99
+
+
+def test_modal_simulation_ladder200(benchmark):
+    response = benchmark(exact_step_response, LADDER)
+    assert len(response.nodes) == 200
+
+
+def test_transient_simulation_ladder200(benchmark):
+    times = characteristic_times(LADDER, "out")
+
+    def run():
+        return transient_step_response(LADDER, 5.0 * times.tp, steps=500)
+
+    result = benchmark(run)
+    assert result.voltages.shape[1] == 200
+
+
+def test_bounds_thousands_of_times_cheaper_than_simulation(report):
+    """Quantify the paper's 'computationally simple' claim on the Fig. 7 network."""
+    tree = figure7_tree()
+    start = time.perf_counter()
+    for _ in range(100):
+        times = characteristic_times(tree, "out")
+        delay_bounds(times, 0.5)
+    bound_time = (time.perf_counter() - start) / 100
+
+    start = time.perf_counter()
+    for _ in range(5):
+        exact_step_response(tree, segments_per_line=40).delay("out", 0.5)
+    simulation_time = (time.perf_counter() - start) / 5
+
+    ratio = simulation_time / bound_time
+    report(
+        "bounds vs simulation cost",
+        f"bound evaluation : {bound_time * 1e6:8.1f} us\n"
+        f"exact simulation : {simulation_time * 1e6:8.1f} us\n"
+        f"ratio            : {ratio:8.1f}x",
+    )
+    assert ratio > 5.0

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Keeps the ``src`` layout importable without installation and provides the
+report printer used by every per-figure benchmark: each benchmark both times
+its kernel (pytest-benchmark) and prints the regenerated table so the run's
+output doubles as the reproduction record (see EXPERIMENTS.md).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+_SRC = os.path.abspath(_SRC)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402  (after sys.path fix)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of text so it survives pytest's capture (shown with -s or on failure)."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(body)
+
+    return _print

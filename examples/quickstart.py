@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: bound the delay of an MOS signal-distribution net.
+
+This walks the paper's core workflow on its own Figure 7 example network:
+
+1. describe the RC tree (driver resistance, wire segments, gate loads),
+2. compute the three characteristic times T_P, T_De (Elmore), T_Re,
+3. evaluate the delay and voltage bounds,
+4. certify the net against a (threshold, deadline) requirement, and
+5. cross-check the bounds against the built-in exact simulator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    BoundedResponse,
+    RCTree,
+    certify,
+    characteristic_times,
+    delay_bounds,
+    exact_step_response,
+    voltage_bounds,
+)
+
+
+def build_network() -> RCTree:
+    """The paper's Figure 7 network: values in ohms and farads."""
+    tree = RCTree("in")
+    tree.add_resistor("in", "a", 15.0)      # driver pull-up
+    tree.add_capacitor("a", 2.0)            # driver output capacitance
+    tree.add_resistor("a", "b", 8.0)        # side branch to another gate
+    tree.add_capacitor("b", 7.0)
+    tree.add_line("a", "out", resistance=3.0, capacitance=4.0)   # distributed wire
+    tree.add_capacitor("out", 9.0)          # the driven gate
+    tree.mark_output("out")
+    return tree
+
+
+def main() -> None:
+    tree = build_network()
+    print(tree.describe())
+    print()
+
+    # --- characteristic times (Section III of the paper) -------------------
+    times = characteristic_times(tree, "out")
+    print("characteristic times of output 'out':")
+    print(f"  T_P  = {times.tp:8.3f}   (same for every output)")
+    print(f"  T_De = {times.tde:8.3f}   (the Elmore delay)")
+    print(f"  T_Re = {times.tre:8.3f}")
+    print(f"  R_ee = {times.ree:8.3f}")
+    print()
+
+    # --- delay bounds, given a threshold (use 1 of the abstract) -----------
+    for threshold in (0.5, 0.9):
+        bounds = delay_bounds(times, threshold)
+        print(
+            f"delay to reach {threshold:.0%} of the final value: "
+            f"between {bounds.lower:7.2f} and {bounds.upper:7.2f}"
+        )
+    print()
+
+    # --- voltage bounds, given a time (use 2 of the abstract) --------------
+    for t in (100.0, 500.0):
+        v = voltage_bounds(times, t)
+        print(f"voltage at t = {t:6.1f}: between {v.lower:.4f} and {v.upper:.4f}")
+    print()
+
+    # --- certification (use 3 of the abstract, the paper's OK function) ----
+    certificate = certify(times, threshold=0.5, deadline=350.0)
+    print(certificate.describe())
+    print()
+
+    # --- cross-check against the exact simulator ---------------------------
+    response = exact_step_response(tree, segments_per_line=50)
+    bounded = BoundedResponse(times)
+    for threshold in (0.5, 0.9):
+        exact = response.delay("out", threshold)
+        print(
+            f"exact delay to {threshold:.0%} = {exact:7.2f}  "
+            f"(inside [{bounded.tmin(threshold):7.2f}, {bounded.tmax(threshold):7.2f}])"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate the bounds against circuit simulation, SPICE-interchange included.
+
+The paper's Figure 11 overlays its bounds with "the exact solution, found
+from circuit simulation".  This example reproduces that comparison end to end
+and also exercises the interchange paths a real flow would use:
+
+1. build a fanout net by parasitic extraction from wire geometry,
+2. write it out as a SPICE deck (runnable on ngspice/HSPICE) and as SPEF,
+3. read the SPICE deck back and verify the analysis is unchanged,
+4. simulate the exact step response with the built-in engines (modal and
+   trapezoidal) and overlay it with the bound envelope as an ASCII plot,
+5. report the exact threshold crossings against the delay bounds.
+
+Run with:  python examples/spice_validation.py
+"""
+
+import numpy as np
+
+from repro.core.bounds import BoundedResponse
+from repro.core.timeconstants import characteristic_times
+from repro.extraction.extractor import extract_net
+from repro.extraction.geometry import RoutedNet
+from repro.extraction.technology import PAPER_NMOS_4UM, Layer
+from repro.mos.drivers import PAPER_SUPERBUFFER
+from repro.simulate.compare import bounds_violations, max_abs_error
+from repro.simulate.state_space import exact_step_response
+from repro.simulate.transient import transient_step_response
+from repro.spicefmt.reader import spice_to_tree
+from repro.spicefmt.writer import tree_to_spice
+from repro.spef.writer import tree_to_spef
+from repro.utils.units import format_engineering
+
+
+def build_net():
+    """A Figure-1-style net: poly run with two gate taps and a long metal branch."""
+    net = RoutedNet("sig")
+    net.add_wire("drv", "p1", Layer.POLY, 200e-6, 4e-6)
+    net.add_wire("p1", "p2", Layer.POLY, 200e-6, 4e-6)
+    net.add_wire("p1", "m1", Layer.METAL, 1500e-6, 8e-6)
+    net.add_gate("p2", 8e-6, 4e-6, series_resistance=30.0, name="gateA")
+    net.add_gate("m1", 8e-6, 4e-6, series_resistance=30.0, name="gateB")
+    return extract_net(net, PAPER_NMOS_4UM, driver=PAPER_SUPERBUFFER)
+
+
+def ascii_plot(times, exact, lower, upper, width=72, height=16):
+    """Render the envelope and the exact curve as a small ASCII chart."""
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = level / height
+        line = []
+        for column in range(width):
+            index = int(column / (width - 1) * (len(times) - 1))
+            lo, hi, ex = lower[index], upper[index], exact[index]
+            char = " "
+            if lo <= threshold <= hi:
+                char = "."
+            if abs(ex - threshold) <= 0.5 / height:
+                char = "*"
+            line.append(char)
+        rows.append(f"{threshold:4.2f} |" + "".join(line))
+    rows.append("     +" + "-" * width)
+    rows.append("      0" + " " * (width - 10) + f"t = {times[-1]:.3g} s")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    tree = build_net()
+    print(tree.describe())
+    print()
+
+    # --- interchange --------------------------------------------------------
+    deck = tree_to_spice(tree, title="extracted fanout net", segments_per_line=20)
+    spef = tree_to_spef(tree, design="spice_validation_example")
+    print(f"SPICE deck: {len(deck.splitlines())} lines (write it out and run ngspice "
+          "to repeat the comparison with an external simulator)")
+    print(f"SPEF      : {len(spef.splitlines())} lines")
+    rebuilt = spice_to_tree(deck)
+    for output in ("gateA", "gateB"):
+        original = characteristic_times(tree, output).tde
+        recovered = characteristic_times(rebuilt, output).tde
+        print(f"  Elmore delay of {output}: {format_engineering(original, 's')} "
+              f"(after SPICE round-trip: {format_engineering(recovered, 's')})")
+    print()
+
+    # --- exact simulation vs bounds -----------------------------------------
+    output = "gateB"
+    times = characteristic_times(tree, output)
+    bounded = BoundedResponse(times)
+    horizon = 8.0 * times.tp
+    grid = np.linspace(0.0, horizon, 200)
+
+    modal = exact_step_response(tree, segments_per_line=30)
+    exact = np.asarray(modal.voltage(output, grid))
+    lower = np.asarray(bounded.vmin(grid))
+    upper = np.asarray(bounded.vmax(grid))
+
+    print(f"Step response at {output} ('.': bound envelope, '*': exact response)")
+    print(ascii_plot(grid, exact, lower, upper))
+    print()
+
+    check = bounds_violations(modal.waveform(output, horizon, 400), bounded)
+    print(f"envelope violations: lower {check.worst_lower_violation:.2e}, "
+          f"upper {check.worst_upper_violation:.2e} (negative = inside)")
+
+    transient = transient_step_response(tree, horizon, steps=3000, segments_per_line=30)
+    disagreement = max_abs_error(modal.waveform(output, horizon, 300), transient.waveform(output))
+    print(f"modal vs trapezoidal engines: max difference {disagreement:.2e} V")
+    print()
+
+    print("threshold crossings (exact vs bounds):")
+    for threshold in (0.3, 0.5, 0.7, 0.9):
+        exact_delay = modal.delay(output, threshold)
+        print(
+            f"  v = {threshold:.1f}: exact {format_engineering(exact_delay, 's')}, "
+            f"bounds [{format_engineering(bounded.best_case_delay(threshold), 's')}, "
+            f"{format_engineering(bounded.worst_case_delay(threshold), 's')}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

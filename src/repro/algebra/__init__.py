@@ -1,0 +1,56 @@
+"""The constructive two-port algebra of Section IV.
+
+Instead of summing over every capacitor for every output (quadratic in the
+network size), the paper represents each partially-constructed network by the
+five numbers ``(C_T, T_P, R_22, T_D2, T_R2 R_22)`` and gives composition
+rules for a single primitive element and two wiring functions:
+
+* ``URC R C`` -- a uniform RC line (a lumped resistor when ``C = 0``, a
+  lumped capacitor when ``R = 0``);
+* ``A WC B`` -- cascade: port 2 of ``A`` drives port 1 of ``B``;
+* ``WB A`` -- fold ``A`` into a side branch (its port 2 is abandoned).
+
+The whole tree is then an algebraic expression -- the paper's eq. (18) -- and
+evaluating the expression costs time linear in the number of elements.
+
+This subpackage provides the :class:`~repro.algebra.twoport.TwoPort` value
+type and composition rules (:mod:`repro.algebra.wiring`), a parser for the
+paper's textual expression notation (:mod:`repro.algebra.expression`), and a
+compiler between :class:`~repro.core.tree.RCTree` objects and expressions /
+two-ports (:mod:`repro.algebra.compiler`).
+"""
+
+from repro.algebra.twoport import TwoPort
+from repro.algebra.wiring import urc, resistor, capacitor, wb, wc, cascade_chain
+from repro.algebra.expression import (
+    Expression,
+    URCExpr,
+    WBExpr,
+    WCExpr,
+    parse_expression,
+)
+from repro.algebra.compiler import (
+    tree_to_twoport,
+    tree_to_expression,
+    expression_to_tree,
+    twoport_times,
+)
+
+__all__ = [
+    "TwoPort",
+    "urc",
+    "resistor",
+    "capacitor",
+    "wb",
+    "wc",
+    "cascade_chain",
+    "Expression",
+    "URCExpr",
+    "WBExpr",
+    "WCExpr",
+    "parse_expression",
+    "tree_to_twoport",
+    "tree_to_expression",
+    "expression_to_tree",
+    "twoport_times",
+]

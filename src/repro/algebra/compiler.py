@@ -1,0 +1,151 @@
+"""Compile between :class:`RCTree` objects, expressions, and two-port summaries.
+
+Three directions are supported:
+
+* :func:`tree_to_twoport` -- evaluate a tree straight to its five-number
+  summary for a chosen output, in time linear in the number of elements
+  (the paper's Section IV algorithm, without building an intermediate AST);
+* :func:`tree_to_expression` -- emit the paper's textual expression (eq. 18
+  style) for a chosen output;
+* :func:`expression_to_tree` -- elaborate an expression (text or AST) into a
+  full tree.
+
+All traversals are iterative, so very deep trees (long RC ladders, PLA lines
+with hundreds of minterms) do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from repro.algebra.expression import Expression, URCExpr, WBExpr, WCExpr, parse_expression
+from repro.algebra.twoport import TwoPort
+from repro.algebra.wiring import cascade_chain, urc, wb, wc
+from repro.core.exceptions import UnknownNodeError
+from repro.core.timeconstants import CharacteristicTimes
+from repro.core.tree import RCTree
+
+
+def _branch_summaries(tree: RCTree) -> Dict[str, Tuple[float, float]]:
+    """For every node, the ``(C_T, T_P)`` of its subtree measured from the node.
+
+    Computed bottom-up in one postorder pass.  The subtree of ``n`` excludes
+    the edge *into* ``n`` (that edge belongs to the parent's view).
+    """
+    summaries: Dict[str, Tuple[float, float]] = {}
+    for name in tree.postorder():
+        ct = tree.node_capacitance(name)
+        tp = 0.0
+        for child in tree.children_of(name):
+            edge = tree.parent_edge(child)
+            child_ct, child_tp = summaries[child]
+            edge_tp = edge.resistance * edge.capacitance / 2.0
+            # (edge WC subtree(child)) seen from `name`:
+            ct += edge.capacitance + child_ct
+            tp += edge_tp + child_tp + edge.resistance * child_ct
+        summaries[name] = (ct, tp)
+    return summaries
+
+
+def tree_to_twoport(tree: RCTree, output: str) -> TwoPort:
+    """Evaluate ``tree`` to the two-port summary whose port 2 is ``output``.
+
+    Equivalent to parsing/evaluating the tree's expression but without
+    constructing the AST; runs in O(N).
+    """
+    if output not in tree:
+        raise UnknownNodeError(output)
+    summaries = _branch_summaries(tree)
+    path = tree.path_nodes(output)
+    on_path = set(path)
+
+    parts = []
+    for index, name in enumerate(path):
+        cap = tree.node_capacitance(name)
+        if cap:
+            parts.append(urc(0.0, cap))
+        for child in tree.children_of(name):
+            if child in on_path:
+                continue
+            edge = tree.parent_edge(child)
+            child_ct, child_tp = summaries[child]
+            branch = wc(urc(edge.resistance, edge.capacitance), TwoPort(child_ct, child_tp, 0.0, 0.0, 0.0))
+            parts.append(wb(branch))
+        if index + 1 < len(path):
+            edge = tree.parent_edge(path[index + 1])
+            parts.append(urc(edge.resistance, edge.capacitance))
+    return cascade_chain(parts)
+
+
+def twoport_times(tree: RCTree, output: str) -> CharacteristicTimes:
+    """Characteristic times of ``output`` computed through the two-port algebra.
+
+    Numerically identical (to rounding) to
+    :func:`repro.core.timeconstants.characteristic_times`; the property-based
+    tests assert the agreement on random trees.
+    """
+    return tree_to_twoport(tree, output).characteristic_times(output)
+
+
+def _subtree_expression(tree: RCTree, node: str) -> Expression:
+    """Expression for the subtree rooted at ``node`` (iterative postorder)."""
+    expressions: Dict[str, Expression] = {}
+    for name in tree.postorder(node):
+        parts = []
+        cap = tree.node_capacitance(name)
+        if cap:
+            parts.append(URCExpr(0.0, cap))
+        for child in tree.children_of(name):
+            edge = tree.parent_edge(child)
+            inner = WCExpr(URCExpr(edge.resistance, edge.capacitance), expressions[child])
+            parts.append(WBExpr(inner))
+        if not parts:
+            expressions[name] = URCExpr(0.0, 0.0)
+        else:
+            expr = parts[-1]
+            for part in reversed(parts[:-1]):
+                expr = WCExpr(part, expr)
+            expressions[name] = expr
+    return expressions[node]
+
+
+def tree_to_expression(tree: RCTree, output: str) -> Expression:
+    """Emit the paper-style expression describing ``tree`` as seen from ``output``.
+
+    The cascade spine follows the input-to-``output`` path; everything hanging
+    off the path becomes a ``WB`` side branch, exactly as in eq. (18).
+    """
+    if output not in tree:
+        raise UnknownNodeError(output)
+    path = tree.path_nodes(output)
+    on_path = set(path)
+
+    parts = []
+    for index, name in enumerate(path):
+        cap = tree.node_capacitance(name)
+        if cap:
+            parts.append(URCExpr(0.0, cap))
+        for child in tree.children_of(name):
+            if child in on_path:
+                continue
+            edge = tree.parent_edge(child)
+            branch = WCExpr(URCExpr(edge.resistance, edge.capacitance), _subtree_expression(tree, child))
+            parts.append(WBExpr(branch))
+        if index + 1 < len(path):
+            edge = tree.parent_edge(path[index + 1])
+            parts.append(URCExpr(edge.resistance, edge.capacitance))
+    if not parts:
+        return URCExpr(0.0, 0.0)
+    expr = parts[-1]
+    for part in reversed(parts[:-1]):
+        expr = WCExpr(part, expr)
+    return expr
+
+
+def expression_to_tree(
+    expression: Union[str, Expression], *, root: str = "in", output: str = "out"
+) -> RCTree:
+    """Elaborate an expression (text or AST) into a full :class:`RCTree`."""
+    if isinstance(expression, str):
+        expression = parse_expression(expression)
+    return expression.to_tree(root, output=output)

@@ -1,0 +1,304 @@
+"""Parser and AST for the paper's textual tree-expression notation.
+
+Section IV denotes the topology of any RC tree by an expression over the
+primitive ``URC R C`` and the wiring functions ``WB`` and ``WC``; the worked
+example (eq. 18) is::
+
+    (URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9
+
+This module parses exactly that syntax (plus optional engineering-notation
+numbers such as ``1.5k`` or ``10p``) into an AST of :class:`URCExpr`,
+:class:`WBExpr` and :class:`WCExpr` nodes.  Following the APL right-to-left
+evaluation order, ``WC`` is right-associative and ``WB`` applies to everything
+to its right inside the current parenthesis group.
+
+The AST can be
+
+* evaluated to a :class:`~repro.algebra.twoport.TwoPort` (:meth:`Expression.to_twoport`),
+* elaborated into a full :class:`~repro.core.tree.RCTree`
+  (:meth:`Expression.to_tree`), or
+* pretty-printed back to the paper's notation (:meth:`Expression.to_text`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.algebra.twoport import TwoPort
+from repro.algebra.wiring import urc as urc_twoport
+from repro.algebra.wiring import wb as wb_twoport
+from repro.algebra.wiring import wc as wc_twoport
+from repro.core.exceptions import ParseError
+from repro.core.tree import RCTree
+from repro.utils.units import parse_engineering
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+class Expression:
+    """Base class for expression AST nodes."""
+
+    def to_twoport(self) -> TwoPort:
+        """Evaluate the expression to its five-number two-port summary."""
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        """Render back to the paper's textual notation."""
+        raise NotImplementedError
+
+    def to_tree(self, root: str = "in", *, output: str = "out") -> RCTree:
+        """Elaborate the expression into a full :class:`RCTree`.
+
+        The network's port 2 (the cascade's far end) is renamed ``output``
+        and marked as the tree's output.
+        """
+        tree = RCTree(root)
+        counter = itertools.count(1)
+        port2 = self._build(tree, root, counter)
+        if port2 != root:
+            _rename_leaf(tree, port2, output)
+            tree.mark_output(output)
+        else:
+            tree.mark_output(root)
+        return tree
+
+    def _build(self, tree: RCTree, attach: str, counter) -> str:
+        """Attach this subnetwork at node ``attach``; return its port-2 node name."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _rename_leaf(tree: RCTree, old: str, new: str) -> None:
+    """Rename a node (used to give the final cascade node a friendly name)."""
+    if old == new or new in tree:
+        return
+    # RCTree has no public rename; rebuild is overkill for a single leaf, so
+    # reach into the internals deliberately (documented, single place).
+    node = tree._nodes.pop(old)
+    node.name = new
+    tree._nodes[new] = node
+    tree._order[tree._order.index(old)] = new
+    tree._children[new] = tree._children.pop(old)
+    for child in tree._children[new]:
+        edge = tree._parent[child]
+        tree._parent[child] = type(edge)(new, child, edge.element)
+    if old in tree._parent:
+        edge = tree._parent.pop(old)
+        tree._parent[new] = type(edge)(edge.parent, new, edge.element)
+        siblings = tree._children[edge.parent]
+        siblings[siblings.index(old)] = new
+
+
+@dataclass
+class URCExpr(Expression):
+    """The primitive ``URC R C``."""
+
+    resistance: float
+    capacitance: float
+
+    def to_twoport(self) -> TwoPort:
+        return urc_twoport(self.resistance, self.capacitance)
+
+    def to_text(self) -> str:
+        return f"URC {self.resistance:g} {self.capacitance:g}"
+
+    def _build(self, tree: RCTree, attach: str, counter) -> str:
+        if self.resistance == 0.0:
+            if self.capacitance:
+                tree.add_capacitor(attach, self.capacitance)
+            return attach
+        node = f"n{next(counter)}"
+        while node in tree:
+            node = f"n{next(counter)}"
+        if self.capacitance == 0.0:
+            tree.add_resistor(attach, node, self.resistance)
+        else:
+            tree.add_line(attach, node, self.resistance, self.capacitance)
+        return node
+
+
+@dataclass
+class WBExpr(Expression):
+    """A side branch: ``WB A``."""
+
+    operand: Expression
+
+    def to_twoport(self) -> TwoPort:
+        return wb_twoport(self.operand.to_twoport())
+
+    def to_text(self) -> str:
+        return f"WB ({self.operand.to_text()})"
+
+    def _build(self, tree: RCTree, attach: str, counter) -> str:
+        self.operand._build(tree, attach, counter)
+        return attach
+
+
+@dataclass
+class WCExpr(Expression):
+    """A cascade: ``A WC B``."""
+
+    left: Expression
+    right: Expression
+
+    def to_twoport(self) -> TwoPort:
+        return wc_twoport(self.left.to_twoport(), self.right.to_twoport())
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()}) WC ({self.right.to_text()})"
+
+    def _build(self, tree: RCTree, attach: str, counter) -> str:
+        middle = self.left._build(tree, attach, counter)
+        return self.right._build(tree, middle, counter)
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<lparen>\() |
+    (?P<rparen>\)) |
+    (?P<word>[A-Za-z][A-Za-z0-9_.]*) |
+    (?P<number>[-+]?\d+(\.\d*)?([eE][-+]?\d+)?[A-Za-z]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace() or char == ",":
+            index += 1
+            continue
+        match = _TOKEN_PATTERN.match(text, index)
+        if not match:
+            raise ParseError(f"unexpected character {char!r}", column=index + 1)
+        kind = match.lastgroup
+        tokens.append(_Token(kind, match.group(), index))
+        index = match.end()
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Recursive-descent parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self._index += 1
+        return token
+
+    def _expect_number(self) -> float:
+        token = self._peek()
+        if token is None or token.kind not in ("number", "word"):
+            raise ParseError(
+                "expected a number", column=(token.position + 1) if token else None
+            )
+        self._advance()
+        try:
+            return parse_engineering(token.text)
+        except ValueError as exc:
+            raise ParseError(f"invalid number {token.text!r}", column=token.position + 1) from exc
+
+    def parse(self) -> Expression:
+        expression = self._parse_expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected trailing token {leftover.text!r}", column=leftover.position + 1
+            )
+        return expression
+
+    def _parse_expr(self) -> Expression:
+        left = self._parse_term()
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.text.upper() == "WC":
+            self._advance()
+            right = self._parse_expr()  # right-associative, matching APL
+            return WCExpr(left, right)
+        return left
+
+    def _parse_term(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._parse_expr()
+            closing = self._peek()
+            if closing is None or closing.kind != "rparen":
+                raise ParseError("missing closing parenthesis", column=token.position + 1)
+            self._advance()
+            return inner
+        if token.kind == "word":
+            keyword = token.text.upper()
+            if keyword == "WB":
+                self._advance()
+                operand = self._parse_expr()  # WB grabs everything to its right
+                return WBExpr(operand)
+            if keyword == "URC":
+                self._advance()
+                resistance = self._expect_number()
+                capacitance = self._expect_number()
+                return URCExpr(resistance, capacitance)
+            if keyword == "R":
+                self._advance()
+                return URCExpr(self._expect_number(), 0.0)
+            if keyword == "C":
+                self._advance()
+                return URCExpr(0.0, self._expect_number())
+            raise ParseError(f"unknown keyword {token.text!r}", column=token.position + 1)
+        raise ParseError(f"unexpected token {token.text!r}", column=token.position + 1)
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse the paper's expression notation into an :class:`Expression` AST.
+
+    >>> expr = parse_expression("(URC 15 0) WC (URC 0 2) WC URC 3 4")
+    >>> expr.to_twoport().r22
+    18.0
+
+    Besides ``URC R C``, the shorthands ``R <value>`` and ``C <value>`` are
+    accepted, and numbers may use engineering suffixes (``180``, ``0.01p``,
+    ``1.5k``).
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    return _Parser(tokens, text).parse()
+
+
+def figure7_expression() -> Expression:
+    """The paper's eq. (18) expression for the Figure 7 network."""
+    return parse_expression(
+        "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9"
+    )

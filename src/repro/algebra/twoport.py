@@ -1,0 +1,117 @@
+"""The five-number two-port summary used by the constructive algebra.
+
+The paper (Section IV) observes that five quantities of a partially built
+network are enough to continue the construction, independent of how the
+subnetwork will later be wired:
+
+1. ``C_T``   -- total capacitance of the subnetwork;
+2. ``T_P``   -- its ``sum R_kk C_k`` (measured from its port 1);
+3. ``R_22``  -- resistance from port 1 to port 2;
+4. ``T_D2``  -- Elmore delay seen at port 2;
+5. ``T_R2 R_22`` -- the product carried instead of ``T_R2`` itself, because
+   the cascade rule for it is polynomial in the other quantities (the paper's
+   APL code does the same).
+
+The APL vector ``CT, TP, R22, TD2, TR2*R22`` maps one-to-one onto the fields
+of :class:`TwoPort`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ElementValueError
+from repro.core.timeconstants import CharacteristicTimes
+from repro.utils.checks import require_non_negative
+
+
+@dataclass(frozen=True)
+class TwoPort:
+    """Immutable five-number summary of an RC-tree subnetwork.
+
+    Attributes
+    ----------
+    ct:
+        Total capacitance ``C_T`` (farads).
+    tp:
+        ``T_P`` of the subnetwork, measured from its input port (seconds).
+    r22:
+        Port-1-to-port-2 resistance ``R_22`` (ohms).
+    td2:
+        Elmore delay ``T_D2`` at port 2 (seconds).
+    tr2_r22:
+        The product ``T_R2 * R_22`` (seconds * ohms).
+    """
+
+    ct: float
+    tp: float
+    r22: float
+    td2: float
+    tr2_r22: float
+
+    def __post_init__(self):
+        for name in ("ct", "tp", "r22", "td2", "tr2_r22"):
+            value = getattr(self, name)
+            try:
+                require_non_negative(name, value)
+            except ValueError as exc:
+                raise ElementValueError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def tr2(self) -> float:
+        """``T_R2`` itself; zero when the output sits directly at the input."""
+        return self.tr2_r22 / self.r22 if self.r22 > 0.0 else 0.0
+
+    @property
+    def tde(self) -> float:
+        """Alias: the Elmore delay at port 2."""
+        return self.td2
+
+    def as_vector(self) -> tuple:
+        """The APL-ordered tuple ``(C_T, T_P, R_22, T_D2, T_R2 R_22)``."""
+        return (self.ct, self.tp, self.r22, self.td2, self.tr2_r22)
+
+    @classmethod
+    def from_vector(cls, vector) -> "TwoPort":
+        """Build from the APL-ordered 5-tuple."""
+        ct, tp, r22, td2, tr2_r22 = vector
+        return cls(ct=ct, tp=tp, r22=r22, td2=td2, tr2_r22=tr2_r22)
+
+    def characteristic_times(self, output: str = "port2") -> CharacteristicTimes:
+        """Convert to :class:`~repro.core.timeconstants.CharacteristicTimes`.
+
+        The resulting record can be fed straight into the bound functions of
+        :mod:`repro.core.bounds` -- this is exactly what the paper's
+        ``TMIN`` / ``TMAX`` / ``VMIN`` / ``VMAX`` functions do with the vector.
+        """
+        return CharacteristicTimes(
+            output=output,
+            tp=self.tp,
+            tde=self.td2,
+            tre=self.tr2,
+            ree=self.r22,
+            total_capacitance=self.ct,
+        )
+
+    # ------------------------------------------------------------------
+    # Composition (delegates to repro.algebra.wiring, provided as methods
+    # for a fluent style: ``urc(15, 0).wc(urc(0, 2)).wc(...)``).
+    # ------------------------------------------------------------------
+    def wc(self, other: "TwoPort") -> "TwoPort":
+        """Cascade ``other`` after this network (this network's port 2 drives it)."""
+        from repro.algebra.wiring import wc
+
+        return wc(self, other)
+
+    def wb(self) -> "TwoPort":
+        """Fold this network into a side branch (abandon its port 2)."""
+        from repro.algebra.wiring import wb
+
+        return wb(self)
+
+    def satisfies_ordering(self) -> bool:
+        """True when the ordering invariant ``T_R2 <= T_D2 <= T_P`` holds (eq. 7)."""
+        return self.tr2 <= self.td2 * (1 + 1e-12) and self.td2 <= self.tp * (1 + 1e-12)

@@ -1,0 +1,107 @@
+"""The element and wiring functions of the paper's Figure 8.
+
+Three constructors produce and combine :class:`~repro.algebra.twoport.TwoPort`
+summaries:
+
+* :func:`urc` -- the single primitive: a uniform RC line of total resistance
+  ``R`` and capacitance ``C``.  Its two-port vector is
+  ``(C, RC/2, R, RC/2, R^2 C / 3)`` (the paper's ``URC`` listing).
+* :func:`wc` -- the cascade ``A WC B`` (port 2 of ``A`` drives port 1 of
+  ``B``), implementing eqs. (19)-(23)::
+
+      C_T  = C_TA + C_TB                                              (19)
+      T_P  = T_PA + T_PB + R_22A C_TB                                  (20)
+      R_22 = R_22A + R_22B                                             (21)
+      T_D2 = T_D2A + T_D2B + R_22A C_TB                                (22)
+      T_R2 R_22 = T_R2A R_22A + T_R2B R_22B + 2 R_22A T_D2B
+                  + R_22A^2 C_TB                                       (23)
+
+* :func:`wb` -- fold ``A`` into a side branch, implementing eqs. (24)-(28):
+  keep ``C_T`` and ``T_P``, zero the port-2 quantities.
+
+Because each composition costs O(1), evaluating a whole tree expression costs
+time linear in the number of elements -- the paper's headline algorithmic
+claim, benchmarked in ``benchmarks/bench_scaling_linear_vs_quadratic.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.twoport import TwoPort
+from repro.core.elements import Capacitor, Resistor, URCLine
+from repro.utils.checks import require_non_negative
+
+
+def urc(resistance: float, capacitance: float) -> TwoPort:
+    """The primitive element ``URC R C`` as a two-port summary.
+
+    ``urc(R, 0)`` is a lumped resistor and ``urc(0, C)`` a lumped capacitor,
+    exactly as in the paper.
+    """
+    resistance = require_non_negative("resistance", resistance)
+    capacitance = require_non_negative("capacitance", capacitance)
+    return TwoPort(
+        ct=capacitance,
+        tp=resistance * capacitance / 2.0,
+        r22=resistance,
+        td2=resistance * capacitance / 2.0,
+        tr2_r22=resistance * resistance * capacitance / 3.0,
+    )
+
+
+def resistor(resistance: float) -> TwoPort:
+    """Convenience wrapper: a lumped series resistor, ``urc(R, 0)``."""
+    return urc(resistance, 0.0)
+
+
+def capacitor(capacitance: float) -> TwoPort:
+    """Convenience wrapper: a lumped grounded capacitor, ``urc(0, C)``."""
+    return urc(0.0, capacitance)
+
+
+def from_element(element) -> TwoPort:
+    """Two-port summary of a core element object (Resistor / Capacitor / URCLine)."""
+    if isinstance(element, Resistor):
+        return resistor(element.resistance)
+    if isinstance(element, Capacitor):
+        return capacitor(element.capacitance)
+    if isinstance(element, URCLine):
+        return urc(element.resistance, element.capacitance)
+    raise TypeError(f"unsupported element {element!r}")
+
+
+def wc(a: TwoPort, b: TwoPort) -> TwoPort:
+    """Cascade ``A WC B``: port 2 of ``a`` drives port 1 of ``b`` (eqs. 19-23)."""
+    return TwoPort(
+        ct=a.ct + b.ct,
+        tp=a.tp + b.tp + a.r22 * b.ct,
+        r22=a.r22 + b.r22,
+        td2=a.td2 + b.td2 + a.r22 * b.ct,
+        tr2_r22=(
+            a.tr2_r22
+            + b.tr2_r22
+            + 2.0 * a.r22 * b.td2
+            + a.r22 * a.r22 * b.ct
+        ),
+    )
+
+
+def wb(a: TwoPort) -> TwoPort:
+    """Fold ``a`` into a side branch: ``WB A`` (eqs. 24-28)."""
+    return TwoPort(ct=a.ct, tp=a.tp, r22=0.0, td2=0.0, tr2_r22=0.0)
+
+
+def cascade_chain(parts: Iterable[TwoPort]) -> TwoPort:
+    """Cascade a sequence of two-ports left to right.
+
+    ``cascade_chain([a, b, c])`` equals ``a WC (b WC c)``; since ``WC`` is
+    associative in all five components this is also ``(a WC b) WC c``.
+    An empty sequence yields the empty network (all zeros).
+    """
+    result = None
+    for part in parts:
+        result = part if result is None else wc(result, part)
+    if result is None:
+        return TwoPort(ct=0.0, tp=0.0, r22=0.0, td2=0.0, tr2_r22=0.0)
+    return result

@@ -1,0 +1,31 @@
+"""Application-level workload builders.
+
+These modules assemble realistic RC trees for the scenarios the paper
+motivates -- PLA poly lines (Section V), clock distribution trees, and
+multi-drop bus / fanout nets -- on top of the extraction and driver
+substrates.  They are used by the examples, the benchmarks and the
+experiment harness.
+"""
+
+from repro.apps.pla import (
+    PLA_SECTION,
+    pla_line_twoport,
+    pla_line_tree,
+    pla_delay_sweep,
+    pla_line_from_technology,
+)
+from repro.apps.clocktree import h_tree, clock_skew_report
+from repro.apps.nets import daisy_chain_net, star_net, comb_bus_net
+
+__all__ = [
+    "PLA_SECTION",
+    "pla_line_twoport",
+    "pla_line_tree",
+    "pla_delay_sweep",
+    "pla_line_from_technology",
+    "h_tree",
+    "clock_skew_report",
+    "daisy_chain_net",
+    "star_net",
+    "comb_bus_net",
+]

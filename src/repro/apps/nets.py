@@ -1,0 +1,124 @@
+"""Common signal-net topologies: daisy chains, stars, and multi-drop buses.
+
+These constructors build the fanout structures the paper's introduction
+motivates ("a given inverter or logic node may drive several gates, some of
+them through long wires") from process parameters, so examples and
+benchmarks can sweep realistic design questions: How should loads be ordered
+along a chain?  When does a star beat a daisy chain?  How far down a bus can
+the last receiver sit?
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.tree import RCTree
+from repro.extraction.technology import GENERIC_1UM_CMOS, Layer, Technology
+from repro.mos.drivers import DriverModel
+from repro.utils.checks import require_positive
+
+
+def _start_tree(driver: Optional[DriverModel]) -> tuple:
+    tree = RCTree("in")
+    if driver is None:
+        return tree, "in"
+    tree.add_resistor("in", "drv", driver.effective_resistance)
+    if driver.output_capacitance:
+        tree.add_capacitor("drv", driver.output_capacitance)
+    return tree, "drv"
+
+
+def daisy_chain_net(
+    load_capacitances: Sequence[float],
+    segment_length: float,
+    *,
+    technology: Technology = GENERIC_1UM_CMOS,
+    driver: Optional[DriverModel] = None,
+    layer: Layer = Layer.METAL,
+    wire_width: Optional[float] = None,
+) -> RCTree:
+    """A driver feeding loads strung along one wire (``load0`` nearest the driver).
+
+    Each consecutive pair of loads is separated by ``segment_length`` of
+    routing on ``layer``.  Every load node ``load<i>`` is marked as an output.
+    """
+    if not load_capacitances:
+        raise ValueError("at least one load is required")
+    require_positive("segment_length", segment_length)
+    wire_width = wire_width or technology.feature_size
+    tree, previous = _start_tree(driver)
+    resistance = technology.wire_resistance(layer, segment_length, wire_width)
+    capacitance = technology.wire_capacitance(layer, segment_length, wire_width)
+    for index, load in enumerate(load_capacitances):
+        node = f"load{index}"
+        tree.add_line(previous, node, resistance, capacitance)
+        tree.add_capacitor(node, load)
+        tree.mark_output(node)
+        previous = node
+    return tree
+
+
+def star_net(
+    load_capacitances: Sequence[float],
+    branch_length: float,
+    *,
+    technology: Technology = GENERIC_1UM_CMOS,
+    driver: Optional[DriverModel] = None,
+    layer: Layer = Layer.METAL,
+    wire_width: Optional[float] = None,
+) -> RCTree:
+    """A driver feeding each load through its own dedicated branch wire."""
+    if not load_capacitances:
+        raise ValueError("at least one load is required")
+    require_positive("branch_length", branch_length)
+    wire_width = wire_width or technology.feature_size
+    tree, hub = _start_tree(driver)
+    resistance = technology.wire_resistance(layer, branch_length, wire_width)
+    capacitance = technology.wire_capacitance(layer, branch_length, wire_width)
+    for index, load in enumerate(load_capacitances):
+        node = f"load{index}"
+        tree.add_line(hub, node, resistance, capacitance)
+        tree.add_capacitor(node, load)
+        tree.mark_output(node)
+    return tree
+
+
+def comb_bus_net(
+    drops: int,
+    drop_capacitance: float,
+    spine_segment_length: float,
+    stub_length: float,
+    *,
+    technology: Technology = GENERIC_1UM_CMOS,
+    driver: Optional[DriverModel] = None,
+    spine_layer: Layer = Layer.METAL,
+    stub_layer: Layer = Layer.POLY,
+    wire_width: Optional[float] = None,
+) -> RCTree:
+    """A multi-drop bus: a spine with short stubs dropping to each receiver.
+
+    This is the topology of the paper's Figure 1 generalised to ``drops``
+    receivers: a (metal) spine carries the signal past each tap point, and a
+    short (poly) stub connects each receiver gate -- a true RC *tree* rather
+    than a chain.  Receivers are ``drop0 .. drop(n-1)``, all marked outputs.
+    """
+    if drops < 1:
+        raise ValueError("drops must be >= 1")
+    require_positive("drop_capacitance", drop_capacitance)
+    require_positive("spine_segment_length", spine_segment_length)
+    require_positive("stub_length", stub_length)
+    wire_width = wire_width or technology.feature_size
+    tree, previous = _start_tree(driver)
+    spine_r = technology.wire_resistance(spine_layer, spine_segment_length, wire_width)
+    spine_c = technology.wire_capacitance(spine_layer, spine_segment_length, wire_width)
+    stub_r = technology.wire_resistance(stub_layer, stub_length, wire_width)
+    stub_c = technology.wire_capacitance(stub_layer, stub_length, wire_width)
+    for index in range(drops):
+        tap = f"tap{index}"
+        drop = f"drop{index}"
+        tree.add_line(previous, tap, spine_r, spine_c)
+        tree.add_line(tap, drop, stub_r, stub_c)
+        tree.add_capacitor(drop, drop_capacitance)
+        tree.mark_output(drop)
+        previous = tap
+    return tree

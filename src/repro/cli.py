@@ -1,0 +1,144 @@
+"""Command-line interface: ``rctree-bounds``.
+
+Subcommands
+-----------
+
+``analyze DECK.sp``
+    Read a SPICE deck (R/C/V subset), compute the characteristic times and
+    delay bounds of every output, and print a report.  ``--threshold`` sets
+    the voltage threshold, ``--deadline`` additionally certifies each output
+    (the paper's ``OK`` function).
+
+``expression "EXPR"``
+    Evaluate a paper-style tree expression (``(URC 15 0) WC (URC 0 2) ...``)
+    and print its two-port summary and delay bounds.
+
+``experiments [names...]``
+    Regenerate the paper's figures and tables (Fig. 5, 10, 11, 13).
+
+``pla N``
+    Print the delay bounds of an N-minterm PLA line (Section V model).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.algebra.expression import parse_expression
+from repro.core.bounds import delay_bounds
+from repro.core.certify import Verdict, certify
+from repro.core.timeconstants import characteristic_times_all
+from repro.experiments.runner import run_all
+from repro.spicefmt.reader import read_spice
+from repro.utils.units import format_engineering
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    tree = read_spice(args.deck)
+    outputs = args.output or tree.outputs or tree.leaves()
+    all_times = characteristic_times_all(tree, outputs)
+    print(f"network: {len(tree)} nodes, {len(tree.edges)} branches, "
+          f"total C = {format_engineering(tree.total_capacitance, 'F')}, "
+          f"total R = {format_engineering(tree.total_resistance, 'ohm')}")
+    status = 0
+    for name, times in all_times.items():
+        bounds = delay_bounds(times, args.threshold)
+        print(f"\noutput {name}:")
+        print(f"  T_P  = {format_engineering(times.tp, 's')}")
+        print(f"  T_De = {format_engineering(times.tde, 's')} (Elmore delay)")
+        print(f"  T_Re = {format_engineering(times.tre, 's')}")
+        print(f"  delay to {args.threshold:g}: "
+              f"[{format_engineering(bounds.lower, 's')}, {format_engineering(bounds.upper, 's')}]")
+        if args.deadline is not None:
+            certificate = certify(times, args.threshold, args.deadline)
+            print(f"  certification against {format_engineering(args.deadline, 's')}: "
+                  f"{certificate.verdict.name} "
+                  f"(guaranteed slack {format_engineering(certificate.guaranteed_slack, 's')})")
+            if certificate.verdict is Verdict.FAIL:
+                status = 1
+    return status
+
+
+def _cmd_expression(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    twoport = expression.to_twoport()
+    times = twoport.characteristic_times("port2")
+    print(f"expression : {expression.to_text()}")
+    print(f"two-port   : CT={twoport.ct:g}, TP={twoport.tp:g}, R22={twoport.r22:g}, "
+          f"TD2={twoport.td2:g}, TR2*R22={twoport.tr2_r22:g}")
+    for threshold in args.threshold:
+        bounds = delay_bounds(times, threshold)
+        print(f"delay to {threshold:g}: [{bounds.lower:.6g}, {bounds.upper:.6g}]")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    results = run_all(tuple(args.names))
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        print(f"=== {result.experiment}: {result.description} [{status}] ===")
+        print(result.report)
+        print()
+        failures += 0 if result.passed else 1
+    return 1 if failures else 0
+
+
+def _cmd_pla(args: argparse.Namespace) -> int:
+    from repro.apps.pla import pla_delay_sweep
+
+    rows = pla_delay_sweep([args.minterms], args.threshold)
+    row = rows[0]
+    print(f"PLA line with {row.minterms} minterms, threshold {row.threshold:g}:")
+    print(f"  guaranteed delay <= {row.t_upper_ns:.3f} ns")
+    print(f"  delay           >= {row.t_lower_ns:.3f} ns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rctree-bounds",
+        description="RC-tree signal delay bounds (Penfield & Rubinstein, 1981).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyze a SPICE deck")
+    analyze.add_argument("deck", help="path to the SPICE netlist")
+    analyze.add_argument("--threshold", type=float, default=0.5, help="voltage threshold (0-1)")
+    analyze.add_argument("--deadline", type=float, default=None, help="certify against this delay (seconds)")
+    analyze.add_argument("--output", action="append", help="restrict the report to these nodes")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    expression = subparsers.add_parser("expression", help="evaluate a tree expression")
+    expression.add_argument("expression", help="paper-style expression, e.g. '(URC 15 0) WC URC 0 9'")
+    expression.add_argument(
+        "--threshold", type=float, action="append", default=None,
+        help="thresholds to report (repeatable; default 0.5 and 0.9)",
+    )
+    expression.set_defaults(func=_cmd_expression)
+
+    experiments = subparsers.add_parser("experiments", help="reproduce the paper's figures")
+    experiments.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    pla = subparsers.add_parser("pla", help="delay bounds of a PLA AND-plane line")
+    pla.add_argument("minterms", type=int, help="number of minterms on the line")
+    pla.add_argument("--threshold", type=float, default=0.7, help="voltage threshold (default 0.7)")
+    pla.set_defaults(func=_cmd_pla)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "expression" and args.threshold is None:
+        args.threshold = [0.5, 0.9]
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

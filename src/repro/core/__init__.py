@@ -1,0 +1,132 @@
+"""Core RC-tree model and the Penfield-Rubinstein analysis.
+
+This subpackage contains the paper's primary contribution:
+
+* the RC tree network model (:mod:`repro.core.tree`, :mod:`repro.core.elements`),
+* path and shared-path resistances (:mod:`repro.core.path`),
+* the characteristic times ``T_P``, ``T_De`` (Elmore delay), ``T_Re``
+  (:mod:`repro.core.timeconstants`),
+* the delay / voltage bounds and their inversions (:mod:`repro.core.bounds`),
+* timing certification, the paper's ``OK`` function (:mod:`repro.core.certify`),
+* reference networks from the paper's figures (:mod:`repro.core.networks`).
+"""
+
+from repro.core.elements import Capacitor, Resistor, URCLine
+from repro.core.exceptions import (
+    AnalysisError,
+    DegenerateNetworkError,
+    DuplicateNodeError,
+    ElementValueError,
+    ParseError,
+    RCTreeError,
+    TopologyError,
+    UnknownNodeError,
+)
+from repro.core.tree import Edge, Node, RCTree
+from repro.core.builder import TreeBuilder
+from repro.core.path import (
+    all_path_resistances,
+    path_resistance,
+    resistance_between,
+    shared_path_resistance,
+    shared_resistances_to_output,
+)
+from repro.core.timeconstants import (
+    CharacteristicTimes,
+    characteristic_times,
+    characteristic_times_all,
+    elmore_delay,
+    elmore_delays,
+)
+from repro.core.bounds import (
+    BoundedResponse,
+    DelayBounds,
+    VoltageBounds,
+    delay_bound_table,
+    delay_bounds,
+    delay_lower_bound,
+    delay_upper_bound,
+    voltage_bound_table,
+    voltage_bounds,
+    voltage_lower_bound,
+    voltage_upper_bound,
+)
+from repro.core.certify import Certificate, Verdict, certify, certify_tree, worst_output
+from repro.core.excitation import (
+    RampResponseBounds,
+    ramp_delay_bounds,
+    ramp_voltage_bounds,
+)
+from repro.core.networks import (
+    FIGURE7_TWOPORT,
+    FIGURE10_DELAY_ROWS,
+    FIGURE10_VOLTAGE_ROWS,
+    figure3_tree,
+    figure7_tree,
+    rc_ladder,
+    single_line,
+    symmetric_fanout,
+)
+
+__all__ = [
+    # elements / tree
+    "Capacitor",
+    "Resistor",
+    "URCLine",
+    "Edge",
+    "Node",
+    "RCTree",
+    "TreeBuilder",
+    # exceptions
+    "RCTreeError",
+    "TopologyError",
+    "UnknownNodeError",
+    "DuplicateNodeError",
+    "ElementValueError",
+    "DegenerateNetworkError",
+    "AnalysisError",
+    "ParseError",
+    # path
+    "path_resistance",
+    "all_path_resistances",
+    "shared_path_resistance",
+    "shared_resistances_to_output",
+    "resistance_between",
+    # time constants
+    "CharacteristicTimes",
+    "characteristic_times",
+    "characteristic_times_all",
+    "elmore_delay",
+    "elmore_delays",
+    # bounds
+    "BoundedResponse",
+    "DelayBounds",
+    "VoltageBounds",
+    "delay_bounds",
+    "delay_lower_bound",
+    "delay_upper_bound",
+    "voltage_bounds",
+    "voltage_lower_bound",
+    "voltage_upper_bound",
+    "delay_bound_table",
+    "voltage_bound_table",
+    # certification
+    "Certificate",
+    "Verdict",
+    "certify",
+    "certify_tree",
+    "worst_output",
+    # non-step excitation
+    "RampResponseBounds",
+    "ramp_delay_bounds",
+    "ramp_voltage_bounds",
+    # reference networks
+    "figure3_tree",
+    "figure7_tree",
+    "single_line",
+    "rc_ladder",
+    "symmetric_fanout",
+    "FIGURE7_TWOPORT",
+    "FIGURE10_DELAY_ROWS",
+    "FIGURE10_VOLTAGE_ROWS",
+]

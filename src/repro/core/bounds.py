@@ -1,0 +1,322 @@
+"""The Penfield-Rubinstein delay and voltage bounds (paper, Section III, eqs. 8-17).
+
+Given the characteristic times ``T_P``, ``T_De``, ``T_Re`` and ``R_ee`` of an
+output, the unit-step response ``v_e(t)`` (which rises monotonically from 0
+to 1) is bracketed by closed-form envelopes, and -- because the response is
+monotonic -- the time at which a voltage threshold ``v`` is crossed is
+bracketed by the inverted envelopes.
+
+Voltage bounds
+--------------
+Upper bounds (the tightest of the two is used at each ``t``):
+
+* eq. (8)  ``v_e(t) <= 1 - (T_De - t) / T_P``               (tightest for small t)
+* eq. (9)  ``v_e(t) <= 1 - (T_De / T_P) exp(-t / T_Re)``    (tightest for large t)
+
+Lower bounds (piecewise, by region of ``t``):
+
+* eq. (10) ``v_e(t) >= 0``                                  for ``t <= T_De - T_Re``
+* eq. (11) ``v_e(t) >= 1 - T_De / (t + T_Re)``              for ``T_De - T_Re <= t <= T_P - T_Re``
+* eq. (12) ``v_e(t) >= 1 - (T_De / T_P) exp(-(t - T_P + T_Re) / T_P)``  for ``t >= T_P - T_Re``
+
+Delay bounds (time to reach threshold ``v``)
+--------------------------------------------
+Lower bounds (from inverting the upper voltage bounds):
+
+* eq. (13) ``t >= 0``
+* eq. (14) ``t >= T_De - T_P (1 - v)``
+* eq. (15) ``t >= T_Re ln( T_De / (T_P (1 - v)) )``
+
+Upper bounds (from inverting the lower voltage bounds):
+
+* eq. (16) ``t <= T_De / (1 - v) - T_Re``
+* eq. (17) ``t <= T_P - T_Re + T_P ln( T_De / (T_P (1 - v)) )``   (only when ``v >= 1 - T_De/T_P``)
+
+The functions here mirror the paper's APL listings ``VMIN``, ``VMAX``,
+``TMIN``, ``TMAX`` (Fig. 9) exactly -- including the clamping with 0 and the
+conditional applicability of eqs. (12) and (17) -- and reproduce the numeric
+table of Fig. 10 to print precision (see ``repro.experiments.figure10``).
+
+All functions accept either a scalar or a sequence/array for the time or
+threshold argument and return a float or ``numpy.ndarray`` correspondingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError, DegenerateNetworkError
+from repro.core.timeconstants import CharacteristicTimes
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class DelayBounds:
+    """Lower and upper bounds on the time to reach a voltage threshold."""
+
+    threshold: float
+    lower: float
+    upper: float
+
+    @property
+    def width(self) -> float:
+        """Absolute bound gap ``upper - lower`` (seconds)."""
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float:
+        """Midpoint estimate ``(lower + upper) / 2`` (seconds)."""
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def relative_width(self) -> float:
+        """Bound gap relative to the midpoint (dimensionless)."""
+        mid = self.midpoint
+        return self.width / mid if mid > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class VoltageBounds:
+    """Lower and upper bounds on the step response voltage at a given time."""
+
+    time: float
+    lower: float
+    upper: float
+
+    @property
+    def width(self) -> float:
+        """Absolute bound gap (volts, for a 1 V step)."""
+        return self.upper - self.lower
+
+
+def _as_array(value: ArrayLike):
+    array = np.asarray(value, dtype=float)
+    return array, array.ndim == 0
+
+
+def _check_times(times: CharacteristicTimes) -> None:
+    if times.total_capacitance <= 0.0:
+        raise DegenerateNetworkError(
+            "the network has no capacitance; the step response is instantaneous "
+            "and the bound formulas are undefined"
+        )
+    if times.tp <= 0.0:
+        raise DegenerateNetworkError(
+            "T_P is zero (no capacitance sees any resistance); the bound formulas are undefined"
+        )
+
+
+def _check_threshold(threshold: ArrayLike) -> np.ndarray:
+    array = np.asarray(threshold, dtype=float)
+    if np.any(~np.isfinite(array)):
+        raise AnalysisError("voltage thresholds must be finite")
+    if np.any(array < 0.0) or np.any(array >= 1.0):
+        raise AnalysisError(
+            "voltage thresholds must lie in [0, 1); the response only reaches 1 asymptotically"
+        )
+    return array
+
+
+def _check_time(time: ArrayLike) -> np.ndarray:
+    array = np.asarray(time, dtype=float)
+    if np.any(~np.isfinite(array)):
+        raise AnalysisError("times must be finite")
+    if np.any(array < 0.0):
+        raise AnalysisError("times must be non-negative (the step is applied at t = 0)")
+    return array
+
+
+# ----------------------------------------------------------------------
+# Voltage bounds, eqs. (8)-(12)
+# ----------------------------------------------------------------------
+def voltage_upper_bound(times: CharacteristicTimes, time: ArrayLike) -> Union[float, np.ndarray]:
+    """Upper bound on the unit-step response at ``time`` -- min of eqs. (8) and (9)."""
+    _check_times(times)
+    t, scalar = _as_array(_check_time(time))
+    if times.tde <= 0.0:
+        # Output is resistively isolated from every capacitor: instantaneous response.
+        result = np.ones_like(t)
+        return float(result) if scalar else result
+    linear = 1.0 - (times.tde - t) / times.tp  # eq. (8)
+    if times.tre > 0.0:
+        exponential = 1.0 - (times.tde / times.tp) * np.exp(-t / times.tre)  # eq. (9)
+    else:
+        # T_Re = 0 only when the output sits at the input; eq. (9) degenerates
+        # to the exact instantaneous response for t > 0.
+        exponential = np.where(t > 0.0, 1.0, 1.0 - times.tde / times.tp)
+    result = np.minimum(linear, exponential)
+    result = np.clip(result, 0.0, 1.0)
+    return float(result) if scalar else result
+
+
+def voltage_lower_bound(times: CharacteristicTimes, time: ArrayLike) -> Union[float, np.ndarray]:
+    """Lower bound on the unit-step response at ``time`` -- max of eqs. (10), (11), (12)."""
+    _check_times(times)
+    t, scalar = _as_array(_check_time(time))
+    if times.tde <= 0.0:
+        result = np.ones_like(t)
+        return float(result) if scalar else result
+    with np.errstate(divide="ignore"):
+        hyperbolic = 1.0 - times.tde / (t + times.tre)  # eq. (11); eq. (10) via the clamp below
+    threshold_time = times.tp - times.tre
+    with np.errstate(over="ignore"):
+        exponential = 1.0 - (times.tde / times.tp) * np.exp(-(t - threshold_time) / times.tp)  # eq. (12)
+    exponential = np.where(t >= threshold_time, exponential, 0.0)
+    result = np.maximum.reduce([np.zeros_like(t), hyperbolic, exponential])
+    result = np.clip(result, 0.0, 1.0)
+    return float(result) if scalar else result
+
+
+def voltage_bounds(times: CharacteristicTimes, time: float) -> VoltageBounds:
+    """Both voltage bounds at a single time, as a :class:`VoltageBounds` record."""
+    return VoltageBounds(
+        time=float(time),
+        lower=float(voltage_lower_bound(times, time)),
+        upper=float(voltage_upper_bound(times, time)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Delay bounds, eqs. (13)-(17)
+# ----------------------------------------------------------------------
+def delay_lower_bound(times: CharacteristicTimes, threshold: ArrayLike) -> Union[float, np.ndarray]:
+    """Lower bound on the time to reach ``threshold`` -- max of eqs. (13), (14), (15)."""
+    _check_times(times)
+    v, scalar = _as_array(_check_threshold(threshold))
+    if times.tde <= 0.0:
+        result = np.zeros_like(v)
+        return float(result) if scalar else result
+    linear = times.tde - times.tp * (1.0 - v)  # eq. (14)
+    log_term = np.log(times.tde / (times.tp * (1.0 - v)))
+    logarithmic = times.tre * log_term  # eq. (15)
+    result = np.maximum.reduce([np.zeros_like(v), linear, logarithmic])
+    return float(result) if scalar else result
+
+
+def delay_upper_bound(times: CharacteristicTimes, threshold: ArrayLike) -> Union[float, np.ndarray]:
+    """Upper bound on the time to reach ``threshold`` -- min of eqs. (16), (17)."""
+    _check_times(times)
+    v, scalar = _as_array(_check_threshold(threshold))
+    if times.tde <= 0.0:
+        result = np.zeros_like(v)
+        return float(result) if scalar else result
+    hyperbolic = times.tde / (1.0 - v) - times.tre  # eq. (16)
+    log_term = np.log(times.tde / (times.tp * (1.0 - v)))
+    # eq. (17) applies only when v >= 1 - T_De/T_P, i.e. when log_term >= 0;
+    # the paper's TMAX listing expresses this as subtracting min(0, -T_P*log_term).
+    exponential = times.tp - times.tre + times.tp * np.maximum(log_term, 0.0)
+    result = np.minimum(hyperbolic, exponential)
+    result = np.maximum(result, 0.0)
+    return float(result) if scalar else result
+
+
+def delay_bounds(times: CharacteristicTimes, threshold: float) -> DelayBounds:
+    """Both delay bounds for a single threshold, as a :class:`DelayBounds` record."""
+    return DelayBounds(
+        threshold=float(threshold),
+        lower=float(delay_lower_bound(times, threshold)),
+        upper=float(delay_upper_bound(times, threshold)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+def delay_bound_table(times: CharacteristicTimes, thresholds: Iterable[float]):
+    """Return ``[(v, t_min, t_max), ...]`` for a sweep of thresholds (Fig. 10, upper table)."""
+    rows = []
+    for v in thresholds:
+        bounds = delay_bounds(times, v)
+        rows.append((float(v), bounds.lower, bounds.upper))
+    return rows
+
+
+def voltage_bound_table(times: CharacteristicTimes, sample_times: Iterable[float]):
+    """Return ``[(t, v_min, v_max), ...]`` for a sweep of times (Fig. 10, lower table)."""
+    rows = []
+    for t in sample_times:
+        bounds = voltage_bounds(times, t)
+        rows.append((float(t), bounds.lower, bounds.upper))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Object-oriented facade
+# ----------------------------------------------------------------------
+class BoundedResponse:
+    """Bound envelopes of one output, wrapped as a callable-friendly object.
+
+    This is the object most examples use: it memoises the characteristic
+    times of an output and exposes ``vmin/vmax/tmin/tmax`` plus certification
+    against a (threshold, deadline) requirement.
+    """
+
+    def __init__(self, times: CharacteristicTimes):
+        _check_times(times)
+        times.check_ordering()
+        self._times = times
+
+    @property
+    def times(self) -> CharacteristicTimes:
+        """The underlying characteristic times."""
+        return self._times
+
+    @property
+    def output(self) -> str:
+        """Name of the output node."""
+        return self._times.output
+
+    def vmin(self, time: ArrayLike) -> Union[float, np.ndarray]:
+        """Lower bound on the response voltage at ``time``."""
+        return voltage_lower_bound(self._times, time)
+
+    def vmax(self, time: ArrayLike) -> Union[float, np.ndarray]:
+        """Upper bound on the response voltage at ``time``."""
+        return voltage_upper_bound(self._times, time)
+
+    def tmin(self, threshold: ArrayLike) -> Union[float, np.ndarray]:
+        """Lower bound on the delay to ``threshold``."""
+        return delay_lower_bound(self._times, threshold)
+
+    def tmax(self, threshold: ArrayLike) -> Union[float, np.ndarray]:
+        """Upper bound on the delay to ``threshold``."""
+        return delay_upper_bound(self._times, threshold)
+
+    def delay_bounds(self, threshold: float) -> DelayBounds:
+        """Both delay bounds at ``threshold``."""
+        return delay_bounds(self._times, threshold)
+
+    def voltage_bounds(self, time: float) -> VoltageBounds:
+        """Both voltage bounds at ``time``."""
+        return voltage_bounds(self._times, time)
+
+    def envelope(self, t_end: float, points: int = 200):
+        """Sample both envelopes over ``[0, t_end]``.
+
+        Returns ``(t, vmin, vmax)`` as numpy arrays -- the data behind the
+        paper's Fig. 5 / Fig. 11 plots.
+        """
+        if t_end <= 0:
+            raise AnalysisError("t_end must be positive")
+        t = np.linspace(0.0, float(t_end), int(points))
+        return t, self.vmin(t), self.vmax(t)
+
+    def worst_case_delay(self, threshold: float) -> float:
+        """Guaranteed (pessimistic) delay: the upper bound at ``threshold``."""
+        return float(self.tmax(threshold))
+
+    def best_case_delay(self, threshold: float) -> float:
+        """Optimistic delay: the lower bound at ``threshold``."""
+        return float(self.tmin(threshold))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        t = self._times
+        return (
+            f"BoundedResponse(output={t.output!r}, T_P={t.tp:.4g}, "
+            f"T_De={t.tde:.4g}, T_Re={t.tre:.4g})"
+        )

@@ -1,0 +1,128 @@
+"""Fluent builder for RC trees.
+
+:class:`RCTree` is perfectly usable directly, but chains of wire segments and
+taps read more naturally with a cursor-style builder::
+
+    tree = (
+        TreeBuilder("driver")
+        .resistor(380.0)                    # driver pull-up
+        .capacitor(0.04e-12)                # driver output diffusion
+        .line(180.0, 0.01e-12)              # first poly segment
+        .tap("gate1", 0.013e-12)            # first gate, as a side branch
+        .line(180.0, 0.01e-12)
+        .tap("gate2", 0.013e-12, output=True)
+        .build()
+    )
+
+The builder keeps a *cursor* (the node new elements attach to).  ``resistor``
+and ``line`` advance the cursor to the newly created node; ``tap`` creates a
+side branch without moving the cursor; ``at`` moves the cursor to any
+existing node, which is how multi-branch trees are laid out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.tree import RCTree
+
+
+class TreeBuilder:
+    """Incrementally build an :class:`RCTree` with a movable cursor."""
+
+    def __init__(self, root: str = "in"):
+        self._tree = RCTree(root)
+        self._cursor = root
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Cursor management
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> str:
+        """Name of the node the next series element will attach to."""
+        return self._cursor
+
+    def at(self, node: str) -> "TreeBuilder":
+        """Move the cursor to an existing node (to start a new branch)."""
+        if node not in self._tree:
+            raise KeyError(f"unknown node {node!r}")
+        self._cursor = node
+        return self
+
+    def _next_name(self, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        while True:
+            candidate = f"n{next(self._counter)}"
+            if candidate not in self._tree:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def resistor(self, resistance: float, name: Optional[str] = None, *, output: bool = False) -> "TreeBuilder":
+        """Add a series resistor and advance the cursor to its far node."""
+        node = self._next_name(name)
+        self._tree.add_resistor(self._cursor, node, resistance)
+        if output:
+            self._tree.mark_output(node)
+        self._cursor = node
+        return self
+
+    def line(
+        self,
+        resistance: float,
+        capacitance: float,
+        name: Optional[str] = None,
+        *,
+        output: bool = False,
+    ) -> "TreeBuilder":
+        """Add a series uniform RC line and advance the cursor to its far node."""
+        node = self._next_name(name)
+        self._tree.add_line(self._cursor, node, resistance, capacitance)
+        if output:
+            self._tree.mark_output(node)
+        self._cursor = node
+        return self
+
+    def capacitor(self, capacitance: float) -> "TreeBuilder":
+        """Add grounded capacitance at the cursor node (cursor does not move)."""
+        self._tree.add_capacitor(self._cursor, capacitance)
+        return self
+
+    def tap(
+        self,
+        name: Optional[str] = None,
+        capacitance: float = 0.0,
+        resistance: float = 0.0,
+        *,
+        output: bool = False,
+    ) -> "TreeBuilder":
+        """Attach a side branch (a load tap) at the cursor without moving it.
+
+        The tap is a series resistance (default 0) into a new node carrying
+        ``capacitance``.  This models a gate input hanging off a wire.
+        """
+        node = self._next_name(name)
+        self._tree.add_resistor(self._cursor, node, resistance)
+        if capacitance:
+            self._tree.add_capacitor(node, capacitance)
+        if output:
+            self._tree.mark_output(node)
+        return self
+
+    def output(self, name: Optional[str] = None) -> "TreeBuilder":
+        """Mark a node as an output (the cursor node by default)."""
+        self._tree.mark_output(name if name is not None else self._cursor)
+        return self
+
+    # ------------------------------------------------------------------
+    # Finish
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> RCTree:
+        """Return the constructed tree (validated by default)."""
+        if validate:
+            self._tree.validate()
+        return self._tree

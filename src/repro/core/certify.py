@@ -1,0 +1,121 @@
+"""Timing certification -- the paper's ``OK`` function (Fig. 9) generalised.
+
+The paper frames one use of the bounds as: *"certify that a circuit is 'fast
+enough', given both the maximum delay and the voltage threshold."*  Its APL
+``OK`` function returns ``1`` when the circuit is certainly fast enough
+(``TMAX <= T``), ``-1`` when it certainly is not (``T < TMIN``), and ``0``
+when the bounds are too loose to decide.
+
+This module reproduces that ternary verdict as :class:`Verdict`, and adds the
+quantities an engineer acts on: the guaranteed/possible slack against the
+deadline and a per-output report across a whole tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.bounds import DelayBounds, delay_bounds
+from repro.core.timeconstants import CharacteristicTimes, characteristic_times_all
+from repro.core.tree import RCTree
+from repro.utils.checks import require_in_unit_interval, require_non_negative
+
+
+class Verdict(enum.IntEnum):
+    """Ternary certification verdict, numerically identical to the paper's ``OK``."""
+
+    #: The upper delay bound meets the deadline: guaranteed fast enough.
+    PASS = 1
+    #: The bounds straddle the deadline: cannot tell without exact analysis.
+    INDETERMINATE = 0
+    #: Even the lower delay bound misses the deadline: guaranteed too slow.
+    FAIL = -1
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Result of certifying one output against (threshold, deadline).
+
+    Attributes
+    ----------
+    output:
+        Output node name.
+    threshold:
+        Voltage threshold (fraction of the final value) that must be reached.
+    deadline:
+        Time (seconds) by which the threshold must be reached.
+    bounds:
+        The delay bounds used for the decision.
+    verdict:
+        :class:`Verdict` -- PASS, FAIL or INDETERMINATE.
+    """
+
+    output: str
+    threshold: float
+    deadline: float
+    bounds: DelayBounds
+    verdict: Verdict
+
+    @property
+    def guaranteed_slack(self) -> float:
+        """Worst-case slack: ``deadline - upper_bound``.  Non-negative iff PASS."""
+        return self.deadline - self.bounds.upper
+
+    @property
+    def optimistic_slack(self) -> float:
+        """Best-case slack: ``deadline - lower_bound``.  Negative iff FAIL."""
+        return self.deadline - self.bounds.lower
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.output}: {self.verdict.name} at v={self.threshold:g}, "
+            f"deadline={self.deadline:.4g} s, bounds=[{self.bounds.lower:.4g}, "
+            f"{self.bounds.upper:.4g}] s, guaranteed slack={self.guaranteed_slack:.4g} s"
+        )
+
+
+def certify(times: CharacteristicTimes, threshold: float, deadline: float) -> Certificate:
+    """Certify one output described by ``times`` against a threshold and deadline.
+
+    Mirrors the paper's ``OK``: PASS when ``t_max <= deadline``, FAIL when
+    ``deadline < t_min``, INDETERMINATE otherwise.
+    """
+    threshold = require_in_unit_interval("threshold", threshold)
+    deadline = require_non_negative("deadline", deadline)
+    bounds = delay_bounds(times, threshold)
+    if bounds.upper <= deadline:
+        verdict = Verdict.PASS
+    elif deadline < bounds.lower:
+        verdict = Verdict.FAIL
+    else:
+        verdict = Verdict.INDETERMINATE
+    return Certificate(
+        output=times.output,
+        threshold=threshold,
+        deadline=deadline,
+        bounds=bounds,
+        verdict=verdict,
+    )
+
+
+def certify_tree(
+    tree: RCTree,
+    threshold: float,
+    deadline: float,
+    outputs: Optional[Iterable[str]] = None,
+) -> Dict[str, Certificate]:
+    """Certify every output of ``tree`` (marked outputs by default) in one pass."""
+    all_times = characteristic_times_all(tree, outputs)
+    return {
+        name: certify(times, threshold, deadline) for name, times in all_times.items()
+    }
+
+
+def worst_output(certificates: Dict[str, Certificate]) -> Certificate:
+    """Return the certificate with the smallest guaranteed slack (the critical output)."""
+    if not certificates:
+        raise ValueError("no certificates to compare")
+    return min(certificates.values(), key=lambda cert: cert.guaranteed_slack)

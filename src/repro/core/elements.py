@@ -1,0 +1,149 @@
+"""Circuit elements that make up an RC tree.
+
+The paper (Section II) defines an RC tree as a resistor tree with grounded
+capacitors at its nodes, where any resistor may be replaced by a distributed
+RC line.  Three element kinds therefore exist:
+
+* :class:`Resistor` -- a lumped series resistance between a parent node and a
+  child node.
+* :class:`Capacitor` -- a lumped capacitance from a node to ground.
+* :class:`URCLine` -- a *uniform* distributed RC line between a parent node
+  and a child node, characterised by its total resistance and total
+  capacitance.  (The paper allows non-uniform lines too; those are modelled
+  here by chaining uniform segments, see :mod:`repro.distributed`.)
+
+Branch elements (resistor / URC line) are immutable value objects; identity
+and position in the tree live in :class:`repro.core.tree.RCTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ElementValueError
+from repro.utils.checks import require_finite, require_non_negative
+
+
+def _check_value(name: str, value: float) -> float:
+    try:
+        return require_non_negative(name, value)
+    except ValueError as exc:
+        raise ElementValueError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A lumped resistor of ``resistance`` ohms.
+
+    A zero-ohm resistor is legal: it is how the paper's ``URC R,0`` /
+    ``URC 0,C`` degenerate primitives connect a capacitor directly to an
+    existing node.
+    """
+
+    resistance: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "resistance", _check_value("resistance", self.resistance))
+
+    @property
+    def capacitance(self) -> float:
+        """Total capacitance of the element (zero for a pure resistor)."""
+        return 0.0
+
+    def scaled(self, factor: float) -> "Resistor":
+        """Return a copy with the resistance multiplied by ``factor``."""
+        require_finite("factor", factor)
+        return Resistor(self.resistance * factor)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A lumped grounded capacitor of ``capacitance`` farads."""
+
+    capacitance: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "capacitance", _check_value("capacitance", self.capacitance))
+
+    @property
+    def resistance(self) -> float:
+        """Total series resistance of the element (zero for a capacitor)."""
+        return 0.0
+
+    def scaled(self, factor: float) -> "Capacitor":
+        """Return a copy with the capacitance multiplied by ``factor``."""
+        require_finite("factor", factor)
+        return Capacitor(self.capacitance * factor)
+
+
+@dataclass(frozen=True)
+class URCLine:
+    """A uniform distributed RC line.
+
+    Parameters
+    ----------
+    resistance:
+        Total series resistance of the line, ohms.
+    capacitance:
+        Total capacitance of the line to ground, farads, distributed
+        uniformly along its length.
+
+    Notes
+    -----
+    The paper's single primitive ``URC R,C`` (Section IV) is exactly this
+    element; ``URC R,0`` degenerates to a lumped resistor and ``URC 0,C`` to
+    a lumped capacitor.  :meth:`as_lumped` performs that degeneration.
+
+    For a single uniform line driven directly, the characteristic times are
+    ``T_P = T_De = RC/2`` and ``T_Re = RC/3`` (paper, Section III), which the
+    test-suite checks.
+    """
+
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "resistance", _check_value("resistance", self.resistance))
+        object.__setattr__(self, "capacitance", _check_value("capacitance", self.capacitance))
+
+    @property
+    def is_pure_resistor(self) -> bool:
+        """True when the line has no capacitance (degenerates to a resistor)."""
+        return self.capacitance == 0.0
+
+    @property
+    def is_pure_capacitor(self) -> bool:
+        """True when the line has no resistance (degenerates to a capacitor)."""
+        return self.resistance == 0.0
+
+    def as_lumped(self):
+        """Degenerate to :class:`Resistor` / :class:`Capacitor` when possible.
+
+        Returns ``self`` unchanged if the line has both resistance and
+        capacitance (a genuinely distributed element).
+        """
+        if self.is_pure_resistor:
+            return Resistor(self.resistance)
+        if self.is_pure_capacitor:
+            return Capacitor(self.capacitance)
+        return self
+
+    def split(self, fraction: float) -> tuple["URCLine", "URCLine"]:
+        """Split the line at ``fraction`` of its length into two uniform lines."""
+        fraction = require_finite("fraction", fraction)
+        if not 0.0 <= fraction <= 1.0:
+            raise ElementValueError(f"fraction must lie in [0, 1], got {fraction!r}")
+        head = URCLine(self.resistance * fraction, self.capacitance * fraction)
+        tail = URCLine(self.resistance * (1 - fraction), self.capacitance * (1 - fraction))
+        return head, tail
+
+    def segments(self, count: int) -> list["URCLine"]:
+        """Divide the line into ``count`` equal uniform segments."""
+        if count < 1:
+            raise ElementValueError(f"segment count must be >= 1, got {count!r}")
+        piece = URCLine(self.resistance / count, self.capacitance / count)
+        return [piece] * count
+
+
+#: Union type of elements that may sit on a tree edge (between two nodes).
+BranchElement = (Resistor, URCLine)

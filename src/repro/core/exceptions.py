@@ -1,0 +1,66 @@
+"""Exception hierarchy for the RC-tree core model.
+
+All library-specific errors derive from :class:`RCTreeError` so callers can
+catch one base class.  More specific subclasses communicate *what* about the
+network is wrong: topology problems (not a tree, unknown node), value
+problems (negative resistance), or analysis problems (degenerate network with
+no resistance or capacitance, which the paper's functions explicitly do not
+handle).
+"""
+
+from __future__ import annotations
+
+
+class RCTreeError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(RCTreeError):
+    """The network is not a valid RC tree (cycle, disconnected, re-parented node)."""
+
+
+class UnknownNodeError(TopologyError, KeyError):
+    """A node name was referenced that does not exist in the tree."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown node {name!r}")
+        self.name = name
+
+
+class DuplicateNodeError(TopologyError):
+    """A node name was added twice."""
+
+    def __init__(self, name: str):
+        super().__init__(f"node {name!r} already exists in the tree")
+        self.name = name
+
+
+class ElementValueError(RCTreeError, ValueError):
+    """An element was given an invalid value (negative R or C, NaN, ...)."""
+
+
+class DegenerateNetworkError(RCTreeError):
+    """The network has no resistance or no capacitance.
+
+    The bound formulas divide by ``T_P``, ``T_De`` and ``R_ee``; the paper
+    notes that its APL listings "fail for networks without any resistances or
+    capacitances".  This library raises this exception instead.
+    """
+
+
+class AnalysisError(RCTreeError):
+    """An analysis could not be carried out (e.g. threshold outside the bounds' domain)."""
+
+
+class ParseError(RCTreeError, ValueError):
+    """A textual network description (expression, SPICE deck, SPEF file) is malformed."""
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

@@ -1,0 +1,164 @@
+"""Reference networks used throughout the paper, tests and benchmarks.
+
+Every figure in the paper that defines a concrete circuit is reproduced here
+as a constructor returning an :class:`~repro.core.tree.RCTree`:
+
+* :func:`figure3_tree` -- the five-resistor illustration of ``R_ke`` terms.
+* :func:`figure7_tree` -- the worked example (15 ohm driver, 2 F, an 8 ohm /
+  7 F side branch, a 3 ohm / 4 F distributed line, 9 F load) whose bound
+  tables appear in Figs. 10 and 11.
+* :func:`single_line` -- one uniform RC line, for which the paper quotes
+  ``T_P = T_De = RC/2`` and ``T_Re = RC/3``.
+* :func:`rc_ladder` -- an N-section lumped ladder, the classic discretisation
+  of a line (useful for convergence studies and scaling benchmarks).
+* :func:`symmetric_fanout` -- a driver fanning out to ``k`` identical
+  branches, the "inverter driving several gates" motivating Figure 1.
+
+Component values follow the paper exactly; the Figure 7 network is expressed
+in the paper's own unit system (ohms and farads), which makes its
+characteristic times come out as the familiar ``T_P = 419``, ``T_De = 363``,
+``T_Re = 6033/18`` "seconds" used in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import RCTree
+from repro.utils.checks import require_positive
+
+
+def figure3_tree(
+    r1: float = 1.0, r2: float = 2.0, r3: float = 3.0, r4: float = 4.0, r5: float = 5.0
+) -> RCTree:
+    """The resistor topology of the paper's Figure 3.
+
+    The output ``e`` is reached through ``R1, R2, R5``; node ``k`` through
+    ``R1, R2, R3``; a further node through ``R3`` then ``R4``.  With unit
+    capacitors everywhere the shared-resistance identities of the figure,
+    ``R_ke = R1 + R2``, ``R_kk = R1 + R2 + R3``, ``R_ee = R1 + R2 + R5``,
+    can be checked directly.
+    """
+    tree = RCTree("in")
+    tree.add_resistor("in", "n1", r1)
+    tree.add_resistor("n1", "n2", r2)
+    tree.add_resistor("n2", "k", r3)
+    tree.add_resistor("k", "n4", r4)
+    tree.add_resistor("n2", "e", r5)
+    for name in ("n1", "n2", "k", "n4", "e"):
+        tree.add_capacitor(name, 1.0)
+    tree.mark_output("e")
+    return tree
+
+
+def figure7_tree() -> RCTree:
+    """The paper's Figure 7 example network (values in ohms and farads).
+
+    Topology, following eq. (18)::
+
+        in --R 15-- a (C=2) --[branch: R 8 -- b (C=7)]-- URC(3,4) -- out (C=9)
+
+    ``out`` is the output port used in Fig. 10; the side-branch node ``b``
+    is also retained so multi-output analyses can exercise a true branch.
+    """
+    tree = RCTree("in")
+    tree.add_resistor("in", "a", 15.0)
+    tree.add_capacitor("a", 2.0)
+    tree.add_resistor("a", "b", 8.0)
+    tree.add_capacitor("b", 7.0)
+    tree.add_line("a", "out", resistance=3.0, capacitance=4.0)
+    tree.add_capacitor("out", 9.0)
+    tree.mark_output("out")
+    return tree
+
+
+#: The characteristic values of the Figure 7 network, as carried by the
+#: paper's APL session (Fig. 10):  ``[C_T, T_P, R_22, T_D2, T_R2*R_22]``.
+FIGURE7_TWOPORT = (22.0, 419.0, 18.0, 363.0, 6033.0)
+
+#: Delay-bound rows printed in Fig. 10 (threshold, T_MIN, T_MAX); values as
+#: printed by the paper (5 significant digits).  The 0.5-row lower bound is
+#: recomputed (184.23) -- the scanned figure is illegible at that digit.
+FIGURE10_DELAY_ROWS = [
+    (0.1, 0.0, 68.167),
+    (0.2, 27.8, 117.22),
+    (0.3, 71.46, 173.17),
+    (0.4, 123.13, 237.76),
+    (0.5, 184.23, 314.15),
+    (0.6, 259.02, 407.65),
+    (0.7, 355.45, 528.18),
+    (0.8, 491.34, 698.07),
+    (0.9, 723.66, 988.5),
+]
+
+#: Voltage-bound rows printed in Fig. 10 (time, V_MIN, V_MAX).
+FIGURE10_VOLTAGE_ROWS = [
+    (20.0, 0.0, 0.18138),
+    (40.0, 0.03243, 0.22912),
+    (60.0, 0.0814, 0.27565),
+    (80.0, 0.12565, 0.31761),
+    (100.0, 0.16644, 0.35714),
+    (200.0, 0.34342, 0.52297),
+    (300.0, 0.48283, 0.64603),
+    (400.0, 0.59263, 0.73734),
+    (500.0, 0.67913, 0.8051),
+    (1000.0, 0.90271, 0.95615),
+    (2000.0, 0.99105, 0.99778),
+]
+
+
+def single_line(resistance: float, capacitance: float, *, output: str = "out") -> RCTree:
+    """A single uniform RC line from the input to ``output``.
+
+    The paper quotes ``T_P = T_De = RC/2`` and ``T_Re = RC/3`` for this case.
+    """
+    require_positive("resistance", resistance)
+    require_positive("capacitance", capacitance)
+    tree = RCTree("in")
+    tree.add_line("in", output, resistance, capacitance)
+    tree.mark_output(output)
+    return tree
+
+
+def rc_ladder(sections: int, resistance_per_section: float, capacitance_per_section: float) -> RCTree:
+    """An N-section lumped RC ladder: R-C, R-C, ... from the input to ``out``.
+
+    The far node is named ``out`` and marked as the output; intermediate
+    nodes are ``s1 .. s(N-1)``.
+    """
+    if sections < 1:
+        raise ValueError("sections must be >= 1")
+    require_positive("resistance_per_section", resistance_per_section)
+    require_positive("capacitance_per_section", capacitance_per_section)
+    tree = RCTree("in")
+    previous = "in"
+    for index in range(1, sections + 1):
+        name = "out" if index == sections else f"s{index}"
+        tree.add_resistor(previous, name, resistance_per_section)
+        tree.add_capacitor(name, capacitance_per_section)
+        previous = name
+    tree.mark_output("out")
+    return tree
+
+
+def symmetric_fanout(
+    branches: int,
+    driver_resistance: float,
+    wire_resistance: float,
+    wire_capacitance: float,
+    load_capacitance: float,
+) -> RCTree:
+    """A driver fanning out to ``branches`` identical RC-line loads (Figure 1 shape).
+
+    Each branch is a distributed line of ``wire_resistance`` /
+    ``wire_capacitance`` ending in a lumped ``load_capacitance`` (a driven
+    gate).  Every branch end ``load<i>`` is marked as an output.
+    """
+    if branches < 1:
+        raise ValueError("branches must be >= 1")
+    tree = RCTree("in")
+    tree.add_resistor("in", "drv", driver_resistance)
+    for index in range(1, branches + 1):
+        load = f"load{index}"
+        tree.add_line("drv", load, wire_resistance, wire_capacitance)
+        tree.add_capacitor(load, load_capacitance)
+        tree.mark_output(load)
+    return tree

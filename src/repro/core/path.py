@@ -1,0 +1,88 @@
+"""Path resistance and shared-path resistance (paper, Section III, Fig. 3).
+
+The three resistances that drive the whole theory are:
+
+* ``R_kk`` -- the resistance of the unique path from the input to node ``k``;
+* ``R_ee`` -- the same for the output ``e`` (a special case of ``R_kk``);
+* ``R_ke`` -- the resistance of the portion of the input-to-``e`` path that is
+  *common* with the input-to-``k`` path.  Topologically this is the
+  input-to-LCA(k, e) resistance.
+
+The paper's Figure 3 example: with the output reached through ``R1, R2, R5``
+and node ``k`` reached through ``R1, R2, R3``, one has ``R_ke = R1 + R2``,
+``R_kk = R1 + R2 + R3`` and ``R_ee = R1 + R2 + R5`` -- the test-suite checks
+exactly this case.
+
+For distributed URC lines the "node" is a continuum of points along the
+line; the helpers here return the resistance *to the near end* of a line plus
+the line's own resistance where appropriate, and the integral contributions
+over distributed capacitance are handled in :mod:`repro.core.timeconstants`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.tree import RCTree
+
+
+def path_resistance(tree: RCTree, node: str) -> float:
+    """Return ``R_kk``: total resistance of the unique input-to-``node`` path.
+
+    Distributed lines on the path contribute their full resistance.
+    """
+    return sum(edge.resistance for edge in tree.path_edges(node))
+
+
+def all_path_resistances(tree: RCTree) -> Dict[str, float]:
+    """Return ``R_kk`` for every node in a single O(N) pre-order traversal."""
+    resistances: Dict[str, float] = {tree.root: 0.0}
+    for name in tree.preorder():
+        if name == tree.root:
+            continue
+        edge = tree.parent_edge(name)
+        resistances[name] = resistances[edge.parent] + edge.resistance
+    return resistances
+
+
+def shared_path_resistance(tree: RCTree, k: str, e: str) -> float:
+    """Return ``R_ke``: resistance common to the input->``k`` and input->``e`` paths.
+
+    Satisfies ``R_ke <= R_kk`` and ``R_ke <= R_ee`` (paper, Section III).
+    """
+    ancestor = tree.lca(k, e)
+    return path_resistance(tree, ancestor)
+
+
+def shared_resistances_to_output(tree: RCTree, output: str) -> Dict[str, float]:
+    """Return ``R_ke`` for every node ``k``, for a fixed output ``e``.
+
+    Runs in O(N): nodes on the input-to-output path have ``R_ke = R_kk``;
+    every node hanging off that path at branch point ``b`` has
+    ``R_ke = R_bb``.
+    """
+    rkk = all_path_resistances(tree)
+    on_path = set(tree.path_nodes(output))
+    shared: Dict[str, float] = {}
+    for name in tree.preorder():
+        if name in on_path:
+            shared[name] = rkk[name]
+        else:
+            parent = tree.parent_of(name)
+            # The branch point's value has already been computed because
+            # preorder visits parents before children.
+            shared[name] = shared[parent]
+    return shared
+
+
+def resistance_between(tree: RCTree, a: str, b: str) -> float:
+    """Resistance of the unique path between two arbitrary nodes ``a`` and ``b``.
+
+    Equal to ``R_aa + R_bb - 2 R_ab``; useful for clock-skew style analyses
+    where the quantity of interest is a node-to-node resistance rather than an
+    input-to-node one.
+    """
+    r_aa = path_resistance(tree, a)
+    r_bb = path_resistance(tree, b)
+    r_ab = shared_path_resistance(tree, a, b)
+    return r_aa + r_bb - 2.0 * r_ab

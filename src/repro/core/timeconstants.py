@@ -1,0 +1,263 @@
+"""The three characteristic times ``T_P``, ``T_De`` and ``T_Re`` (paper, Section III).
+
+For an RC tree driven by a unit step, with ``C_k`` the capacitance at node
+``k`` (summations become integrals over distributed lines):
+
+* ``T_P  = sum_k R_kk C_k``  -- eq. (5); identical for every output;
+* ``T_De = sum_k R_ke C_k``  -- eq. (1); the first moment of the impulse
+  response at output ``e``, i.e. the **Elmore delay**;
+* ``T_Re = (sum_k R_ke^2 C_k) / R_ee`` -- eq. (6).
+
+They always satisfy ``T_Re <= T_De <= T_P`` (eq. 7).  For a tree with no side
+branches (a nonuniform RC line) ``T_De = T_P``; for a single uniform RC line
+``T_P = T_De = RC/2`` and ``T_Re = RC/3``.
+
+Two algorithms are provided, mirroring Section IV of the paper:
+
+* :func:`characteristic_times` -- the direct "by inspection" computation for
+  one output.  Computing all outputs this way costs O(N) per output, i.e.
+  O(N^2) overall, which is the cost the paper attributes to the schematic-
+  driven approach.
+* :func:`characteristic_times_all` -- a two-pass O(N) computation of the
+  times for *every* node at once, the Python analogue of the paper's
+  linear-time constructive procedure (the construction algebra itself lives
+  in :mod:`repro.algebra`).
+
+Distributed URC lines are handled in closed form (no segmentation): a line of
+total resistance ``R`` and capacitance ``C`` whose near end sees an upstream
+path resistance ``R_u`` contributes
+
+* on the path to the output: ``(R_u + R/2) C`` to ``T_De`` and ``T_P``, and
+  ``(R_u^2 + R_u R + R^2/3) C`` to ``T_Re R_ee``;
+* off the path (branch shared resistance ``R_s``): ``R_s C`` to ``T_De``,
+  ``(R_u + R/2) C`` to ``T_P`` and ``R_s^2 C`` to ``T_Re R_ee``.
+
+These are the integral forms of eqs. (1), (5), (6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.exceptions import AnalysisError, UnknownNodeError
+from repro.core.path import all_path_resistances, shared_resistances_to_output
+from repro.core.tree import RCTree
+
+#: Relative tolerance used when checking the eq. (7) ordering numerically.
+_ORDERING_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CharacteristicTimes:
+    """The characteristic times of one output of an RC tree.
+
+    Attributes
+    ----------
+    output:
+        Name of the output node these times describe.
+    tp:
+        ``T_P`` (seconds) -- eq. (5); output-independent.
+    tde:
+        ``T_De`` (seconds) -- eq. (1); the Elmore delay of this output.
+    tre:
+        ``T_Re`` (seconds) -- eq. (6).
+    ree:
+        ``R_ee`` (ohms) -- input-to-output path resistance.
+    total_capacitance:
+        ``C_T`` (farads) -- total capacitance of the network.
+    """
+
+    output: str
+    tp: float
+    tde: float
+    tre: float
+    ree: float
+    total_capacitance: float
+
+    @property
+    def elmore_delay(self) -> float:
+        """Alias for ``T_De`` under its common modern name."""
+        return self.tde
+
+    @property
+    def tre_ree(self) -> float:
+        """The product ``T_Re * R_ee`` carried by the paper's APL programs."""
+        return self.tre * self.ree
+
+    def check_ordering(self) -> None:
+        """Assert the eq. (7) ordering ``T_Re <= T_De <= T_P`` (with tolerance)."""
+        slack = _ORDERING_RTOL * max(abs(self.tp), abs(self.tde), abs(self.tre), 1e-300)
+        if not (self.tre <= self.tde + slack and self.tde <= self.tp + slack):
+            raise AnalysisError(
+                f"characteristic times violate T_Re <= T_De <= T_P: "
+                f"T_Re={self.tre!r}, T_De={self.tde!r}, T_P={self.tp!r}"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return (
+            f"output {self.output!r}: T_P={self.tp:.6g} s, T_De={self.tde:.6g} s, "
+            f"T_Re={self.tre:.6g} s, R_ee={self.ree:.6g} ohm, C_T={self.total_capacitance:.6g} F"
+        )
+
+
+def _line_on_path_contributions(upstream: float, resistance: float, capacitance: float):
+    """Closed-form contributions of a distributed line lying on the output path."""
+    tde = (upstream + resistance / 2.0) * capacitance
+    tp = tde
+    tr_num = (upstream * upstream + upstream * resistance + resistance * resistance / 3.0) * capacitance
+    return tde, tp, tr_num
+
+
+def _line_off_path_contributions(upstream: float, shared: float, resistance: float, capacitance: float):
+    """Closed-form contributions of a distributed line hanging off the output path."""
+    tde = shared * capacitance
+    tp = (upstream + resistance / 2.0) * capacitance
+    tr_num = shared * shared * capacitance
+    return tde, tp, tr_num
+
+
+def characteristic_times(tree: RCTree, output: str) -> CharacteristicTimes:
+    """Compute ``T_P``, ``T_De``, ``T_Re`` for one output by direct summation.
+
+    This is the reference implementation of eqs. (1), (5), (6): it walks every
+    capacitor (lumped and distributed) once and accumulates the three sums
+    using the shared-path resistances of :mod:`repro.core.path`.
+    """
+    if output not in tree:
+        raise UnknownNodeError(output)
+    rkk = all_path_resistances(tree)
+    rke = shared_resistances_to_output(tree, output)
+    path_children = set(tree.path_nodes(output))
+
+    tp = 0.0
+    tde = 0.0
+    tr_num = 0.0
+
+    for name in tree.nodes:
+        cap = tree.node_capacitance(name)
+        if cap:
+            tp += rkk[name] * cap
+            tde += rke[name] * cap
+            tr_num += rke[name] * rke[name] * cap
+
+    for edge in tree.edges:
+        if edge.capacitance <= 0.0:
+            continue
+        upstream = rkk[edge.parent]
+        if edge.child in path_children:
+            d_tde, d_tp, d_tr = _line_on_path_contributions(upstream, edge.resistance, edge.capacitance)
+        else:
+            d_tde, d_tp, d_tr = _line_off_path_contributions(
+                upstream, rke[edge.parent], edge.resistance, edge.capacitance
+            )
+        tde += d_tde
+        tp += d_tp
+        tr_num += d_tr
+
+    ree = rkk[output]
+    tre = tr_num / ree if ree > 0.0 else 0.0
+    return CharacteristicTimes(
+        output=output,
+        tp=tp,
+        tde=tde,
+        tre=tre,
+        ree=ree,
+        total_capacitance=tree.total_capacitance,
+    )
+
+
+def characteristic_times_all(
+    tree: RCTree, outputs: Optional[Iterable[str]] = None
+) -> Dict[str, CharacteristicTimes]:
+    """Compute the characteristic times of every requested output in O(N) total.
+
+    This is the library's analogue of the paper's linear-time approach: two
+    tree traversals produce, for *all* nodes simultaneously,
+
+    * downstream capacitance ``C_down`` (postorder accumulation), and
+    * ``T_De`` and ``T_Re R_ee`` via the path recurrences::
+
+        T_De(child)      = T_De(parent) + R (C_down(child) + C_line/2)
+        T_Rn(child)      = T_Rn(parent) + (R_kk(child)^2 - R_kk(parent)^2) C_down(child)
+                                        + (R_kk(parent) R + R^2/3) C_line
+
+    where ``R`` and ``C_line`` describe the edge into ``child``.  ``T_P`` is a
+    single sum shared by every output.
+
+    Parameters
+    ----------
+    outputs:
+        Node names to report.  Defaults to the tree's marked outputs, or all
+        nodes when none are marked.
+    """
+    if outputs is None:
+        outputs = tree.outputs or tree.nodes
+    outputs = list(outputs)
+    for name in outputs:
+        if name not in tree:
+            raise UnknownNodeError(name)
+
+    rkk = all_path_resistances(tree)
+    total_cap = tree.total_capacitance
+
+    # Pass 1 (postorder): capacitance at-and-below each node, excluding the
+    # edge into the node itself.
+    c_down: Dict[str, float] = {}
+    for name in tree.postorder():
+        total = tree.node_capacitance(name)
+        for child in tree.children_of(name):
+            edge = tree.parent_edge(child)
+            total += c_down[child] + edge.capacitance
+        c_down[name] = total
+
+    # T_P: one pass over all capacitance.
+    tp = 0.0
+    for name in tree.nodes:
+        tp += rkk[name] * tree.node_capacitance(name)
+    for edge in tree.edges:
+        if edge.capacitance:
+            tp += (rkk[edge.parent] + edge.resistance / 2.0) * edge.capacitance
+
+    # Pass 2 (preorder): T_De and T_Re*R_ee recurrences from the root down.
+    tde: Dict[str, float] = {tree.root: 0.0}
+    tr_num: Dict[str, float] = {tree.root: 0.0}
+    for name in tree.preorder():
+        if name == tree.root:
+            continue
+        edge = tree.parent_edge(name)
+        parent = edge.parent
+        resistance = edge.resistance
+        line_cap = edge.capacitance
+        below = c_down[name]
+        tde[name] = tde[parent] + resistance * (below + line_cap / 2.0)
+        tr_num[name] = (
+            tr_num[parent]
+            + (rkk[name] ** 2 - rkk[parent] ** 2) * below
+            + (rkk[parent] * resistance + resistance * resistance / 3.0) * line_cap
+        )
+
+    results: Dict[str, CharacteristicTimes] = {}
+    for name in outputs:
+        ree = rkk[name]
+        tre = tr_num[name] / ree if ree > 0.0 else 0.0
+        results[name] = CharacteristicTimes(
+            output=name,
+            tp=tp,
+            tde=tde[name],
+            tre=tre,
+            ree=ree,
+            total_capacitance=total_cap,
+        )
+    return results
+
+
+def elmore_delay(tree: RCTree, output: str) -> float:
+    """Convenience wrapper returning only the Elmore delay ``T_De`` of ``output``."""
+    return characteristic_times(tree, output).tde
+
+
+def elmore_delays(tree: RCTree, outputs: Optional[Iterable[str]] = None) -> Dict[str, float]:
+    """Elmore delays of many outputs at once (O(N) total)."""
+    return {name: ct.tde for name, ct in characteristic_times_all(tree, outputs).items()}

@@ -1,0 +1,36 @@
+"""Distributed (uniform RC line) models and their lumped approximations.
+
+The paper's networks mix lumped elements with *distributed* uniform RC lines
+("URC" elements).  The characteristic-time engine handles distributed lines
+in closed form, but the exact simulator needs them lumped into N sections.
+This subpackage provides:
+
+* :mod:`repro.distributed.urc` -- the classical diffusion-equation series
+  solution of a uniform line driven by an ideal step (used to validate the
+  lumping, and to quote the familiar 0.38 RC half-voltage delay);
+* :mod:`repro.distributed.segmentation` -- helpers to lump a line into
+  pi/L ladders and to study how quickly the lumped response converges to the
+  distributed one.
+"""
+
+from repro.distributed.urc import (
+    urc_step_response,
+    urc_step_waveform,
+    urc_threshold_delay,
+    URC_HALF_VOLTAGE_COEFFICIENT,
+)
+from repro.distributed.segmentation import (
+    lumped_line_tree,
+    segmentation_error,
+    convergence_study,
+)
+
+__all__ = [
+    "urc_step_response",
+    "urc_step_waveform",
+    "urc_threshold_delay",
+    "URC_HALF_VOLTAGE_COEFFICIENT",
+    "lumped_line_tree",
+    "segmentation_error",
+    "convergence_study",
+]

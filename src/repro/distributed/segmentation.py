@@ -1,0 +1,90 @@
+"""Lumped approximations of distributed lines and their convergence.
+
+The exact simulator replaces every URC line with an N-section ladder
+(:meth:`repro.core.tree.RCTree.lumped`).  This module quantifies the error of
+that replacement against the analytic series solution of
+:mod:`repro.distributed.urc`, which is what the segmentation ablation
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.tree import RCTree
+from repro.distributed.urc import urc_step_waveform
+from repro.simulate.compare import max_abs_error
+from repro.simulate.state_space import exact_step_response
+from repro.utils.checks import require_positive
+
+
+def lumped_line_tree(
+    resistance: float, capacitance: float, segments: int, *, style: str = "pi"
+) -> RCTree:
+    """An N-section lumped ladder approximating one uniform RC line.
+
+    The far end is named ``out`` and marked as the output.
+    """
+    require_positive("resistance", resistance)
+    require_positive("capacitance", capacitance)
+    tree = RCTree("in")
+    tree.add_line("in", "out", resistance, capacitance)
+    tree.mark_output("out")
+    return tree.lumped(segments, style=style)
+
+
+@dataclass(frozen=True)
+class SegmentationPoint:
+    """Error of one lumping granularity against the analytic line response."""
+
+    segments: int
+    style: str
+    max_error: float
+    delay_error_50: float
+
+
+def segmentation_error(
+    resistance: float,
+    capacitance: float,
+    segments: int,
+    *,
+    style: str = "pi",
+    t_end_factor: float = 3.0,
+    points: int = 400,
+) -> SegmentationPoint:
+    """Compare an N-section ladder against the analytic distributed response.
+
+    Returns the maximum absolute voltage error over ``[0, t_end_factor * RC]``
+    and the error in the 50% crossing time (in units of RC).
+    """
+    rc = resistance * capacitance
+    t_end = t_end_factor * rc
+    analytic = urc_step_waveform(resistance, capacitance, t_end, points=points)
+    ladder = lumped_line_tree(resistance, capacitance, segments, style=style)
+    response = exact_step_response(ladder)
+    lumped = response.waveform("out", t_end, points)
+    delay_analytic = analytic.delay_to(0.5)
+    delay_lumped = lumped.delay_to(0.5)
+    return SegmentationPoint(
+        segments=segments,
+        style=style,
+        max_error=max_abs_error(analytic, lumped),
+        delay_error_50=(delay_lumped - delay_analytic) / rc,
+    )
+
+
+def convergence_study(
+    resistance: float = 1.0,
+    capacitance: float = 1.0,
+    segment_counts: Sequence[int] = (1, 2, 3, 5, 10, 20, 50),
+    *,
+    style: str = "pi",
+) -> List[SegmentationPoint]:
+    """Run :func:`segmentation_error` for a sweep of segment counts."""
+    return [
+        segmentation_error(resistance, capacitance, count, style=style)
+        for count in segment_counts
+    ]

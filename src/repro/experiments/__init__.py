@@ -1,0 +1,36 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one artefact of the paper's evaluation and returns
+both machine-readable rows and a formatted text table:
+
+* :mod:`repro.experiments.figure05` -- the qualitative bound-envelope plot
+  (Fig. 5): envelopes sandwiching the exact response;
+* :mod:`repro.experiments.figure10` -- the numeric delay-bound and
+  voltage-bound tables for the Figure 7 network (Fig. 10);
+* :mod:`repro.experiments.figure11` -- bounds versus the exact simulated
+  response over 0-600 s (Fig. 11);
+* :mod:`repro.experiments.figure13` -- PLA delay bounds versus minterm count
+  (Figs. 12-13);
+* :mod:`repro.experiments.runner` -- run everything and print a summary
+  (also exposed as ``python -m repro.experiments``).
+"""
+
+from repro.experiments.figure05 import figure05_envelope
+from repro.experiments.figure10 import (
+    figure10_delay_table,
+    figure10_voltage_table,
+    figure10_report,
+)
+from repro.experiments.figure11 import figure11_comparison
+from repro.experiments.figure13 import figure13_sweep
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "figure05_envelope",
+    "figure10_delay_table",
+    "figure10_voltage_table",
+    "figure10_report",
+    "figure11_comparison",
+    "figure13_sweep",
+    "run_all",
+]

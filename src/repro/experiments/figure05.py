@@ -1,0 +1,87 @@
+"""Reproduce Figure 5: the qualitative form of the bounds.
+
+Figure 5 of the paper is a sketch: the exact step response, sandwiched by the
+upper and lower envelopes, with the gap exaggerated for clarity.  The
+quantitative content behind the sketch is a set of structural facts that this
+module checks and reports for any network:
+
+* both envelopes start at the exact value (0) at ``t = 0`` -- more precisely
+  the lower bound is 0 there and the upper bound equals ``1 - T_De/T_P``;
+* both envelopes approach 1 as ``t`` grows;
+* the envelopes never cross (``v_min(t) <= v_max(t)`` everywhere);
+* the exact response lies between them at every sampled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bounds import BoundedResponse
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times
+from repro.core.tree import RCTree
+from repro.simulate.state_space import exact_step_response
+
+
+@dataclass(frozen=True)
+class Figure05Envelope:
+    """Sampled envelope data plus the structural checks behind Fig. 5."""
+
+    times: np.ndarray
+    vmin: np.ndarray
+    vmax: np.ndarray
+    exact: Optional[np.ndarray]
+
+    @property
+    def envelopes_ordered(self) -> bool:
+        """True when ``v_min <= v_max`` at every sample."""
+        return bool(np.all(self.vmin <= self.vmax + 1e-12))
+
+    @property
+    def exact_inside(self) -> bool:
+        """True when the exact response stays inside the envelope (when available)."""
+        if self.exact is None:
+            return True
+        return bool(
+            np.all(self.exact >= self.vmin - 1e-9) and np.all(self.exact <= self.vmax + 1e-9)
+        )
+
+    @property
+    def upper_start(self) -> float:
+        """Value of the upper envelope at ``t = 0`` (should be ``1 - T_De/T_P``)."""
+        return float(self.vmax[0])
+
+    @property
+    def approaches_one(self) -> bool:
+        """True when both envelopes are within 2% of 1 at the last sample."""
+        return bool(self.vmin[-1] > 0.98 and self.vmax[-1] > 0.98)
+
+
+def figure05_envelope(
+    tree: Optional[RCTree] = None,
+    output: Optional[str] = None,
+    *,
+    points: int = 300,
+    horizon_in_tp: float = 12.0,
+    include_exact: bool = True,
+    segments_per_line: int = 30,
+) -> Figure05Envelope:
+    """Sample the bound envelopes (and optionally the exact response) of a network.
+
+    Defaults to the paper's Figure 7 network and its ``out`` node.
+    """
+    tree = tree if tree is not None else figure7_tree()
+    output = output or (tree.outputs[0] if tree.outputs else tree.leaves()[-1])
+    times = characteristic_times(tree, output)
+    bounded = BoundedResponse(times)
+    grid = np.linspace(0.0, horizon_in_tp * times.tp, int(points))
+    vmin = np.asarray(bounded.vmin(grid), dtype=float)
+    vmax = np.asarray(bounded.vmax(grid), dtype=float)
+    exact = None
+    if include_exact:
+        response = exact_step_response(tree, segments_per_line=segments_per_line)
+        exact = np.asarray(response.voltage(output, grid), dtype=float)
+    return Figure05Envelope(times=grid, vmin=vmin, vmax=vmax, exact=exact)

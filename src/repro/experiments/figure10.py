@@ -1,0 +1,98 @@
+"""Reproduce Figure 10: the numeric bound tables for the Figure 7 network.
+
+The paper's APL session defines the example network of Figure 7, then prints
+
+* ``TMIN`` / ``TMAX`` for thresholds 0.1 ... 0.9, and
+* ``VMIN`` / ``VMAX`` for times 20 ... 2000,
+
+and the same numbers are produced here from the expression of eq. (18),
+through the two-port algebra, through the bound formulas -- the full pipeline
+of Section IV.  The reference values printed in the paper are stored in
+:mod:`repro.core.networks` and compared against by the tests; the benchmark
+``bench_fig10_delay_table.py`` regenerates the rows and reports agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.algebra.expression import figure7_expression
+from repro.core.bounds import delay_bound_table, voltage_bound_table
+from repro.core.networks import FIGURE10_DELAY_ROWS, FIGURE10_VOLTAGE_ROWS
+from repro.core.timeconstants import CharacteristicTimes
+from repro.utils.tables import Table
+
+#: Threshold sweep used by the paper's delay table.
+PAPER_THRESHOLDS = tuple(round(0.1 * i, 1) for i in range(1, 10))
+#: Time sweep used by the paper's voltage table (the paper's units).
+PAPER_TIMES = (20.0, 40.0, 60.0, 80.0, 100.0, 200.0, 300.0, 400.0, 500.0, 1000.0, 2000.0)
+
+
+def figure7_times() -> CharacteristicTimes:
+    """Characteristic times of the Figure 7 network, via the eq. (18) expression."""
+    return figure7_expression().to_twoport().characteristic_times("out")
+
+
+def figure10_delay_table(
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+) -> List[Tuple[float, float, float]]:
+    """Rows ``(threshold, t_min, t_max)`` of the Fig. 10 delay table."""
+    return delay_bound_table(figure7_times(), thresholds)
+
+
+def figure10_voltage_table(
+    times: Sequence[float] = PAPER_TIMES,
+) -> List[Tuple[float, float, float]]:
+    """Rows ``(time, v_min, v_max)`` of the Fig. 10 voltage table."""
+    return voltage_bound_table(figure7_times(), times)
+
+
+@dataclass(frozen=True)
+class Figure10Report:
+    """Both regenerated tables plus the paper's printed values for comparison."""
+
+    delay_rows: List[Tuple[float, float, float]]
+    voltage_rows: List[Tuple[float, float, float]]
+    paper_delay_rows: List[Tuple[float, float, float]]
+    paper_voltage_rows: List[Tuple[float, float, float]]
+
+    def max_relative_error(self) -> float:
+        """Largest relative deviation from the paper's printed numbers."""
+        worst = 0.0
+        for ours, paper in zip(self.delay_rows + self.voltage_rows,
+                               self.paper_delay_rows + self.paper_voltage_rows):
+            for mine, reference in zip(ours[1:], paper[1:]):
+                if reference == 0.0:
+                    worst = max(worst, abs(mine))
+                else:
+                    worst = max(worst, abs(mine - reference) / abs(reference))
+        return worst
+
+    def render(self) -> str:
+        """Both tables formatted side by side with the paper's numbers."""
+        delay = Table(
+            headers=["V", "TMIN (ours)", "TMAX (ours)", "TMIN (paper)", "TMAX (paper)"],
+            precision=5,
+            title="Figure 10 -- delay bounds for the Figure 7 network",
+        )
+        for ours, paper in zip(self.delay_rows, self.paper_delay_rows):
+            delay.add_row([ours[0], ours[1], ours[2], paper[1], paper[2]])
+        voltage = Table(
+            headers=["T", "VMIN (ours)", "VMAX (ours)", "VMIN (paper)", "VMAX (paper)"],
+            precision=5,
+            title="Figure 10 -- voltage bounds for the Figure 7 network",
+        )
+        for ours, paper in zip(self.voltage_rows, self.paper_voltage_rows):
+            voltage.add_row([ours[0], ours[1], ours[2], paper[1], paper[2]])
+        return delay.render() + "\n\n" + voltage.render()
+
+
+def figure10_report() -> Figure10Report:
+    """Regenerate both Fig. 10 tables and pair them with the paper's values."""
+    return Figure10Report(
+        delay_rows=figure10_delay_table(),
+        voltage_rows=figure10_voltage_table(),
+        paper_delay_rows=list(FIGURE10_DELAY_ROWS),
+        paper_voltage_rows=list(FIGURE10_VOLTAGE_ROWS),
+    )

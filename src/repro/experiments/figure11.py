@@ -1,0 +1,98 @@
+"""Reproduce Figure 11: bound envelopes versus the exact simulated response.
+
+The paper overlays the VMIN/VMAX envelopes of Figure 10 with "the exact
+solution, found from circuit simulation" over roughly 0-600 time units.  Here
+the exact solution comes from the internal state-space simulator (the Figure
+7 network's distributed line lumped into many sections), and the comparison
+reports
+
+* the largest bound violation (should be none, up to lumping error),
+* the exact 0.5 / 0.9 crossing times next to the delay bounds, and
+* the average envelope width (how tight the bounds are for this network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BoundedResponse
+from repro.core.networks import figure7_tree
+from repro.experiments.figure10 import figure7_times
+from repro.simulate.compare import BoundsCheck, bounds_violations
+from repro.simulate.state_space import exact_step_response
+from repro.simulate.waveform import Waveform
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class Figure11Comparison:
+    """The regenerated Fig. 11 data."""
+
+    times: np.ndarray
+    vmin: np.ndarray
+    vmax: np.ndarray
+    exact: np.ndarray
+    check: BoundsCheck
+    crossings: List[Tuple[float, float, float, float]]  # threshold, tmin, exact, tmax
+
+    @property
+    def mean_envelope_width(self) -> float:
+        """Average ``v_max - v_min`` over the sampled window."""
+        return float(np.mean(self.vmax - self.vmin))
+
+    def render(self) -> str:
+        """Text summary standing in for the Fig. 11 plot."""
+        table = Table(
+            headers=["threshold", "t_min (bound)", "t_exact (sim)", "t_max (bound)"],
+            precision=5,
+            title="Figure 11 -- exact crossings versus delay bounds",
+        )
+        for row in self.crossings:
+            table.add_row(row)
+        summary = [
+            table.render(),
+            "",
+            f"samples checked          : {self.check.samples}",
+            f"worst lower-bound escape : {self.check.worst_lower_violation:.3e}",
+            f"worst upper-bound escape : {self.check.worst_upper_violation:.3e}",
+            f"mean envelope width      : {self.mean_envelope_width:.4f}",
+        ]
+        return "\n".join(summary)
+
+
+def figure11_comparison(
+    t_end: float = 600.0,
+    points: int = 400,
+    thresholds: Sequence[float] = (0.2, 0.5, 0.7, 0.9),
+    *,
+    segments_per_line: int = 50,
+) -> Figure11Comparison:
+    """Regenerate the Fig. 11 comparison for the Figure 7 network."""
+    tree = figure7_tree()
+    times = figure7_times()
+    bounded = BoundedResponse(times)
+    response = exact_step_response(tree, segments_per_line=segments_per_line)
+
+    grid = np.linspace(0.0, float(t_end), int(points))
+    exact = np.asarray(response.voltage("out", grid), dtype=float)
+    vmin = np.asarray(bounded.vmin(grid), dtype=float)
+    vmax = np.asarray(bounded.vmax(grid), dtype=float)
+    check = bounds_violations(Waveform(grid, exact), bounded)
+
+    crossings = []
+    for threshold in thresholds:
+        crossings.append(
+            (
+                float(threshold),
+                float(bounded.tmin(threshold)),
+                response.delay("out", float(threshold)),
+                float(bounded.tmax(threshold)),
+            )
+        )
+
+    return Figure11Comparison(
+        times=grid, vmin=vmin, vmax=vmax, exact=exact, check=check, crossings=crossings
+    )

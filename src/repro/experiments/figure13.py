@@ -1,0 +1,85 @@
+"""Reproduce Figure 13: PLA line delay bounds versus minterm count.
+
+The paper sweeps the number of minterms from 2 to 100, evaluates the bounds
+at a 0.7 threshold and plots both bounds on a log-log scale; the visible
+conclusions are (a) delay grows quadratically with line length and (b) even
+at 100 minterms the guaranteed delay is about 10 ns, so the PLA's dominant
+delay is elsewhere.  This module regenerates the sweep and quantifies both
+conclusions: the fitted log-log slope (should approach 2 for long lines) and
+the 100-minterm upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.apps.pla import PLASweepRow, pla_delay_sweep
+from repro.utils.tables import Table
+
+#: Minterm counts sampled in the regenerated sweep (the paper's axis runs 2..100).
+PAPER_MINTERM_COUNTS = (2, 4, 6, 10, 16, 20, 30, 40, 60, 80, 100)
+
+
+@dataclass(frozen=True)
+class Figure13Sweep:
+    """The regenerated Fig. 13 data and its headline statistics."""
+
+    rows: List[PLASweepRow]
+    threshold: float
+
+    @property
+    def upper_bound_at_100_ns(self) -> float:
+        """Guaranteed delay (ns) of the 100-minterm line -- the paper's '10 ns' claim."""
+        for row in self.rows:
+            if row.minterms == 100:
+                return row.t_upper_ns
+        raise ValueError("the sweep does not include 100 minterms")
+
+    def loglog_slope(self, *, bound: str = "upper", tail: int = 4) -> float:
+        """Least-squares slope of log(delay) vs log(minterms) over the last ``tail`` points.
+
+        The paper highlights the quadratic dependence of delay on line length;
+        for large minterm counts the slope approaches 2.
+        """
+        if bound not in ("upper", "lower"):
+            raise ValueError("bound must be 'upper' or 'lower'")
+        rows = self.rows[-tail:]
+        xs = [math.log(row.minterms) for row in rows]
+        ys = [
+            math.log(row.t_upper if bound == "upper" else row.t_lower) for row in rows
+        ]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        denominator = sum((x - mean_x) ** 2 for x in xs)
+        return numerator / denominator
+
+    def render(self) -> str:
+        """Text table standing in for the log-log plot."""
+        table = Table(
+            headers=["minterms", "t_min (ns)", "t_max (ns)"],
+            precision=4,
+            title=f"Figure 13 -- PLA line delay bounds at threshold {self.threshold:g}",
+        )
+        for row in self.rows:
+            table.add_row([row.minterms, row.t_lower_ns, row.t_upper_ns])
+        extra = [
+            table.render(),
+            "",
+            f"upper bound at 100 minterms : {self.upper_bound_at_100_ns:.2f} ns "
+            "(paper: guaranteed no worse than ~10 ns)",
+            f"log-log slope (upper bound) : {self.loglog_slope():.2f} "
+            "(paper: quadratic dependence, slope -> 2)",
+        ]
+        return "\n".join(extra)
+
+
+def figure13_sweep(
+    minterm_counts: Sequence[int] = PAPER_MINTERM_COUNTS, threshold: float = 0.7
+) -> Figure13Sweep:
+    """Regenerate the Fig. 13 sweep."""
+    rows = pla_delay_sweep(minterm_counts, threshold)
+    return Figure13Sweep(rows=rows, threshold=threshold)

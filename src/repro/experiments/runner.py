@@ -1,0 +1,128 @@
+"""Run every experiment and print the regenerated tables.
+
+``python -m repro.experiments`` (or :func:`run_all` from code) reproduces the
+paper's Figures 5, 10, 11 and 13 in sequence and prints the comparison
+against the paper's published numbers.  The same entry point backs the
+``rctree-bounds experiments`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.figure05 import figure05_envelope
+from repro.experiments.figure10 import figure10_report
+from repro.experiments.figure11 import figure11_comparison
+from repro.experiments.figure13 import figure13_sweep
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's identifier, rendered report, and pass/fail status."""
+
+    experiment: str
+    description: str
+    passed: bool
+    report: str
+
+
+def _run_figure05() -> ExperimentResult:
+    envelope = figure05_envelope()
+    passed = (
+        envelope.envelopes_ordered and envelope.exact_inside and envelope.approaches_one
+    )
+    report = (
+        f"envelopes ordered: {envelope.envelopes_ordered}; "
+        f"exact inside envelope: {envelope.exact_inside}; "
+        f"upper bound at t=0: {envelope.upper_start:.4f}; "
+        f"both envelopes -> 1: {envelope.approaches_one}"
+    )
+    return ExperimentResult(
+        experiment="figure05",
+        description="qualitative form of the bounds (Fig. 5)",
+        passed=passed,
+        report=report,
+    )
+
+
+def _run_figure10() -> ExperimentResult:
+    report = figure10_report()
+    error = report.max_relative_error()
+    return ExperimentResult(
+        experiment="figure10",
+        description="delay and voltage bound tables (Fig. 10)",
+        passed=error < 5e-4,
+        report=report.render() + f"\n\nmax relative deviation from the paper: {error:.2e}",
+    )
+
+
+def _run_figure11() -> ExperimentResult:
+    comparison = figure11_comparison()
+    passed = comparison.check.within(5e-3)
+    return ExperimentResult(
+        experiment="figure11",
+        description="bounds versus exact simulation (Fig. 11)",
+        passed=passed,
+        report=comparison.render(),
+    )
+
+
+def _run_figure13() -> ExperimentResult:
+    sweep = figure13_sweep()
+    slope = sweep.loglog_slope()
+    at_100 = sweep.upper_bound_at_100_ns
+    passed = 1.5 <= slope <= 2.2 and 8.0 <= at_100 <= 12.0
+    return ExperimentResult(
+        experiment="figure13",
+        description="PLA delay versus minterm count (Fig. 13)",
+        passed=passed,
+        report=sweep.render(),
+    )
+
+
+#: Registry of experiment runners, keyed by experiment id.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure05": _run_figure05,
+    "figure10": _run_figure10,
+    "figure11": _run_figure11,
+    "figure13": _run_figure13,
+}
+
+
+def run_all(names: Tuple[str, ...] = ()) -> List[ExperimentResult]:
+    """Run the selected experiments (all of them by default)."""
+    selected = names or tuple(EXPERIMENTS)
+    results = []
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+        results.append(EXPERIMENTS[name]())
+    return results
+
+
+def main(argv=None) -> int:
+    """Command-line entry point: run and print every experiment."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Reproduce the paper's figures and tables.")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    results = run_all(tuple(args.experiments))
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        print(f"=== {result.experiment}: {result.description} [{status}] ===")
+        print(result.report)
+        print()
+        if not result.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

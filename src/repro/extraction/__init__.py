@@ -1,0 +1,37 @@
+"""Parasitic-extraction substrate: from wire geometry to an RC tree.
+
+The paper's Figure 1 -> Figure 2 step -- replacing an MOS signal-distribution
+network by a linear RC model -- is performed by hand in the paper.  This
+subpackage automates it:
+
+* :mod:`repro.extraction.technology` describes a fabrication process (sheet
+  resistances, oxide thicknesses, feature size) and converts geometry into
+  ohms and farads.  The 4-micron NMOS process of Section V ships as
+  :data:`repro.extraction.technology.PAPER_NMOS_4UM`.
+* :mod:`repro.extraction.geometry` describes routing as wire segments, vias /
+  contacts and gate loads attached to named points.
+* :mod:`repro.extraction.extractor` walks a routed net and emits the
+  corresponding :class:`~repro.core.tree.RCTree`.
+"""
+
+from repro.extraction.technology import (
+    Technology,
+    Layer,
+    PAPER_NMOS_4UM,
+    GENERIC_1UM_CMOS,
+)
+from repro.extraction.geometry import WireSegment, Contact, GateLoad, RoutedNet
+from repro.extraction.extractor import extract_net, extract_wire_chain
+
+__all__ = [
+    "Technology",
+    "Layer",
+    "PAPER_NMOS_4UM",
+    "GENERIC_1UM_CMOS",
+    "WireSegment",
+    "Contact",
+    "GateLoad",
+    "RoutedNet",
+    "extract_net",
+    "extract_wire_chain",
+]

@@ -1,0 +1,129 @@
+"""Turn routed-net geometry into an RC tree (the Figure 1 -> Figure 2 step).
+
+Rules applied, matching the modelling choices spelled out in the paper's
+introduction:
+
+* every wire segment becomes a distributed URC line with resistance and
+  capacitance from the :class:`~repro.extraction.technology.Technology`
+  (metal segments have so little resistance that they may optionally be
+  collapsed to pure capacitance, which is exactly what the paper does for
+  its metal line -- "the resistance of the metal line is neglected, but its
+  parasitic capacitance remains");
+* every contact cut adds lumped capacitance at its point;
+* every gate load becomes a (possibly zero-ohm) series resistor into a node
+  carrying the thin-oxide gate capacitance, and that node is marked as an
+  output (gates are what the signal ultimately has to reach);
+* a driver model, when given, prepends the pull-up resistance and the driver
+  output capacitance in front of the whole net.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tree import RCTree
+from repro.extraction.geometry import RoutedNet
+from repro.extraction.technology import Layer, Technology
+from repro.mos.drivers import DriverModel
+
+
+def extract_net(
+    net: RoutedNet,
+    technology: Technology,
+    *,
+    driver: Optional[DriverModel] = None,
+    neglect_metal_resistance: bool = True,
+    input_node: str = "in",
+) -> RCTree:
+    """Extract ``net`` into an :class:`RCTree` using ``technology``.
+
+    Parameters
+    ----------
+    net:
+        The routed-net geometry.
+    technology:
+        Process description supplying sheet resistances and oxide capacitances.
+    driver:
+        Optional driver model; when given, the tree's input is the ideal
+        source behind the driver's pull-up resistance, and the driver's
+        output capacitance is placed at the net's driver point.
+    neglect_metal_resistance:
+        Follow the paper and keep only the capacitance of metal segments.
+    input_node:
+        Name of the tree's input node.
+    """
+    net.validate()
+    tree = RCTree(input_node)
+
+    # Map net points onto tree nodes.  The driver point either *is* the input
+    # (no driver model) or hangs behind the pull-up resistance.
+    if driver is None:
+        point_node = {net.driver_point: input_node}
+    else:
+        driver_node = f"{net.name}.{net.driver_point}"
+        tree.add_resistor(input_node, driver_node, driver.effective_resistance)
+        if driver.output_capacitance:
+            tree.add_capacitor(driver_node, driver.output_capacitance)
+        point_node = {net.driver_point: driver_node}
+
+    for segment in net.segments:
+        parent = point_node[segment.start]
+        child = f"{net.name}.{segment.end}"
+        capacitance = technology.wire_capacitance(segment.layer, segment.length, segment.width)
+        if segment.layer is Layer.METAL and neglect_metal_resistance:
+            # Zero-resistance wire: same electrical node, capacitance folded in.
+            tree.add_capacitor(parent, capacitance)
+            point_node[segment.end] = parent
+            continue
+        resistance = technology.wire_resistance(segment.layer, segment.length, segment.width)
+        tree.add_line(parent, child, resistance, capacitance)
+        point_node[segment.end] = child
+
+    for contact in net.contacts:
+        node = point_node[contact.point]
+        tree.add_capacitor(node, contact.count * technology.contact_capacitance)
+
+    for position, load in enumerate(net.loads, start=1):
+        node = point_node[load.point]
+        gate_name = load.name or f"{net.name}.{load.point}_gate{position}"
+        gate_cap = technology.gate_capacitance(load.width, load.length)
+        if load.series_resistance > 0.0:
+            tree.add_resistor(node, gate_name, load.series_resistance)
+            tree.add_capacitor(gate_name, gate_cap)
+            tree.mark_output(gate_name)
+        else:
+            # Zero series resistance: the gate sits directly on the wire node.
+            tree.add_capacitor(node, gate_cap)
+            tree.mark_output(node)
+
+    return tree
+
+
+def extract_wire_chain(
+    name: str,
+    technology: Technology,
+    layer: Layer,
+    segment_lengths,
+    width: float,
+    *,
+    driver: Optional[DriverModel] = None,
+    load_capacitance: float = 0.0,
+) -> RCTree:
+    """Convenience extractor: a straight multi-segment wire with one far-end load.
+
+    Builds a :class:`RoutedNet` that is a simple chain of segments of the
+    given lengths and extracts it.  Useful for quick what-if estimates
+    ("how slow is 2 mm of poly?") without writing out geometry objects.
+    """
+    net = RoutedNet(name)
+    previous = net.driver_point
+    for index, length in enumerate(segment_lengths, start=1):
+        point = f"p{index}"
+        net.add_wire(previous, point, layer, length, width)
+        previous = point
+    tree = extract_net(net, technology, driver=driver)
+    far_node = f"{name}.{previous}" if previous != net.driver_point else tree.root
+    if load_capacitance:
+        tree.add_capacitor(far_node, load_capacitance)
+    tree.mark_output(far_node)
+    return tree

@@ -1,0 +1,186 @@
+"""Geometric description of a routed net.
+
+A :class:`RoutedNet` is a tree of named electrical points connected by
+:class:`WireSegment` pieces, decorated with :class:`Contact` cuts and
+:class:`GateLoad` transistor gates.  It is a deliberately small layout
+abstraction -- just enough to express the MOS signal-distribution networks of
+the paper's Figure 1 and the PLA lines of Section V -- that the extractor
+turns into an :class:`~repro.core.tree.RCTree`.
+
+The driver point of the net is its root; like the RC tree itself, the routing
+must be a tree (each point is reached by exactly one wire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import DuplicateNodeError, TopologyError, UnknownNodeError
+from repro.extraction.technology import Layer
+from repro.utils.checks import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """A straight piece of routing between two named points.
+
+    Attributes
+    ----------
+    start, end:
+        Names of the electrical points the segment connects.
+    layer:
+        Routing layer (determines sheet resistance and oxide capacitance).
+    length, width:
+        Drawn dimensions in metres.
+    """
+
+    start: str
+    end: str
+    layer: Layer
+    length: float
+    width: float
+
+    def __post_init__(self):
+        require_positive("length", self.length)
+        require_positive("width", self.width)
+
+
+@dataclass(frozen=True)
+class Contact:
+    """A contact cut / via at a point (adds lumped capacitance)."""
+
+    point: str
+    count: int = 1
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("contact count must be >= 1")
+
+
+@dataclass(frozen=True)
+class GateLoad:
+    """An MOS gate input attached at a point.
+
+    Attributes
+    ----------
+    point:
+        Electrical point the gate hangs from.
+    width, length:
+        Drawn gate dimensions in metres.
+    series_resistance:
+        Resistance between the routing point and the gate proper (the poly
+        finger); the paper's PLA model uses 30 ohm here.
+    name:
+        Optional instance name; defaults to ``"<point>_gate<i>"`` when the
+        net is extracted.
+    """
+
+    point: str
+    width: float
+    length: float
+    series_resistance: float = 0.0
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        require_positive("width", self.width)
+        require_positive("length", self.length)
+        require_non_negative("series_resistance", self.series_resistance)
+
+
+class RoutedNet:
+    """A routed signal net: a driver point, wires, contacts and gate loads."""
+
+    def __init__(self, name: str, driver_point: str = "drv"):
+        self.name = name
+        self.driver_point = driver_point
+        self._points: List[str] = [driver_point]
+        self._segments: List[WireSegment] = []
+        self._contacts: List[Contact] = []
+        self._loads: List[GateLoad] = []
+        self._parent: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> List[str]:
+        """All electrical point names, driver first."""
+        return list(self._points)
+
+    @property
+    def segments(self) -> List[WireSegment]:
+        """All wire segments, in insertion order."""
+        return list(self._segments)
+
+    @property
+    def contacts(self) -> List[Contact]:
+        """All contact cuts."""
+        return list(self._contacts)
+
+    @property
+    def loads(self) -> List[GateLoad]:
+        """All gate loads."""
+        return list(self._loads)
+
+    def add_wire(
+        self, start: str, end: str, layer: Layer, length: float, width: float
+    ) -> WireSegment:
+        """Route a wire from an existing point ``start`` to a new point ``end``."""
+        if start not in self._points:
+            raise UnknownNodeError(start)
+        if end in self._points:
+            raise DuplicateNodeError(end)
+        segment = WireSegment(start, end, layer, length, width)
+        self._segments.append(segment)
+        self._points.append(end)
+        self._parent[end] = start
+        return segment
+
+    def add_contact(self, point: str, count: int = 1) -> Contact:
+        """Add ``count`` contact cuts at ``point``."""
+        if point not in self._points:
+            raise UnknownNodeError(point)
+        contact = Contact(point, count)
+        self._contacts.append(contact)
+        return contact
+
+    def add_gate(
+        self,
+        point: str,
+        width: float,
+        length: float,
+        *,
+        series_resistance: float = 0.0,
+        name: Optional[str] = None,
+    ) -> GateLoad:
+        """Attach an MOS gate load at ``point``."""
+        if point not in self._points:
+            raise UnknownNodeError(point)
+        load = GateLoad(point, width, length, series_resistance, name)
+        self._loads.append(load)
+        return load
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that the routing forms a tree rooted at the driver point."""
+        reachable = {self.driver_point}
+        for segment in self._segments:
+            if segment.start not in reachable:
+                raise TopologyError(
+                    f"wire {segment.start!r} -> {segment.end!r} starts at an unrouted point"
+                )
+            reachable.add(segment.end)
+        missing = [p for p in self._points if p not in reachable]
+        if missing:
+            raise TopologyError(f"points {missing!r} are not connected to the driver")
+
+    def total_wire_length(self) -> float:
+        """Total routed length (metres), a common congestion metric."""
+        return sum(segment.length for segment in self._segments)
+
+    def fanout(self) -> int:
+        """Number of gate loads on the net."""
+        return len(self._loads)

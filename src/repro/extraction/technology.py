@@ -1,0 +1,180 @@
+"""Process technology descriptions used for parasitic extraction.
+
+A :class:`Technology` converts drawn geometry (lengths, widths, areas) into
+electrical parasitics (ohms, farads) using sheet resistances and oxide
+capacitances.  Two ready-made processes are provided:
+
+* :data:`PAPER_NMOS_4UM` -- the 4-micron NMOS process of the paper's
+  Section V (30 ohm/sq polysilicon, 400 A gate oxide, 3000 A field oxide).
+  From these numbers the class derives the paper's own element values:
+  roughly 180 ohm and 0.01 pF per 24-micron poly segment, 30 ohm and
+  0.013 pF per 4x4 micron gate.
+* :data:`GENERIC_1UM_CMOS` -- a generic scaled process useful for the
+  clock-tree and bus examples (values are representative, not tied to any
+  foundry).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.exceptions import ElementValueError
+from repro.utils.checks import require_positive
+
+#: Permittivity of free space, F/m.
+EPSILON_0 = 8.854e-12
+#: Relative permittivity of silicon dioxide.
+EPSILON_SIO2 = 3.9
+
+
+class Layer(enum.Enum):
+    """Interconnect layers distinguished by the extractor."""
+
+    POLY = "poly"
+    METAL = "metal"
+    DIFFUSION = "diffusion"
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical description of a fabrication process.
+
+    All geometric quantities are in metres, resistances in ohm/square and
+    capacitances derived from oxide thicknesses in farads.
+
+    Attributes
+    ----------
+    name:
+        Human-readable process name.
+    feature_size:
+        Minimum drawn feature (transistor length, minimum wire width), metres.
+    sheet_resistance:
+        Ohm/square per :class:`Layer`.
+    gate_oxide_thickness:
+        Thin (gate) oxide thickness, metres.
+    field_oxide_thickness:
+        Thick (field) oxide under routing, metres.
+    fringe_capacitance_per_length:
+        Extra sidewall/fringe capacitance per metre of wire edge (F/m); kept
+        at 0 for the paper's process, which used pure parallel-plate numbers.
+    contact_capacitance:
+        Capacitance added per contact cut, farads.
+    """
+
+    name: str
+    feature_size: float
+    sheet_resistance: Dict[Layer, float]
+    gate_oxide_thickness: float
+    field_oxide_thickness: float
+    fringe_capacitance_per_length: float = 0.0
+    contact_capacitance: float = 0.0
+
+    def __post_init__(self):
+        require_positive("feature_size", self.feature_size)
+        require_positive("gate_oxide_thickness", self.gate_oxide_thickness)
+        require_positive("field_oxide_thickness", self.field_oxide_thickness)
+        for layer in Layer:
+            if layer not in self.sheet_resistance:
+                raise ElementValueError(f"sheet_resistance missing for layer {layer.value!r}")
+
+    # ------------------------------------------------------------------
+    # Areal capacitances
+    # ------------------------------------------------------------------
+    @property
+    def gate_capacitance_per_area(self) -> float:
+        """Thin-oxide (gate) capacitance per unit area, F/m^2."""
+        return EPSILON_0 * EPSILON_SIO2 / self.gate_oxide_thickness
+
+    @property
+    def field_capacitance_per_area(self) -> float:
+        """Field-oxide (routing) capacitance per unit area, F/m^2."""
+        return EPSILON_0 * EPSILON_SIO2 / self.field_oxide_thickness
+
+    # ------------------------------------------------------------------
+    # Wires
+    # ------------------------------------------------------------------
+    def wire_resistance(self, layer: Layer, length: float, width: float) -> float:
+        """Series resistance of a wire segment: ``rho_sheet * length / width``."""
+        require_positive("length", length)
+        require_positive("width", width)
+        return self.sheet_resistance[layer] * length / width
+
+    def wire_capacitance(self, layer: Layer, length: float, width: float) -> float:
+        """Ground capacitance of a wire segment over field oxide.
+
+        Metal and poly routing both sit on field oxide; diffusion capacitance
+        is dominated by the junction, approximated here with the same areal
+        value (adequate for delay estimation, and the paper does the same).
+        """
+        require_positive("length", length)
+        require_positive("width", width)
+        area = length * width
+        plate = self.field_capacitance_per_area * area
+        fringe = self.fringe_capacitance_per_length * 2.0 * length
+        return plate + fringe
+
+    # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+    def gate_capacitance(self, width: float, length: float) -> float:
+        """Input capacitance of an MOS gate of drawn ``width`` x ``length``."""
+        require_positive("width", width)
+        require_positive("length", length)
+        return self.gate_capacitance_per_area * width * length
+
+    def gate_resistance(self, width: float, length: float) -> float:
+        """Series resistance of the poly gate finger itself (ohm)."""
+        require_positive("width", width)
+        require_positive("length", length)
+        return self.sheet_resistance[Layer.POLY] * width / length
+
+    def minimum_gate_capacitance(self) -> float:
+        """Capacitance of a minimum-size (feature x feature) gate."""
+        return self.gate_capacitance(self.feature_size, self.feature_size)
+
+    def describe(self) -> str:
+        """Multi-line summary of the derived electrical constants."""
+        micron = 1e-6
+        seg = 24 * micron
+        lines = [
+            f"Technology {self.name!r}: feature size {self.feature_size / micron:g} um",
+            f"  poly sheet resistance : {self.sheet_resistance[Layer.POLY]:g} ohm/sq",
+            f"  metal sheet resistance: {self.sheet_resistance[Layer.METAL]:g} ohm/sq",
+            f"  gate oxide capacitance: {self.gate_capacitance_per_area * 1e3:.3g} fF/um^2",
+            f"  field oxide capacitance: {self.field_capacitance_per_area * 1e3:.3g} fF/um^2",
+            f"  (poly wire, {seg / micron:g} um x {self.feature_size / micron:g} um: "
+            f"{self.wire_resistance(Layer.POLY, seg, self.feature_size):.3g} ohm, "
+            f"{self.wire_capacitance(Layer.POLY, seg, self.feature_size) * 1e12:.3g} pF)",
+        ]
+        return "\n".join(lines)
+
+
+#: The 4-micron NMOS process of the paper's Section V.
+PAPER_NMOS_4UM = Technology(
+    name="paper-nmos-4um",
+    feature_size=4e-6,
+    sheet_resistance={
+        Layer.POLY: 30.0,
+        Layer.METAL: 0.05,
+        Layer.DIFFUSION: 10.0,
+    },
+    gate_oxide_thickness=400e-10,
+    field_oxide_thickness=3000e-10,
+)
+
+#: A representative 1-micron CMOS process for the non-paper examples.
+GENERIC_1UM_CMOS = Technology(
+    name="generic-1um-cmos",
+    feature_size=1e-6,
+    sheet_resistance={
+        Layer.POLY: 20.0,
+        Layer.METAL: 0.07,
+        Layer.DIFFUSION: 25.0,
+    },
+    gate_oxide_thickness=200e-10,
+    field_oxide_thickness=6000e-10,
+    fringe_capacitance_per_length=0.04e-15 / 1e-6,  # 0.04 fF per micron of edge
+    contact_capacitance=0.5e-15,
+)

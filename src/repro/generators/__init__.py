@@ -1,0 +1,17 @@
+"""Synthetic RC-tree generators for tests and benchmarks."""
+
+from repro.generators.random_trees import (
+    RandomTreeConfig,
+    random_tree,
+    random_trees,
+    random_chain,
+    random_balanced_tree,
+)
+
+__all__ = [
+    "RandomTreeConfig",
+    "random_tree",
+    "random_trees",
+    "random_chain",
+    "random_balanced_tree",
+]

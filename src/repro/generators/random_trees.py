@@ -1,0 +1,139 @@
+"""Random RC-tree generation.
+
+Property-based tests and scaling benchmarks need a supply of RC trees with
+controllable size, shape (chain-like versus bushy), element value ranges and
+distributed-line content.  Everything here is driven by an explicit
+``random.Random`` seed so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.tree import RCTree
+from repro.utils.checks import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class RandomTreeConfig:
+    """Knobs controlling :func:`random_tree`.
+
+    Attributes
+    ----------
+    nodes:
+        Number of nodes to create in addition to the input.
+    branching_bias:
+        0 gives a pure chain (every new node attaches to the previous one);
+        1 attaches every new node to a uniformly random existing node
+        (bushy, shallow trees); intermediate values interpolate.
+    distributed_fraction:
+        Probability that an edge is a distributed URC line rather than a
+        lumped resistor.
+    capacitor_fraction:
+        Probability that a node carries lumped capacitance.
+    resistance_range, capacitance_range:
+        Value ranges (uniform) for element values.
+    mark_leaves_as_outputs:
+        Mark every leaf as an output (the common situation: loads are leaves).
+    """
+
+    nodes: int = 30
+    branching_bias: float = 0.5
+    distributed_fraction: float = 0.3
+    capacitor_fraction: float = 0.8
+    resistance_range: tuple = (1.0, 1000.0)
+    capacitance_range: tuple = (1e-15, 1e-12)
+    mark_leaves_as_outputs: bool = True
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        require_non_negative("branching_bias", self.branching_bias)
+        require_non_negative("distributed_fraction", self.distributed_fraction)
+        require_non_negative("capacitor_fraction", self.capacitor_fraction)
+        require_positive("resistance_range lower bound", self.resistance_range[0])
+        require_positive("capacitance_range lower bound", self.capacitance_range[0])
+
+
+def random_tree(seed: int = 0, config: Optional[RandomTreeConfig] = None) -> RCTree:
+    """Generate one random RC tree.
+
+    The tree always has at least one capacitor (so the bound formulas are
+    well defined) and every edge has positive resistance (so the tree can be
+    simulated directly).
+    """
+    config = config or RandomTreeConfig()
+    rng = random.Random(seed)
+    tree = RCTree("in")
+    attachable: List[str] = ["in"]
+
+    for index in range(1, config.nodes + 1):
+        name = f"n{index}"
+        if rng.random() < config.branching_bias:
+            parent = rng.choice(attachable)
+        else:
+            parent = attachable[-1]
+        resistance = rng.uniform(*config.resistance_range)
+        if rng.random() < config.distributed_fraction:
+            capacitance = rng.uniform(*config.capacitance_range)
+            tree.add_line(parent, name, resistance, capacitance)
+        else:
+            tree.add_resistor(parent, name, resistance)
+        if rng.random() < config.capacitor_fraction:
+            tree.add_capacitor(name, rng.uniform(*config.capacitance_range))
+        attachable.append(name)
+
+    if tree.total_capacitance <= 0.0:
+        # Guarantee at least one capacitor so analyses are well defined.
+        tree.add_capacitor(attachable[-1], rng.uniform(*config.capacitance_range))
+
+    if config.mark_leaves_as_outputs:
+        for leaf in tree.leaves():
+            tree.mark_output(leaf)
+    else:
+        tree.mark_output(attachable[-1])
+    return tree
+
+
+def random_trees(count: int, seed: int = 0, config: Optional[RandomTreeConfig] = None) -> Iterator[RCTree]:
+    """Yield ``count`` random trees with consecutive seeds."""
+    for offset in range(count):
+        yield random_tree(seed + offset, config)
+
+
+def random_chain(nodes: int, seed: int = 0) -> RCTree:
+    """A random RC chain (no branching) of ``nodes`` sections."""
+    config = RandomTreeConfig(nodes=nodes, branching_bias=0.0)
+    return random_tree(seed, config)
+
+
+def random_balanced_tree(depth: int, seed: int = 0, *, fanout: int = 2) -> RCTree:
+    """A complete ``fanout``-ary tree of the given depth with random element values.
+
+    Unlike :func:`random_tree` the *topology* is deterministic (a complete
+    tree); only element values are random.  Useful for clock-tree-shaped
+    benchmarks of a known size.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    rng = random.Random(seed)
+    tree = RCTree("in")
+    frontier = ["in"]
+    counter = 0
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                counter += 1
+                name = f"n{counter}"
+                tree.add_line(parent, name, rng.uniform(10.0, 500.0), rng.uniform(1e-15, 5e-13))
+                next_frontier.append(name)
+        frontier = next_frontier
+    for leaf in frontier:
+        tree.add_capacitor(leaf, rng.uniform(1e-15, 5e-14))
+        tree.mark_output(leaf)
+    return tree

@@ -1,0 +1,44 @@
+"""Higher-order moment analysis of RC trees.
+
+The paper's ``T_De`` is the *first* moment of the impulse response (Elmore's
+delay), and its closing section notes that "tighter bounds are also being
+looked for".  The direction the field actually took -- AWE, PRIMA and every
+moment-matching delay metric since -- starts from the higher-order moments of
+the same impulse response.  This subpackage provides:
+
+* :mod:`repro.moments.moments` -- all impulse-response moments of every node
+  up to a requested order, via the same O(N)-per-order tree recurrences used
+  by path-tracing moment engines (RICE-style);
+* :mod:`repro.moments.metrics` -- closed-form delay *estimates* built from
+  two or three moments (single dominant pole, the D2M metric, and a
+  two-pole / AWE-2 fit), together with helpers comparing them against the
+  exact response and against the paper's guaranteed bounds.
+
+Estimates are not bounds: they can err on either side.  The accompanying
+benchmark (``bench_ablation_delay_metrics.py``) quantifies how much accuracy
+each metric buys over the plain Elmore delay and what it gives up in
+guarantees relative to the Penfield-Rubinstein bounds.
+"""
+
+from repro.moments.moments import impulse_moments, transfer_moments
+from repro.moments.metrics import (
+    DelayEstimates,
+    delay_elmore_metric,
+    delay_single_pole,
+    delay_d2m,
+    delay_two_pole,
+    two_pole_step_response,
+    estimate_all,
+)
+
+__all__ = [
+    "impulse_moments",
+    "transfer_moments",
+    "DelayEstimates",
+    "delay_elmore_metric",
+    "delay_single_pole",
+    "delay_d2m",
+    "delay_two_pole",
+    "two_pole_step_response",
+    "estimate_all",
+]

@@ -1,0 +1,120 @@
+"""Impulse-response moments of every node of an RC tree.
+
+Write the voltage transfer to node ``e`` as a power series in ``s``:
+
+.. math::
+
+    H_e(s) = \\frac{V_e(s)}{V_{in}(s)} = \\sum_{k \\ge 0} \\mu_k(e)\\, s^k,
+    \\qquad \\mu_0 = 1,\\; \\mu_1 = -T_{De}.
+
+The coefficients obey the classic tree recurrence
+
+.. math::
+
+    \\mu_k(e) = -\\sum_j R_{je} C_j\\, \\mu_{k-1}(j),
+
+i.e. each order is an "Elmore computation" whose capacitor weights are the
+previous order's moments.  One postorder + one preorder traversal therefore
+produce order ``k`` for *every* node in O(N), and ``order`` orders cost
+O(N * order) -- the same path-tracing scheme used by RICE-class moment
+engines.
+
+Distributed URC lines are lumped into pi sections before the recurrence (the
+first moment is preserved exactly by pi lumping; higher moments converge as
+the section count grows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.exceptions import UnknownNodeError
+from repro.core.tree import RCTree
+
+
+def transfer_moments(
+    tree: RCTree,
+    outputs: Optional[Iterable[str]] = None,
+    *,
+    order: int = 3,
+    segments_per_line: int = 20,
+) -> Dict[str, List[float]]:
+    """Series coefficients ``mu_0 .. mu_order`` of every requested output.
+
+    Parameters
+    ----------
+    outputs:
+        Nodes to report (defaults to the tree's marked outputs, or all nodes).
+    order:
+        Highest power of ``s`` to compute (``order >= 1``).
+    segments_per_line:
+        Pi-section count used to lump distributed lines first.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if outputs is None:
+        outputs = tree.outputs or tree.nodes
+    outputs = list(outputs)
+    for name in outputs:
+        if name not in tree:
+            raise UnknownNodeError(name)
+
+    has_lines = any(edge.is_distributed for edge in tree.edges)
+    working = tree.lumped(segments_per_line) if has_lines else tree
+
+    nodes = working.nodes
+    capacitance = {name: working.node_capacitance(name) for name in nodes}
+
+    # mu[k][node]; order 0 is identically 1.
+    mu: List[Dict[str, float]] = [{name: 1.0 for name in nodes}]
+
+    postorder = list(working.postorder())
+    preorder = list(working.preorder())
+
+    for k in range(1, order + 1):
+        previous = mu[k - 1]
+        weights = {name: capacitance[name] * previous[name] for name in nodes}
+
+        # Downstream weighted-capacitance sums (postorder accumulation).
+        downstream: Dict[str, float] = {}
+        for name in postorder:
+            total = weights[name]
+            for child in working.children_of(name):
+                total += downstream[child]
+            downstream[name] = total
+
+        # A(node) = sum_j R_{j,node} * w_j via the path recurrence (preorder).
+        accumulated: Dict[str, float] = {working.root: 0.0}
+        for name in preorder:
+            if name == working.root:
+                continue
+            edge = working.parent_edge(name)
+            accumulated[name] = accumulated[edge.parent] + edge.resistance * downstream[name]
+
+        mu.append({name: -accumulated[name] for name in nodes})
+
+    return {name: [mu[k][name] for k in range(order + 1)] for name in outputs}
+
+
+def impulse_moments(
+    tree: RCTree,
+    outputs: Optional[Iterable[str]] = None,
+    *,
+    order: int = 3,
+    segments_per_line: int = 20,
+) -> Dict[str, List[float]]:
+    """Raw impulse-response moments ``M_k = integral t^k h(t) dt`` per output.
+
+    Related to the series coefficients by ``M_k = (-1)^k k! mu_k``; in
+    particular ``M_0 = 1`` and ``M_1 = T_De`` (the Elmore delay).
+    """
+    series = transfer_moments(
+        tree, outputs, order=order, segments_per_line=segments_per_line
+    )
+    result = {}
+    for name, coefficients in series.items():
+        result[name] = [
+            ((-1) ** k) * math.factorial(k) * value for k, value in enumerate(coefficients)
+        ]
+    return result

@@ -1,0 +1,27 @@
+"""MOS driver and device models.
+
+The paper replaces the switching pull-up of an NMOS inverter by "a linear
+resistor", and its Section V PLA study assumes "a strong superbuffer driver"
+with 380 ohm of source resistance and 0.04 pF of output capacitance.  This
+subpackage provides those linearised driver models plus a simple square-law
+MOSFET effective-resistance estimator so examples can derive drive strengths
+from transistor geometry instead of hard-coding ohms.
+"""
+
+from repro.mos.devices import MOSDevice, DeviceType, effective_resistance
+from repro.mos.drivers import (
+    DriverModel,
+    inverter_driver,
+    superbuffer_driver,
+    PAPER_SUPERBUFFER,
+)
+
+__all__ = [
+    "MOSDevice",
+    "DeviceType",
+    "effective_resistance",
+    "DriverModel",
+    "inverter_driver",
+    "superbuffer_driver",
+    "PAPER_SUPERBUFFER",
+]

@@ -1,0 +1,79 @@
+"""Simple MOS device models: effective switching resistance from geometry.
+
+The bound theory treats the driving transistor as a linear resistor; what
+resistance to use is a modelling choice.  The standard first-order estimate
+averages the device current over the output transition, giving
+
+.. math::
+
+    R_\\mathrm{eff} \\approx \\frac{k}{(W/L)}
+
+with ``k`` a per-process constant (ohms for a square device).  That is the
+model provided here -- deliberately simple (the paper predates BSIM by a
+decade), but parameterised so examples can trade drive strength for area in
+a physically sensible way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.checks import require_positive
+
+
+class DeviceType(enum.Enum):
+    """Transistor families distinguished by the resistance estimator."""
+
+    NMOS_ENHANCEMENT = "nmos"
+    NMOS_DEPLETION = "depletion"  # the NMOS pull-up load of the paper's era
+    PMOS = "pmos"
+
+
+#: Effective resistance of a *square* (W = L) device, ohms, per device type.
+#: NMOS depletion loads are intentionally weak (they fight the pull-down),
+#: PMOS carries holes (~2-3x the NMOS resistance at equal size).
+SQUARE_DEVICE_RESISTANCE = {
+    DeviceType.NMOS_ENHANCEMENT: 10e3,
+    DeviceType.NMOS_DEPLETION: 40e3,
+    DeviceType.PMOS: 25e3,
+}
+
+
+@dataclass(frozen=True)
+class MOSDevice:
+    """A transistor described by its type and drawn geometry (metres)."""
+
+    device_type: DeviceType
+    width: float
+    length: float
+
+    def __post_init__(self):
+        require_positive("width", self.width)
+        require_positive("length", self.length)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """The drawn ``W / L``."""
+        return self.width / self.length
+
+    @property
+    def effective_resistance(self) -> float:
+        """Linearised switching resistance, ohms."""
+        return SQUARE_DEVICE_RESISTANCE[self.device_type] / self.aspect_ratio
+
+    def gate_capacitance(self, capacitance_per_area: float) -> float:
+        """Gate input capacitance given the process thin-oxide areal capacitance."""
+        require_positive("capacitance_per_area", capacitance_per_area)
+        return capacitance_per_area * self.width * self.length
+
+    def diffusion_capacitance(self, capacitance_per_area: float, extension: float) -> float:
+        """Source/drain diffusion capacitance for a diffusion strip ``extension`` long."""
+        require_positive("capacitance_per_area", capacitance_per_area)
+        require_positive("extension", extension)
+        return capacitance_per_area * self.width * extension
+
+
+def effective_resistance(device_type: DeviceType, width: float, length: float) -> float:
+    """Functional wrapper around :attr:`MOSDevice.effective_resistance`."""
+    return MOSDevice(device_type, width, length).effective_resistance

@@ -1,0 +1,105 @@
+"""Linearised driver models.
+
+A :class:`DriverModel` is the two numbers the RC-tree analysis needs about
+whatever is driving the net: the effective source resistance of the switching
+device and the parasitic capacitance sitting directly on its output (drain
+diffusion, contact cuts, local wiring).  The paper's Section V uses a
+"strong superbuffer" with 380 ohm and 0.04 pF; that exact model ships as
+:data:`PAPER_SUPERBUFFER`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mos.devices import DeviceType, MOSDevice
+from repro.utils.checks import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class DriverModel:
+    """A driver reduced to source resistance + output capacitance.
+
+    Attributes
+    ----------
+    name:
+        Instance or cell name (for reports).
+    effective_resistance:
+        Linearised pull-up (or pull-down) resistance, ohms.
+    output_capacitance:
+        Parasitic capacitance at the driver output, farads.
+    """
+
+    name: str
+    effective_resistance: float
+    output_capacitance: float = 0.0
+
+    def __post_init__(self):
+        require_positive("effective_resistance", self.effective_resistance)
+        require_non_negative("output_capacitance", self.output_capacitance)
+
+    def scaled(self, factor: float) -> "DriverModel":
+        """Return a driver ``factor`` times stronger (R / factor, C * factor).
+
+        Upsizing a driver lowers its resistance but grows its self-loading in
+        the same proportion -- the classic sizing trade-off explored by the
+        driver-sizing example.
+        """
+        require_positive("factor", factor)
+        return DriverModel(
+            name=f"{self.name}_x{factor:g}",
+            effective_resistance=self.effective_resistance / factor,
+            output_capacitance=self.output_capacitance * factor,
+        )
+
+
+#: The paper's Section V PLA driver: 380 ohm source resistance, 0.04 pF output load.
+PAPER_SUPERBUFFER = DriverModel(
+    name="paper-superbuffer",
+    effective_resistance=380.0,
+    output_capacitance=0.04e-12,
+)
+
+
+def inverter_driver(
+    name: str,
+    pullup: MOSDevice,
+    *,
+    output_capacitance: float = 0.0,
+) -> DriverModel:
+    """Driver model of a single NMOS inverter, limited by its pull-up device.
+
+    The paper analyses the rising transition, where the (weak) pull-up is the
+    only path charging the net -- hence the pull-up's effective resistance is
+    the driver resistance.
+    """
+    return DriverModel(
+        name=name,
+        effective_resistance=pullup.effective_resistance,
+        output_capacitance=output_capacitance,
+    )
+
+
+def superbuffer_driver(
+    name: str,
+    output_device: MOSDevice,
+    *,
+    output_capacitance: float = 0.0,
+) -> DriverModel:
+    """Driver model of a superbuffer (a buffered inverter pair).
+
+    In a superbuffer the output stage is driven near its full gate voltage
+    for the whole transition, so it is roughly twice as effective as a plain
+    depletion-load pull-up of the same size; the conventional estimate halves
+    the effective resistance, which is what this constructor applies.
+    """
+    return DriverModel(
+        name=name,
+        effective_resistance=output_device.effective_resistance / 2.0,
+        output_capacitance=output_capacitance,
+    )
+
+
+def paper_pla_driver() -> DriverModel:
+    """The Section V driver (alias for :data:`PAPER_SUPERBUFFER`)."""
+    return PAPER_SUPERBUFFER

@@ -1,0 +1,34 @@
+"""Design-optimisation applications built on the delay bounds.
+
+The reason a designer evaluates interconnect delay at all is to change the
+design when it is too slow.  This subpackage provides the two classic knobs
+for the nets the paper studies, both driven by the *guaranteed* (upper-bound)
+delay rather than an estimate:
+
+* :mod:`repro.opt.sizing` -- pick the smallest driver strength whose
+  guaranteed delay meets a deadline (upsizing trades lower drive resistance
+  against higher self-loading, so there is a genuine optimum);
+* :mod:`repro.opt.buffering` -- repeater insertion along a long resistive
+  line: sweep the repeater count, evaluate each candidate stage-by-stage, and
+  report the plan with the smallest guaranteed delay.
+"""
+
+from repro.opt.sizing import SizingResult, size_driver_for_deadline, sweep_driver_sizes
+from repro.opt.buffering import (
+    BufferingPlan,
+    Repeater,
+    buffered_line_delay,
+    optimal_buffer_count,
+    compare_buffering,
+)
+
+__all__ = [
+    "SizingResult",
+    "size_driver_for_deadline",
+    "sweep_driver_sizes",
+    "BufferingPlan",
+    "Repeater",
+    "buffered_line_delay",
+    "optimal_buffer_count",
+    "compare_buffering",
+]

@@ -1,0 +1,214 @@
+"""Repeater (buffer) insertion along a long RC line.
+
+The paper's Fig. 13 observation -- line delay grows quadratically with
+length -- is the reason repeaters exist: splitting a line of total
+resistance ``R_w`` and capacitance ``C_w`` into ``k + 1`` equal segments,
+each driven by its own buffer, replaces one quadratic term by ``k + 1``
+small ones, at the cost of the buffers' own delay and input load.
+
+Each candidate plan is evaluated *stage by stage*: a stage is one driver
+(the original driver or a repeater) plus one line segment ending in the next
+repeater's input capacitance, and its delay is taken from the
+Penfield-Rubinstein upper bound (or the Elmore delay, selectable).  Summing
+per-stage threshold delays assumes each repeater regenerates a clean edge --
+the standard repeater-insertion approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bounds import delay_bounds
+from repro.core.timeconstants import characteristic_times
+from repro.core.tree import RCTree
+from repro.mos.drivers import DriverModel
+from repro.utils.checks import require_in_unit_interval, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Repeater:
+    """A repeater cell: drive resistance, input capacitance, intrinsic delay."""
+
+    name: str
+    drive_resistance: float
+    input_capacitance: float
+    intrinsic_delay: float = 0.0
+
+    def __post_init__(self):
+        require_positive("drive_resistance", self.drive_resistance)
+        require_non_negative("input_capacitance", self.input_capacitance)
+        require_non_negative("intrinsic_delay", self.intrinsic_delay)
+
+    def scaled(self, factor: float) -> "Repeater":
+        """A drive-strength-scaled variant (R / factor, C_in * factor)."""
+        require_positive("factor", factor)
+        return Repeater(
+            name=f"{self.name}_x{factor:g}",
+            drive_resistance=self.drive_resistance / factor,
+            input_capacitance=self.input_capacitance * factor,
+            intrinsic_delay=self.intrinsic_delay,
+        )
+
+
+def _stage_delay(
+    drive_resistance: float,
+    segment_resistance: float,
+    segment_capacitance: float,
+    load_capacitance: float,
+    threshold: float,
+    use_bounds: bool,
+    driver_output_capacitance: float = 0.0,
+) -> float:
+    """Threshold delay of one stage: driver R + one line segment + one load."""
+    tree = RCTree("src")
+    tree.add_resistor("src", "drv", drive_resistance)
+    if driver_output_capacitance:
+        tree.add_capacitor("drv", driver_output_capacitance)
+    tree.add_line("drv", "sink", segment_resistance, segment_capacitance)
+    if load_capacitance:
+        tree.add_capacitor("sink", load_capacitance)
+    times = characteristic_times(tree, "sink")
+    if times.tde <= 0.0:
+        return 0.0
+    if use_bounds:
+        return delay_bounds(times, threshold).upper
+    return times.tde
+
+
+@dataclass(frozen=True)
+class BufferingPlan:
+    """One candidate repeater plan and its guaranteed delay."""
+
+    repeater_count: int
+    stage_delays: List[float]
+    repeater: Optional[Repeater]
+    threshold: float
+
+    @property
+    def total_delay(self) -> float:
+        """Total source-to-sink delay (sum of stage delays plus repeater delays)."""
+        intrinsic = self.repeater.intrinsic_delay if self.repeater else 0.0
+        return sum(self.stage_delays) + self.repeater_count * intrinsic
+
+
+def buffered_line_delay(
+    repeater_count: int,
+    driver: DriverModel,
+    repeater: Repeater,
+    line_resistance: float,
+    line_capacitance: float,
+    load_capacitance: float,
+    *,
+    threshold: float = 0.5,
+    use_bounds: bool = True,
+) -> BufferingPlan:
+    """Evaluate one repeater plan: ``repeater_count`` repeaters, equal segments."""
+    if repeater_count < 0:
+        raise ValueError("repeater_count must be >= 0")
+    require_positive("line_resistance", line_resistance)
+    require_positive("line_capacitance", line_capacitance)
+    require_non_negative("load_capacitance", load_capacitance)
+    require_in_unit_interval("threshold", threshold, open_ends=True)
+
+    stages = repeater_count + 1
+    segment_r = line_resistance / stages
+    segment_c = line_capacitance / stages
+
+    delays = []
+    for stage in range(stages):
+        is_last = stage == stages - 1
+        drive = driver.effective_resistance if stage == 0 else repeater.drive_resistance
+        load = load_capacitance if is_last else repeater.input_capacitance
+        self_loading = driver.output_capacitance if stage == 0 else 0.0
+        delays.append(
+            _stage_delay(
+                drive,
+                segment_r,
+                segment_c,
+                load,
+                threshold,
+                use_bounds,
+                driver_output_capacitance=self_loading,
+            )
+        )
+    return BufferingPlan(
+        repeater_count=repeater_count,
+        stage_delays=delays,
+        repeater=repeater,
+        threshold=threshold,
+    )
+
+
+def optimal_buffer_count(
+    driver: DriverModel,
+    repeater: Repeater,
+    line_resistance: float,
+    line_capacitance: float,
+    load_capacitance: float,
+    *,
+    threshold: float = 0.5,
+    use_bounds: bool = True,
+    max_repeaters: int = 64,
+) -> BufferingPlan:
+    """Sweep the repeater count and return the plan with the smallest delay.
+
+    The delay is unimodal in the repeater count, so the sweep stops once two
+    consecutive counts make things worse.
+    """
+    best: Optional[BufferingPlan] = None
+    worse_in_a_row = 0
+    for count in range(0, max_repeaters + 1):
+        plan = buffered_line_delay(
+            count,
+            driver,
+            repeater,
+            line_resistance,
+            line_capacitance,
+            load_capacitance,
+            threshold=threshold,
+            use_bounds=use_bounds,
+        )
+        if best is None or plan.total_delay < best.total_delay:
+            best = plan
+            worse_in_a_row = 0
+        else:
+            worse_in_a_row += 1
+            if worse_in_a_row >= 2:
+                break
+    return best
+
+
+@dataclass(frozen=True)
+class BufferingComparison:
+    """Unbuffered versus optimally buffered guaranteed delay."""
+
+    unbuffered: BufferingPlan
+    buffered: BufferingPlan
+
+    @property
+    def improvement(self) -> float:
+        """Delay ratio unbuffered / buffered (> 1 means buffering helps)."""
+        return self.unbuffered.total_delay / self.buffered.total_delay
+
+
+def compare_buffering(
+    driver: DriverModel,
+    repeater: Repeater,
+    line_resistance: float,
+    line_capacitance: float,
+    load_capacitance: float,
+    *,
+    threshold: float = 0.5,
+    use_bounds: bool = True,
+) -> BufferingComparison:
+    """Compare the unbuffered line against the best repeater plan."""
+    unbuffered = buffered_line_delay(
+        0, driver, repeater, line_resistance, line_capacitance, load_capacitance,
+        threshold=threshold, use_bounds=use_bounds,
+    )
+    buffered = optimal_buffer_count(
+        driver, repeater, line_resistance, line_capacitance, load_capacitance,
+        threshold=threshold, use_bounds=use_bounds,
+    )
+    return BufferingComparison(unbuffered=unbuffered, buffered=buffered)

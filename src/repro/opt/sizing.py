@@ -1,0 +1,136 @@
+"""Driver sizing against a guaranteed-delay deadline.
+
+Upsizing a driver by a factor ``x`` divides its effective resistance by ``x``
+but multiplies its parasitic output capacitance by ``x`` (see
+:meth:`repro.mos.drivers.DriverModel.scaled`), and in a larger flow it would
+also load the previous stage.  The guaranteed delay of the driven net is
+therefore not monotone in ``x``: there is a useful optimum, and beyond it
+upsizing is pure waste.
+
+:func:`size_driver_for_deadline` sweeps a geometric grid of sizes, finds the
+region where the guaranteed (upper-bound) delay meets the deadline, and then
+bisects for the smallest such size -- i.e. it answers "what is the cheapest
+driver that is *provably* fast enough", which is exactly the certification
+question (use 3 in the paper's abstract) turned into a design knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.bounds import delay_bounds
+from repro.core.exceptions import AnalysisError
+from repro.core.timeconstants import characteristic_times
+from repro.core.tree import RCTree
+from repro.mos.drivers import DriverModel
+from repro.utils.checks import require_in_unit_interval, require_positive
+
+#: A callable that builds the driven net for a given driver model.  The
+#: returned tree must mark (or the caller must name) the output of interest.
+NetFactory = Callable[[DriverModel], RCTree]
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a driver-sizing search."""
+
+    feasible: bool
+    scale: Optional[float]
+    driver: Optional[DriverModel]
+    guaranteed_delay: Optional[float]
+    deadline: float
+    threshold: float
+    #: (scale, guaranteed delay) pairs for every size evaluated during the sweep.
+    sweep: List[Tuple[float, float]]
+
+    @property
+    def best_achievable_delay(self) -> float:
+        """Smallest guaranteed delay seen anywhere in the sweep."""
+        return min(delay for _, delay in self.sweep)
+
+
+def _guaranteed_delay(net_factory: NetFactory, driver: DriverModel, output: Optional[str], threshold: float) -> float:
+    tree = net_factory(driver)
+    target = output or (tree.outputs[0] if tree.outputs else tree.leaves()[-1])
+    times = characteristic_times(tree, target)
+    return delay_bounds(times, threshold).upper
+
+
+def sweep_driver_sizes(
+    net_factory: NetFactory,
+    base_driver: DriverModel,
+    *,
+    output: Optional[str] = None,
+    threshold: float = 0.5,
+    scales: Optional[List[float]] = None,
+) -> List[Tuple[float, float]]:
+    """Guaranteed delay versus drive strength over a geometric size grid."""
+    require_in_unit_interval("threshold", threshold, open_ends=True)
+    if scales is None:
+        scales = [0.25 * (2.0 ** (i / 2.0)) for i in range(17)]  # 0.25x .. 64x
+    results = []
+    for scale in scales:
+        require_positive("scale", scale)
+        delay = _guaranteed_delay(net_factory, base_driver.scaled(scale), output, threshold)
+        results.append((scale, delay))
+    return results
+
+
+def size_driver_for_deadline(
+    net_factory: NetFactory,
+    base_driver: DriverModel,
+    deadline: float,
+    *,
+    output: Optional[str] = None,
+    threshold: float = 0.5,
+    scales: Optional[List[float]] = None,
+    refinement_steps: int = 40,
+) -> SizingResult:
+    """Find the smallest driver scale whose guaranteed delay meets ``deadline``.
+
+    Returns an infeasible :class:`SizingResult` (with the full sweep attached)
+    when no size on the grid meets the deadline -- meaning the wire itself is
+    too slow and needs restructuring (see :mod:`repro.opt.buffering`).
+    """
+    require_positive("deadline", deadline)
+    sweep = sweep_driver_sizes(
+        net_factory, base_driver, output=output, threshold=threshold, scales=scales
+    )
+    meeting = [(scale, delay) for scale, delay in sweep if delay <= deadline]
+    if not meeting:
+        return SizingResult(
+            feasible=False,
+            scale=None,
+            driver=None,
+            guaranteed_delay=None,
+            deadline=deadline,
+            threshold=threshold,
+            sweep=sweep,
+        )
+
+    smallest_meeting_scale = min(scale for scale, _ in meeting)
+    # Bisect between the largest failing scale below it (if any) and the
+    # smallest passing scale for the cheapest driver that still passes.
+    failing_below = [scale for scale, delay in sweep if scale < smallest_meeting_scale and delay > deadline]
+    lo = max(failing_below) if failing_below else smallest_meeting_scale * 0.5
+    hi = smallest_meeting_scale
+    for _ in range(refinement_steps):
+        mid = 0.5 * (lo + hi)
+        if _guaranteed_delay(net_factory, base_driver.scaled(mid), output, threshold) <= deadline:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= 1e-4 * hi:
+            break
+
+    chosen = base_driver.scaled(hi)
+    return SizingResult(
+        feasible=True,
+        scale=hi,
+        driver=chosen,
+        guaranteed_delay=_guaranteed_delay(net_factory, chosen, output, threshold),
+        deadline=deadline,
+        threshold=threshold,
+        sweep=sweep,
+    )

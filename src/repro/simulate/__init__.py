@@ -1,0 +1,50 @@
+"""Exact circuit simulation substrate.
+
+The paper validates its bounds against "the exact solution, found from
+circuit simulation" (Fig. 11).  No external SPICE binary is assumed here;
+instead this subpackage provides:
+
+* :mod:`repro.simulate.mna` -- assembly of the conductance and capacitance
+  matrices of a lumped RC tree (modified nodal analysis restricted to the
+  R + C + single-step-source networks the paper studies);
+* :mod:`repro.simulate.state_space` -- the exact step response through a
+  symmetric generalized eigendecomposition (a sum of decaying exponentials,
+  evaluated at arbitrary time points with no time-stepping error);
+* :mod:`repro.simulate.transient` -- a SPICE-like companion-model transient
+  engine (backward Euler and trapezoidal), useful as an independent check
+  and for non-step excitations;
+* :mod:`repro.simulate.waveform` -- a sampled-waveform value type with
+  threshold-crossing search and interpolation;
+* :mod:`repro.simulate.compare` -- error metrics between waveforms and
+  between bounds and exact responses.
+
+Distributed URC lines are handled by lumping them into N sections
+(:meth:`repro.core.tree.RCTree.lumped`) before simulation; the segmentation
+ablation benchmark quantifies the resulting error.
+"""
+
+from repro.simulate.waveform import Waveform
+from repro.simulate.mna import MNASystem, build_mna
+from repro.simulate.state_space import StepResponse, exact_step_response, simulate_step
+from repro.simulate.transient import TransientResult, transient_step_response
+from repro.simulate.compare import (
+    max_abs_error,
+    rms_error,
+    threshold_delay_error,
+    bounds_violations,
+)
+
+__all__ = [
+    "Waveform",
+    "MNASystem",
+    "build_mna",
+    "StepResponse",
+    "exact_step_response",
+    "simulate_step",
+    "TransientResult",
+    "transient_step_response",
+    "max_abs_error",
+    "rms_error",
+    "threshold_delay_error",
+    "bounds_violations",
+]

@@ -1,0 +1,104 @@
+"""Error metrics between waveforms, and between bounds and exact responses.
+
+These helpers power the experiment harness (EXPERIMENTS.md tables) and the
+property-based tests: the single most important invariant of the whole paper
+is that the exact response never escapes the bound envelope, and
+:func:`bounds_violations` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.bounds import BoundedResponse
+from repro.simulate.waveform import Waveform
+
+
+def max_abs_error(reference: Waveform, candidate: Waveform) -> float:
+    """Largest absolute difference, evaluated on the reference's time grid."""
+    return float(np.max(np.abs(reference.values - candidate(reference.times))))
+
+
+def rms_error(reference: Waveform, candidate: Waveform) -> float:
+    """Root-mean-square difference, evaluated on the reference's time grid."""
+    difference = reference.values - candidate(reference.times)
+    return float(np.sqrt(np.mean(difference * difference)))
+
+
+def threshold_delay_error(
+    reference: Waveform, candidate: Waveform, threshold: float
+) -> Optional[float]:
+    """Difference in threshold-crossing delay (candidate minus reference).
+
+    Returns ``None`` when either waveform never reaches the threshold.
+    """
+    t_ref = reference.crossing_time(threshold)
+    t_cand = candidate.crossing_time(threshold)
+    if t_ref is None or t_cand is None:
+        return None
+    return t_cand - t_ref
+
+
+@dataclass(frozen=True)
+class BoundsCheck:
+    """Outcome of checking an exact response against the bound envelope."""
+
+    #: Worst amount by which the exact response fell below the lower bound.
+    worst_lower_violation: float
+    #: Worst amount by which the exact response rose above the upper bound.
+    worst_upper_violation: float
+    #: Number of sample points checked.
+    samples: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the exact response stays inside the envelope (to tolerance)."""
+        return self.worst_lower_violation <= 0.0 and self.worst_upper_violation <= 0.0
+
+    def within(self, tolerance: float) -> bool:
+        """True when any violation is smaller than ``tolerance`` (for lumping error)."""
+        return (
+            self.worst_lower_violation <= tolerance
+            and self.worst_upper_violation <= tolerance
+        )
+
+
+def bounds_violations(response: Waveform, bounded: BoundedResponse) -> BoundsCheck:
+    """Check that ``response`` lies between the Penfield-Rubinstein envelopes.
+
+    Positive violation numbers mean the response escaped the envelope by that
+    many volts at some sample; for an exact simulation of the same network
+    both violations should be ``<= 0`` up to numerical noise (and up to the
+    lumping error when distributed lines were discretised).
+    """
+    times = response.times
+    lower = np.asarray(bounded.vmin(times), dtype=float)
+    upper = np.asarray(bounded.vmax(times), dtype=float)
+    values = response.values
+    worst_lower = float(np.max(lower - values))
+    worst_upper = float(np.max(values - upper))
+    return BoundsCheck(
+        worst_lower_violation=worst_lower,
+        worst_upper_violation=worst_upper,
+        samples=int(times.size),
+    )
+
+
+def bound_tightness(
+    bounded: BoundedResponse, thresholds: Iterable[float]
+) -> float:
+    """Mean relative delay-bound width over a set of thresholds.
+
+    Used by the ablation benchmark that studies how tightness degrades as
+    resistance moves from the driver into the wire (the paper notes the
+    bounds are "very tight in the case where most of the resistance is in
+    the pullup").
+    """
+    widths = []
+    for threshold in thresholds:
+        bounds = bounded.delay_bounds(float(threshold))
+        widths.append(bounds.relative_width)
+    return float(np.mean(widths)) if widths else 0.0

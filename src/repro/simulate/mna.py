@@ -1,0 +1,137 @@
+"""Modified nodal analysis (MNA) assembly for lumped RC trees.
+
+The networks the paper studies contain only grounded capacitors, series
+resistors, and one ideal step source at the input, so the full generality of
+MNA is not needed: every internal node (everything except the driven input)
+gets one row/column, giving
+
+.. math::
+
+    C \\frac{dv}{dt} + G v = b \\, u(t)
+
+where ``C`` is the diagonal matrix of node capacitances, ``G`` the nodal
+conductance matrix, and ``b`` the vector of conductances tying each node to
+the driven input (``u(t)`` is the source voltage, a unit step here).
+
+Distributed URC lines must be lumped before assembly --
+:meth:`repro.core.tree.RCTree.lumped` does that -- and
+:func:`build_mna` will lump them automatically when asked.
+
+Zero-capacitance nodes make ``C`` singular; downstream solvers either handle
+that directly (the trapezoidal engine) or eliminate those nodes exactly by a
+Schur complement (the state-space engine), so no fictitious minimum
+capacitance is ever introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError, ElementValueError
+from repro.core.tree import RCTree
+
+
+@dataclass(frozen=True)
+class MNASystem:
+    """The assembled matrices of a lumped RC tree.
+
+    Attributes
+    ----------
+    nodes:
+        Internal node names, in matrix order (the driven input is excluded).
+    index:
+        Mapping node name -> row/column index.
+    conductance:
+        Dense symmetric nodal conductance matrix ``G`` (siemens).
+    capacitance:
+        Vector of node capacitances (the diagonal of ``C``, farads).
+    source:
+        Vector ``b``: conductance from each node to the driven input.
+    input_node:
+        Name of the driven input node.
+    """
+
+    nodes: List[str]
+    index: Dict[str, int]
+    conductance: np.ndarray
+    capacitance: np.ndarray
+    source: np.ndarray
+    input_node: str
+
+    @property
+    def size(self) -> int:
+        """Number of internal nodes (matrix dimension)."""
+        return len(self.nodes)
+
+    def capacitance_matrix(self) -> np.ndarray:
+        """The diagonal capacitance matrix ``C`` as a dense array."""
+        return np.diag(self.capacitance)
+
+    def dc_solution(self) -> np.ndarray:
+        """Steady-state node voltages for a held unit input (should be all ones)."""
+        return np.linalg.solve(self.conductance, self.source)
+
+
+def build_mna(tree: RCTree, *, segments_per_line: int = 20) -> MNASystem:
+    """Assemble the MNA matrices of ``tree``.
+
+    Parameters
+    ----------
+    tree:
+        The RC tree to simulate.  Distributed lines are lumped into
+        ``segments_per_line`` pi-sections first.
+    segments_per_line:
+        Lumping granularity for distributed lines (ignored when the tree has
+        none).
+
+    Raises
+    ------
+    AnalysisError
+        If any branch has zero resistance.  A zero-ohm branch shorts two
+        nodes together; callers should collapse such nodes first (the SPICE
+        reader does this automatically).
+    """
+    has_lines = any(edge.is_distributed for edge in tree.edges)
+    working = tree.lumped(segments_per_line) if has_lines else tree
+
+    nodes = [name for name in working.nodes if name != working.root]
+    index = {name: position for position, name in enumerate(nodes)}
+    size = len(nodes)
+    if size == 0:
+        raise AnalysisError("the network has no internal nodes to simulate")
+
+    conductance = np.zeros((size, size), dtype=float)
+    capacitance = np.zeros(size, dtype=float)
+    source = np.zeros(size, dtype=float)
+
+    for name in nodes:
+        capacitance[index[name]] = working.node_capacitance(name)
+
+    for edge in working.edges:
+        if edge.resistance <= 0.0:
+            raise ElementValueError(
+                f"branch {edge.parent!r} -> {edge.child!r} has zero resistance; "
+                "collapse the two nodes before simulation"
+            )
+        g = 1.0 / edge.resistance
+        child = index[edge.child]
+        conductance[child, child] += g
+        if edge.parent == working.root:
+            source[child] += g
+        else:
+            parent = index[edge.parent]
+            conductance[parent, parent] += g
+            conductance[parent, child] -= g
+            conductance[child, parent] -= g
+
+    return MNASystem(
+        nodes=nodes,
+        index=index,
+        conductance=conductance,
+        capacitance=capacitance,
+        source=source,
+        input_node=working.root,
+    )

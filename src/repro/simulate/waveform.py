@@ -1,0 +1,152 @@
+"""Sampled waveforms and threshold-crossing utilities.
+
+A :class:`Waveform` is a pair of monotone-increasing sample times and the
+corresponding signal values.  It supports linear interpolation, threshold
+crossing search (the operation that turns a simulated response into a
+"delay"), resampling and simple arithmetic, which is all the comparison
+machinery the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+
+ArrayLike = Union[float, Iterable[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """An immutable sampled waveform ``value(time)``.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing sample times (seconds).
+    values:
+        Signal values at the sample times (volts, for the unit-step studies).
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise AnalysisError("waveform times and values must be one-dimensional")
+        if times.shape != values.shape:
+            raise AnalysisError(
+                f"waveform has {times.size} times but {values.size} values"
+            )
+        if times.size < 2:
+            raise AnalysisError("a waveform needs at least two samples")
+        if np.any(np.diff(times) <= 0):
+            raise AnalysisError("waveform times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def t_start(self) -> float:
+        """First sample time."""
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        """Last sample time."""
+        return float(self.times[-1])
+
+    @property
+    def final_value(self) -> float:
+        """Value at the last sample."""
+        return float(self.values[-1])
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __call__(self, time: ArrayLike) -> Union[float, np.ndarray]:
+        """Linearly interpolate the waveform at ``time`` (clamped at the ends)."""
+        t = np.asarray(time, dtype=float)
+        result = np.interp(t, self.times, self.values)
+        return float(result) if t.ndim == 0 else result
+
+    def sample(self, times: ArrayLike) -> "Waveform":
+        """Resample onto a new time grid by linear interpolation."""
+        t = np.asarray(times, dtype=float)
+        return Waveform(t, np.interp(t, self.times, self.values))
+
+    # ------------------------------------------------------------------
+    # Delay extraction
+    # ------------------------------------------------------------------
+    def crossing_time(self, threshold: float, *, rising: bool = True) -> Optional[float]:
+        """First time at which the waveform crosses ``threshold``.
+
+        Linear interpolation is used between samples.  Returns ``None`` when
+        the waveform never reaches the threshold within its time span.
+        """
+        values = self.values if rising else -self.values
+        level = threshold if rising else -threshold
+        above = values >= level
+        if above[0]:
+            return float(self.times[0])
+        indices = np.nonzero(above)[0]
+        if indices.size == 0:
+            return None
+        index = int(indices[0])
+        t0, t1 = self.times[index - 1], self.times[index]
+        v0, v1 = values[index - 1], values[index]
+        if v1 == v0:
+            return float(t1)
+        fraction = (level - v0) / (v1 - v0)
+        return float(t0 + fraction * (t1 - t0))
+
+    def delay_to(self, threshold: float) -> float:
+        """Crossing time, raising :class:`AnalysisError` when never reached."""
+        crossing = self.crossing_time(threshold)
+        if crossing is None:
+            raise AnalysisError(
+                f"waveform never reaches threshold {threshold!r} within "
+                f"[{self.t_start:g}, {self.t_end:g}] s (final value {self.final_value:g})"
+            )
+        return crossing
+
+    def rise_time(self, low: float = 0.1, high: float = 0.9) -> float:
+        """Time between crossing ``low`` and ``high`` thresholds (10-90% by default)."""
+        return self.delay_to(high) - self.delay_to(low)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / transforms
+    # ------------------------------------------------------------------
+    def shifted(self, dt: float) -> "Waveform":
+        """Return a copy delayed by ``dt`` seconds."""
+        return Waveform(self.times + dt, self.values.copy())
+
+    def scaled(self, factor: float) -> "Waveform":
+        """Return a copy with values multiplied by ``factor``."""
+        return Waveform(self.times.copy(), self.values * factor)
+
+    def clipped(self, lo: float = 0.0, hi: float = 1.0) -> "Waveform":
+        """Return a copy with values clipped to ``[lo, hi]``."""
+        return Waveform(self.times.copy(), np.clip(self.values, lo, hi))
+
+    def __sub__(self, other: "Waveform") -> "Waveform":
+        """Pointwise difference, computed on this waveform's time grid."""
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        return Waveform(self.times.copy(), self.values - other(self.times))
+
+    def is_monotonic(self, tolerance: float = 1e-12) -> bool:
+        """True when the waveform never decreases by more than ``tolerance``.
+
+        RC-tree step responses are provably monotonic (the fact the paper
+        leans on to turn area arguments into bounds); the simulator tests use
+        this check as a sanity invariant.
+        """
+        return bool(np.all(np.diff(self.values) >= -tolerance))

@@ -1,0 +1,14 @@
+"""Simplified SPEF (Standard Parasitic Exchange Format) interchange.
+
+SPEF is how modern EDA flows hand extracted parasitics to static timing
+analysis -- the direct industrial descendant of the paper's RC trees.  This
+package reads and writes a well-formed subset of IEEE 1481 SPEF: the header,
+one ``*D_NET`` section per net with ``*CONN`` / ``*CAP`` / ``*RES`` blocks.
+Coupling capacitors are not supported (the RC-tree theory has no place for
+them); they are rejected on read.
+"""
+
+from repro.spef.writer import tree_to_spef, write_spef
+from repro.spef.reader import spef_to_trees, read_spef
+
+__all__ = ["tree_to_spef", "write_spef", "spef_to_trees", "read_spef"]

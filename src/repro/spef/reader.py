@@ -1,0 +1,192 @@
+"""Read the simplified SPEF subset back into RC trees.
+
+The reader understands the sections emitted by :mod:`repro.spef.writer` --
+header unit statements, ``*D_NET`` with ``*CONN`` / ``*CAP`` / ``*RES`` --
+plus files written by other tools as long as every net's resistor graph is a
+tree and every capacitor is a ground capacitor (one node per ``*CAP`` line).
+Coupling caps (two nodes on a ``*CAP`` line) raise a ``TopologyError``.
+
+The tree root for each net is the ``*I``-direction connection when present,
+otherwise the first connection listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import ParseError, TopologyError
+from repro.core.tree import RCTree
+from repro.utils.units import parse_engineering
+
+
+@dataclass
+class _NetSection:
+    name: str
+    total_cap: float
+    connections: List[Tuple[str, str, str]] = field(default_factory=list)  # (kind, pin, direction)
+    caps: List[Tuple[str, Optional[str], float]] = field(default_factory=list)
+    resistors: List[Tuple[str, str, float]] = field(default_factory=list)
+
+
+def _parse_units(lines: List[str]) -> Dict[str, float]:
+    units = {"C": 1e-12, "R": 1.0, "T": 1e-9}
+    for line in lines:
+        fields = line.split()
+        if len(fields) >= 3 and fields[0] in ("*C_UNIT", "*R_UNIT", "*T_UNIT"):
+            value = parse_engineering(fields[1])
+            unit_name = fields[2].upper()
+            scale = {
+                "PF": 1e-12,
+                "FF": 1e-15,
+                "NF": 1e-9,
+                "UF": 1e-6,
+                "F": 1.0,
+                "OHM": 1.0,
+                "KOHM": 1e3,
+                "NS": 1e-9,
+                "PS": 1e-12,
+            }.get(unit_name)
+            if scale is None:
+                raise ParseError(f"unsupported SPEF unit {unit_name!r}")
+            units[fields[0][1]] = value * scale
+    return units
+
+
+def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
+    """Parse a SPEF string into a mapping net name -> :class:`RCTree`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    units = _parse_units(lines)
+
+    nets: List[_NetSection] = []
+    current: Optional[_NetSection] = None
+    mode = None
+    for number, line in enumerate(lines, start=1):
+        fields = line.split()
+        keyword = fields[0].upper()
+        if keyword == "*D_NET":
+            if len(fields) < 3:
+                raise ParseError("malformed *D_NET line", line=number)
+            current = _NetSection(name=fields[1], total_cap=float(fields[2]) * units["C"])
+            nets.append(current)
+            mode = None
+        elif keyword == "*CONN":
+            mode = "conn"
+        elif keyword == "*CAP":
+            mode = "cap"
+        elif keyword == "*RES":
+            mode = "res"
+        elif keyword == "*END":
+            current = None
+            mode = None
+        elif current is not None:
+            if mode == "conn" and keyword in ("*I", "*P"):
+                direction = fields[2] if len(fields) > 2 else "B"
+                current.connections.append((keyword, fields[1], direction))
+            elif mode == "cap":
+                if len(fields) == 3:
+                    current.caps.append((fields[1], None, float(fields[2]) * units["C"]))
+                elif len(fields) >= 4:
+                    current.caps.append((fields[1], fields[2], float(fields[3]) * units["C"]))
+                else:
+                    raise ParseError("malformed *CAP entry", line=number)
+            elif mode == "res":
+                if len(fields) < 4:
+                    raise ParseError("malformed *RES entry", line=number)
+                current.resistors.append((fields[1], fields[2], float(fields[3]) * units["R"]))
+        # Header lines and anything outside a net section are ignored.
+
+    trees: Dict[str, RCTree] = {}
+    for net in nets:
+        trees[net.name] = _net_to_tree(net, root_name=root_name)
+    return trees
+
+
+def _strip_net_prefix(pin: str, net: str) -> str:
+    for delimiter in ("/", ":"):
+        prefix = f"{net}{delimiter}"
+        if pin.startswith(prefix):
+            return pin[len(prefix):]
+    return pin
+
+
+def _net_to_tree(net: _NetSection, *, root_name: str) -> RCTree:
+    adjacency: Dict[str, List[Tuple[str, float]]] = {}
+    for n1, n2, value in net.resistors:
+        a = _strip_net_prefix(n1, net.name)
+        b = _strip_net_prefix(n2, net.name)
+        adjacency.setdefault(a, []).append((b, value))
+        adjacency.setdefault(b, []).append((a, value))
+
+    driver = None
+    for kind, pin, direction in net.connections:
+        if kind == "*I" or direction.upper() == "I":
+            driver = _strip_net_prefix(pin, net.name)
+            break
+    if driver is None and net.connections:
+        driver = _strip_net_prefix(net.connections[0][1], net.name)
+    if driver is None:
+        raise ParseError(f"net {net.name!r} has no *CONN section to locate its driver")
+    if driver not in adjacency and adjacency:
+        # The writer emits the driver pin as <net>:DRV while the resistor
+        # spine starts at the tree root node; fall back to the resistor node
+        # that appears only once (a topological root candidate).
+        if driver.upper() == "DRV":
+            driver = _strip_net_prefix(net.resistors[0][0], net.name)
+        else:
+            raise TopologyError(
+                f"driver pin {driver!r} of net {net.name!r} does not touch any resistor"
+            )
+
+    tree = RCTree(root_name)
+    rename = {driver: root_name}
+
+    def node_name(node: str) -> str:
+        return rename.get(node, node)
+
+    visited = {driver}
+    queue = [driver]
+    while queue:
+        currentnode = queue.pop(0)
+        for neighbour, value in adjacency.get(currentnode, []):
+            if neighbour in visited:
+                continue
+            visited.add(neighbour)
+            tree.add_resistor(node_name(currentnode), node_name(neighbour), value)
+            queue.append(neighbour)
+
+    # Loop detection: a tree with V nodes has V-1 edges.
+    if adjacency and len(net.resistors) != len(visited) - 1:
+        raise TopologyError(
+            f"net {net.name!r} has {len(net.resistors)} resistors over {len(visited)} nodes; "
+            "the parasitic network is not a tree"
+        )
+
+    for n1, n2, value in net.caps:
+        if n2 is not None:
+            raise TopologyError(
+                f"net {net.name!r} contains a coupling capacitor ({n1} to {n2}); "
+                "RC-tree analysis only supports grounded capacitors"
+            )
+        node = _strip_net_prefix(n1, net.name)
+        if node not in visited:
+            raise TopologyError(
+                f"capacitor node {node!r} of net {net.name!r} is not connected to the driver"
+            )
+        tree.add_capacitor(node_name(node), value)
+
+    for kind, pin, direction in net.connections:
+        if direction.upper() == "O":
+            node = _strip_net_prefix(pin, net.name)
+            if node in visited:
+                tree.mark_output(node_name(node))
+    if not tree.outputs:
+        for leaf in tree.leaves():
+            tree.mark_output(leaf)
+    return tree
+
+
+def read_spef(path, **kwargs) -> Dict[str, RCTree]:
+    """Read a SPEF file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return spef_to_trees(handle.read(), **kwargs)

@@ -1,0 +1,100 @@
+"""Write RC trees as (simplified) SPEF ``*D_NET`` sections.
+
+The emitted file has a standard SPEF header (units: ohm, picofarad,
+nanosecond) and one detailed-net section per tree.  Distributed URC lines are
+lumped into pi sections first, because SPEF itself only carries lumped R and
+C.  The driver pin is written as ``<net>:DRV`` and marked ``*I ... I`` on the
+``*CONN`` list; every tree output becomes a load pin ``<node>`` with ``*P``
+direction ``O``.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.core.tree import RCTree
+
+#: Capacitance unit used in the emitted files (1 PF per SPEF convention here).
+_CAP_UNIT = 1e-12
+#: Resistance unit (1 OHM).
+_RES_UNIT = 1.0
+
+
+def _header(design: str, divider: str = "/") -> str:
+    timestamp = datetime.now(timezone.utc).strftime("%a %b %d %H:%M:%S %Y")
+    return "\n".join(
+        [
+            '*SPEF "IEEE 1481-1998"',
+            f'*DESIGN "{design}"',
+            f'*DATE "{timestamp}"',
+            '*VENDOR "rctree-bounds"',
+            '*PROGRAM "rctree-bounds spef writer"',
+            '*VERSION "1.0.0"',
+            "*DESIGN_FLOW \"PIN_CAP NONE\"",
+            f"*DIVIDER {divider}",
+            "*DELIMITER :",
+            "*BUS_DELIMITER [ ]",
+            "*T_UNIT 1 NS",
+            "*C_UNIT 1 PF",
+            "*R_UNIT 1 OHM",
+            "*L_UNIT 1 HENRY",
+            "",
+        ]
+    )
+
+
+def tree_to_spef(
+    trees: Union[RCTree, Mapping[str, RCTree]],
+    *,
+    design: str = "rctree_bounds_design",
+    segments_per_line: int = 10,
+) -> str:
+    """Render one tree (or a mapping net-name -> tree) as a SPEF string."""
+    if isinstance(trees, RCTree):
+        trees = {"net0": trees}
+
+    sections = [_header(design)]
+    for net_name, tree in trees.items():
+        working = (
+            tree.lumped(segments_per_line)
+            if any(edge.is_distributed for edge in tree.edges)
+            else tree
+        )
+        total_cap = working.total_capacitance / _CAP_UNIT
+        lines = [f"*D_NET {net_name} {total_cap:.6g}"]
+
+        lines.append("*CONN")
+        lines.append(f"*I {net_name}:DRV I")
+        for output in working.outputs or working.leaves():
+            lines.append(f"*P {net_name}/{output} O")
+
+        lines.append("*CAP")
+        cap_index = 0
+        for node in working.nodes:
+            capacitance = working.node_capacitance(node)
+            if capacitance > 0.0:
+                cap_index += 1
+                lines.append(
+                    f"{cap_index} {net_name}/{node} {capacitance / _CAP_UNIT:.6g}"
+                )
+
+        lines.append("*RES")
+        res_index = 0
+        for edge in working.edges:
+            res_index += 1
+            lines.append(
+                f"{res_index} {net_name}/{edge.parent} {net_name}/{edge.child} "
+                f"{edge.resistance / _RES_UNIT:.6g}"
+            )
+        lines.append("*END")
+        lines.append("")
+        sections.append("\n".join(lines))
+    return "\n".join(sections)
+
+
+def write_spef(trees, path, **kwargs) -> None:
+    """Write :func:`tree_to_spef` output to ``path``."""
+    text = tree_to_spef(trees, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,21 @@
+"""SPICE-subset netlist interchange.
+
+Real validation flows hand RC parasitics to a circuit simulator; this package
+writes RC trees as standard SPICE decks (:mod:`repro.spicefmt.writer`) and
+reads the R/C/V subset of SPICE back into :class:`~repro.core.tree.RCTree`
+objects (:mod:`repro.spicefmt.reader`), so the library's results can be
+cross-checked against any external simulator and extracted decks from other
+tools can be analysed here.
+"""
+
+from repro.spicefmt.writer import tree_to_spice, write_spice
+from repro.spicefmt.reader import spice_to_tree, read_spice, SpiceDeck, parse_spice
+
+__all__ = [
+    "tree_to_spice",
+    "write_spice",
+    "spice_to_tree",
+    "read_spice",
+    "parse_spice",
+    "SpiceDeck",
+]

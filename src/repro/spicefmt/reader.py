@@ -1,0 +1,225 @@
+"""Read the R/C/V subset of SPICE back into RC trees.
+
+Supported cards:
+
+* ``R<name> n1 n2 value`` -- series resistor;
+* ``C<name> n1 n2 value`` -- capacitor (one terminal must be ground);
+* ``V<name> n1 n2 ...``   -- the input source; its non-ground terminal
+  becomes the tree input (the waveform definition is ignored, since the
+  analysis assumes a step);
+* ``*`` comments, ``.title``, ``.tran``, ``.print``, ``.end`` (analysis cards
+  are recorded but otherwise ignored), ``+`` continuation lines.
+
+Values accept the usual SPICE engineering suffixes (``k``, ``meg``, ``u``,
+``n``, ``p``, ``f``).  Ground may be written ``0`` or ``gnd`` (any case).
+
+The resistor graph must form a tree rooted at the source node -- exactly the
+network class the paper analyses.  Resistor loops, floating sections and
+coupling capacitors (between two non-ground nodes) are reported as errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import ParseError, TopologyError
+from repro.core.tree import RCTree
+from repro.utils.units import parse_engineering
+
+_GROUND_NAMES = {"0", "gnd", "vss"}
+
+
+@dataclass
+class SpiceDeck:
+    """Parsed form of a SPICE deck (only the parts the reader understands)."""
+
+    title: str = ""
+    resistors: List[Tuple[str, str, str, float]] = field(default_factory=list)
+    capacitors: List[Tuple[str, str, str, float]] = field(default_factory=list)
+    sources: List[Tuple[str, str, str]] = field(default_factory=list)
+    analyses: List[str] = field(default_factory=list)
+    prints: List[str] = field(default_factory=list)
+
+    @property
+    def source_node(self) -> Optional[str]:
+        """Non-ground terminal of the first voltage source, if any."""
+        for _, positive, negative in self.sources:
+            if positive.lower() not in _GROUND_NAMES:
+                return positive
+            if negative.lower() not in _GROUND_NAMES:
+                return negative
+        return None
+
+
+def _join_continuations(text: str) -> List[Tuple[int, str]]:
+    """Resolve ``+`` continuation lines; return (line number, logical line)."""
+    logical: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.lstrip().startswith("+"):
+            if not logical:
+                raise ParseError("continuation line with nothing to continue", line=number)
+            previous_number, previous = logical[-1]
+            logical[-1] = (previous_number, previous + " " + line.lstrip()[1:].strip())
+        else:
+            logical.append((number, line))
+    return logical
+
+
+def parse_spice(text: str) -> SpiceDeck:
+    """Parse a SPICE deck into a :class:`SpiceDeck` record."""
+    deck = SpiceDeck()
+    lines = _join_continuations(text)
+    for index, (number, line) in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith("*"):
+            if index == 0 and not deck.title:
+                deck.title = stripped.lstrip("* ").strip()
+            continue
+        lowered = stripped.lower()
+        if lowered.startswith("."):
+            if lowered.startswith(".title"):
+                deck.title = stripped[6:].strip()
+            elif lowered.startswith(".tran") or lowered.startswith(".op") or lowered.startswith(".ac"):
+                deck.analyses.append(stripped)
+            elif lowered.startswith(".print") or lowered.startswith(".plot") or lowered.startswith(".probe"):
+                deck.prints.append(stripped)
+            elif lowered.startswith(".end"):
+                break
+            # Other dot-cards (.option, .include, ...) are ignored.
+            continue
+        fields = stripped.split()
+        card = fields[0]
+        kind = card[0].lower()
+        if kind == "r":
+            if len(fields) < 4:
+                raise ParseError(f"malformed resistor card {stripped!r}", line=number)
+            deck.resistors.append((card, fields[1], fields[2], parse_engineering(fields[3])))
+        elif kind == "c":
+            if len(fields) < 4:
+                raise ParseError(f"malformed capacitor card {stripped!r}", line=number)
+            deck.capacitors.append((card, fields[1], fields[2], parse_engineering(fields[3])))
+        elif kind == "v":
+            if len(fields) < 3:
+                raise ParseError(f"malformed source card {stripped!r}", line=number)
+            deck.sources.append((card, fields[1], fields[2]))
+        elif kind in ("i", "l", "k", "e", "f", "g", "h", "m", "q", "d", "x", "u"):
+            raise ParseError(
+                f"element {card!r} is not part of the RC-tree subset this reader supports",
+                line=number,
+            )
+        else:
+            raise ParseError(f"unrecognised card {stripped!r}", line=number)
+    return deck
+
+
+def _is_ground(node: str) -> bool:
+    return node.lower() in _GROUND_NAMES
+
+
+def spice_to_tree(text: str, *, input_node: Optional[str] = None, root_name: str = "in") -> RCTree:
+    """Parse a SPICE deck and rebuild the RC tree it describes.
+
+    Parameters
+    ----------
+    input_node:
+        The driven node.  Defaults to the non-ground terminal of the first
+        voltage source in the deck.
+    root_name:
+        Name given to the tree's input node (the SPICE node keeps its own
+        name when this is ``None``).
+    """
+    deck = parse_spice(text)
+    driven = input_node or deck.source_node
+    if driven is None:
+        raise ParseError(
+            "the deck has no voltage source and no input_node was given; "
+            "cannot tell where the tree is driven from"
+        )
+
+    # Adjacency over resistor cards.
+    adjacency: Dict[str, List[Tuple[str, float, str]]] = {}
+    for name, n1, n2, value in deck.resistors:
+        if _is_ground(n1) or _is_ground(n2):
+            raise TopologyError(
+                f"resistor {name} connects to ground; an RC tree has no grounded resistors"
+            )
+        adjacency.setdefault(n1, []).append((n2, value, name))
+        adjacency.setdefault(n2, []).append((n1, value, name))
+
+    if driven not in adjacency and not any(
+        _is_ground(n1) != _is_ground(n2) and driven in (n1, n2)
+        for _, n1, n2, _ in deck.capacitors
+    ):
+        raise TopologyError(f"input node {driven!r} does not appear in the deck")
+
+    rename = {driven: root_name} if root_name else {}
+
+    def tree_name(node: str) -> str:
+        return rename.get(node, node)
+
+    tree = RCTree(tree_name(driven))
+    visited = {driven}
+    queue = [driven]
+    used_resistors = set()
+    while queue:
+        current = queue.pop(0)
+        for neighbour, value, name in adjacency.get(current, []):
+            if name in used_resistors:
+                continue
+            if neighbour in visited:
+                raise TopologyError(
+                    f"resistor {name} closes a loop at node {neighbour!r}; "
+                    "the network is not an RC tree"
+                )
+            used_resistors.add(name)
+            visited.add(neighbour)
+            tree.add_resistor(tree_name(current), tree_name(neighbour), value)
+            queue.append(neighbour)
+
+    unreached = set(adjacency) - visited
+    if unreached:
+        raise TopologyError(
+            f"nodes {sorted(unreached)!r} are not connected to the input {driven!r}"
+        )
+
+    for name, n1, n2, value in deck.capacitors:
+        grounded_terminal = None
+        if _is_ground(n2) and not _is_ground(n1):
+            grounded_terminal = n1
+        elif _is_ground(n1) and not _is_ground(n2):
+            grounded_terminal = n2
+        if grounded_terminal is None:
+            raise TopologyError(
+                f"capacitor {name} couples two signal nodes; only grounded capacitors "
+                "appear in an RC tree"
+            )
+        if grounded_terminal not in visited:
+            raise TopologyError(
+                f"capacitor {name} hangs on node {grounded_terminal!r}, which is not "
+                "connected to the input through resistors"
+            )
+        tree.add_capacitor(tree_name(grounded_terminal), value)
+
+    # Mark leaves as outputs; .print cards, when present, take priority.
+    printed_nodes = []
+    for card in deck.prints:
+        for token in card.replace("(", " ").replace(")", " ").split():
+            if token in visited:
+                printed_nodes.append(token)
+    if printed_nodes:
+        for node in printed_nodes:
+            tree.mark_output(tree_name(node))
+    else:
+        for leaf in tree.leaves():
+            tree.mark_output(leaf)
+    return tree
+
+
+def read_spice(path, **kwargs) -> RCTree:
+    """Read a SPICE file from ``path`` and rebuild its RC tree."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return spice_to_tree(handle.read(), **kwargs)

@@ -1,0 +1,283 @@
+"""Timing-graph construction, arrival/required times, slack, critical paths.
+
+The :class:`TimingAnalyzer` turns a :class:`~repro.sta.netlist.Design`, its
+per-net parasitics and a clock period into a timing report:
+
+* the timing graph has one vertex per pin (plus one per primary port), a
+  *cell arc* from each input pin of a combinational cell to its output pin,
+  and a *net arc* from each net's driver pin to each of its load pins;
+* cell arcs carry the cell's intrinsic delay; net arcs carry the
+  interconnect delay computed by :mod:`repro.sta.delaycalc` (which already
+  includes the ``R_drive * C_load`` loading term);
+* flip-flop D pins and primary outputs are endpoints; flip-flop Q pins and
+  primary inputs are startpoints (an ideal clock network is assumed);
+* slack is ``clock_period - arrival`` at every endpoint.
+
+Running the analysis in the three delay models and combining
+``UPPER_BOUND`` / ``LOWER_BOUND`` worst slacks yields exactly the paper's
+ternary ``OK`` verdict for a whole digital block: PASS when even the
+guaranteed-latest arrivals meet the period, FAIL when even the
+guaranteed-earliest arrivals miss it, INDETERMINATE otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.certify import Verdict
+from repro.core.exceptions import AnalysisError
+from repro.sta.delaycalc import DelayModel, stage_delays
+from repro.sta.netlist import Design, Net, PinRef
+from repro.sta.parasitics import NetParasitics, lumped
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of a reported timing path."""
+
+    location: str
+    arc: str
+    incremental_delay: float
+    arrival: float
+
+
+@dataclass
+class TimingReport:
+    """Result of one timing run."""
+
+    delay_model: DelayModel
+    clock_period: float
+    #: Arrival time at every graph vertex (seconds).
+    arrivals: Dict[str, float]
+    #: Slack at every endpoint (seconds).
+    endpoint_slacks: Dict[str, float]
+    #: The worst (most negative) slack endpoint and its critical path.
+    critical_path: List[PathSegment] = field(default_factory=list)
+
+    @property
+    def worst_slack(self) -> float:
+        """Most negative endpoint slack (or +clock_period when there are no endpoints)."""
+        if not self.endpoint_slacks:
+            return self.clock_period
+        return min(self.endpoint_slacks.values())
+
+    @property
+    def worst_endpoint(self) -> Optional[str]:
+        """Endpoint with the worst slack."""
+        if not self.endpoint_slacks:
+            return None
+        return min(self.endpoint_slacks, key=self.endpoint_slacks.get)
+
+    @property
+    def meets_timing(self) -> bool:
+        """True when every endpoint has non-negative slack."""
+        return self.worst_slack >= 0.0
+
+    def describe(self) -> str:
+        """Multi-line text report in the style of classic STA tools."""
+        lines = [
+            f"timing report ({self.delay_model.value} delays, period {self.clock_period * 1e9:.3f} ns)",
+            f"  worst slack: {self.worst_slack * 1e9:+.4f} ns at {self.worst_endpoint}",
+            "  critical path:",
+        ]
+        for segment in self.critical_path:
+            lines.append(
+                f"    {segment.arrival * 1e9:9.4f} ns  (+{segment.incremental_delay * 1e9:.4f} ns)"
+                f"  {segment.location}  [{segment.arc}]"
+            )
+        return "\n".join(lines)
+
+
+class TimingAnalyzer:
+    """Static timing analysis of a gate-level design over RC-tree interconnect."""
+
+    def __init__(
+        self,
+        design: Design,
+        parasitics: Optional[Mapping[str, NetParasitics]] = None,
+        *,
+        clock_period: float = 1e-9,
+        threshold: float = 0.5,
+        input_drive_resistance: float = 0.0,
+        default_wire_capacitance: float = 0.0,
+    ):
+        if clock_period <= 0:
+            raise AnalysisError("clock_period must be positive")
+        self._design = design
+        self._parasitics = dict(parasitics or {})
+        self._clock_period = clock_period
+        self._threshold = threshold
+        self._input_drive_resistance = input_drive_resistance
+        self._default_wire_capacitance = default_wire_capacitance
+        self._nets: Dict[str, Net] = design.connectivity()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _vertex(self, ref: PinRef) -> str:
+        return str(ref)
+
+    def _net_parasitics(self, net: str) -> NetParasitics:
+        if net in self._parasitics:
+            return self._parasitics[net]
+        return lumped(net, self._default_wire_capacitance)
+
+    def _sink_capacitances(self, net: Net) -> Dict[str, float]:
+        instances = self._design.instances
+        sinks: Dict[str, float] = {}
+        for load in net.loads:
+            if load.is_port:
+                sinks[str(load)] = 0.0
+            else:
+                sinks[str(load)] = instances[load.instance].cell.input_capacitance
+        return sinks
+
+    def build_graph(self, model: DelayModel) -> nx.DiGraph:
+        """Build the timing graph with arc delays for the chosen delay model."""
+        graph = nx.DiGraph()
+        instances = self._design.instances
+        clock_nets = set(self._design.clocks)
+
+        # Net arcs.
+        for net in self._nets.values():
+            if net.driver is None or not net.loads:
+                continue
+            if net.name in clock_nets:
+                # Ideal clock network: zero-delay arcs from the clock source.
+                for load in net.loads:
+                    graph.add_edge(
+                        self._vertex(net.driver),
+                        self._vertex(load),
+                        delay=0.0,
+                        arc=f"clock net {net.name}",
+                    )
+                continue
+            driver_cell = None
+            override = None
+            if net.driver.is_port:
+                override = self._input_drive_resistance
+            else:
+                driver_cell = instances[net.driver.instance].cell
+            sinks = self._sink_capacitances(net)
+            stage = stage_delays(
+                driver_cell,
+                self._net_parasitics(net.name),
+                sinks,
+                model=model,
+                threshold=self._threshold,
+                drive_resistance_override=override,
+            )
+            for load in net.loads:
+                graph.add_edge(
+                    self._vertex(net.driver),
+                    self._vertex(load),
+                    delay=stage.wire_delays[str(load)],
+                    arc=f"net {net.name}",
+                )
+
+        # Cell arcs.
+        for instance in instances.values():
+            cell = instance.cell
+            output_ref = self._vertex(PinRef(instance.name, cell.output))
+            if cell.is_sequential:
+                clock_ref = self._vertex(PinRef(instance.name, cell.clock_pin))
+                graph.add_edge(
+                    clock_ref, output_ref, delay=cell.intrinsic_delay, arc=f"{cell.name} CK->Q"
+                )
+                continue
+            for pin in cell.inputs:
+                input_ref = self._vertex(PinRef(instance.name, pin))
+                graph.add_edge(
+                    input_ref, output_ref, delay=cell.intrinsic_delay, arc=f"{cell.name} {pin}->Y"
+                )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _endpoints(self) -> List[str]:
+        endpoints = [name for name in self._design.primary_outputs]
+        for instance in self._design.instances.values():
+            if instance.cell.is_sequential:
+                endpoints.append(str(PinRef(instance.name, instance.cell.inputs[0])))
+        return endpoints
+
+    def run(self, model: DelayModel = DelayModel.ELMORE) -> TimingReport:
+        """Propagate arrival times and produce a :class:`TimingReport`."""
+        graph = self.build_graph(model)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise AnalysisError(
+                "the timing graph has a combinational loop; break it before analysis"
+            )
+
+        arrivals: Dict[str, float] = {}
+        predecessor: Dict[str, Tuple[Optional[str], float, str]] = {}
+
+        # Startpoints: primary inputs arrive at 0; everything else starts at 0 too
+        # (vertices with no predecessors), which covers flip-flop clock pins.
+        for vertex in graph.nodes:
+            arrivals[vertex] = 0.0
+            predecessor[vertex] = (None, 0.0, "startpoint")
+
+        for vertex in nx.topological_sort(graph):
+            for _, successor, data in graph.out_edges(vertex, data=True):
+                candidate = arrivals[vertex] + data["delay"]
+                if candidate > arrivals[successor]:
+                    arrivals[successor] = candidate
+                    predecessor[successor] = (vertex, data["delay"], data["arc"])
+
+        endpoint_slacks: Dict[str, float] = {}
+        for endpoint in self._endpoints():
+            arrival = arrivals.get(endpoint, 0.0)
+            endpoint_slacks[endpoint] = self._clock_period - arrival
+
+        report = TimingReport(
+            delay_model=model,
+            clock_period=self._clock_period,
+            arrivals=arrivals,
+            endpoint_slacks=endpoint_slacks,
+        )
+        worst = report.worst_endpoint
+        if worst is not None and worst in arrivals:
+            report.critical_path = self._trace_path(worst, arrivals, predecessor)
+        return report
+
+    def _trace_path(
+        self,
+        endpoint: str,
+        arrivals: Dict[str, float],
+        predecessor: Dict[str, Tuple[Optional[str], float, str]],
+    ) -> List[PathSegment]:
+        path: List[PathSegment] = []
+        current: Optional[str] = endpoint
+        while current is not None:
+            previous, delay, arc = predecessor.get(current, (None, 0.0, "startpoint"))
+            path.append(
+                PathSegment(
+                    location=current,
+                    arc=arc,
+                    incremental_delay=delay,
+                    arrival=arrivals.get(current, 0.0),
+                )
+            )
+            current = previous
+        path.reverse()
+        return path
+
+    def certify(self) -> Verdict:
+        """The paper's ternary verdict applied to the whole design.
+
+        PASS when the guaranteed-latest arrivals (upper-bound delays) meet the
+        clock period; FAIL when even the guaranteed-earliest arrivals
+        (lower-bound delays) miss it; INDETERMINATE in between.
+        """
+        pessimistic = self.run(DelayModel.UPPER_BOUND)
+        if pessimistic.meets_timing:
+            return Verdict.PASS
+        optimistic = self.run(DelayModel.LOWER_BOUND)
+        if not optimistic.meets_timing:
+            return Verdict.FAIL
+        return Verdict.INDETERMINATE

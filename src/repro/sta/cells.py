@@ -1,0 +1,129 @@
+"""A miniature standard-cell library for the STA demonstrator.
+
+Each :class:`Cell` is described by the three numbers a linear (RC) delay
+model needs per cell: input pin capacitance, output drive resistance and an
+intrinsic (unloaded) delay.  The gate delay of a stage is then
+
+.. math::
+
+    d_{gate} = d_{intrinsic} + R_{drive} \\cdot C_{load}
+
+and ``R_drive`` also serves as the source resistance in front of the net's RC
+tree, exactly the way the paper models its driving inverter as a linear
+resistor.  Values are representative of a generic 1-micron CMOS library; the
+point of this subpackage is the algorithmic flow, not a particular PDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.checks import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell described by a linear delay model.
+
+    Attributes
+    ----------
+    name:
+        Cell name, e.g. ``"NAND2_X1"``.
+    inputs:
+        Input pin names.
+    output:
+        Output pin name (single-output cells only).
+    input_capacitance:
+        Capacitance of each input pin, farads.
+    drive_resistance:
+        Effective output resistance, ohms.
+    intrinsic_delay:
+        Unloaded propagation delay, seconds.
+    is_sequential:
+        True for flip-flops; their data pin is a timing endpoint and their
+        output launches a new path.
+    clock_pin:
+        Name of the clock pin for sequential cells.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    input_capacitance: float
+    drive_resistance: float
+    intrinsic_delay: float
+    is_sequential: bool = False
+    clock_pin: str = ""
+
+    def __post_init__(self):
+        require_non_negative("input_capacitance", self.input_capacitance)
+        require_positive("drive_resistance", self.drive_resistance)
+        require_non_negative("intrinsic_delay", self.intrinsic_delay)
+        if not self.inputs:
+            raise ValueError(f"cell {self.name!r} has no input pins")
+
+    @property
+    def pins(self) -> Tuple[str, ...]:
+        """All pin names (inputs, clock if any, then the output)."""
+        extra = (self.clock_pin,) if self.clock_pin else ()
+        return self.inputs + extra + (self.output,)
+
+    def scaled(self, factor: float) -> "Cell":
+        """A drive-strength-scaled variant (``factor`` 2 halves R, doubles C)."""
+        require_positive("factor", factor)
+        return Cell(
+            name=f"{self.name}_scaled{factor:g}",
+            inputs=self.inputs,
+            output=self.output,
+            input_capacitance=self.input_capacitance * factor,
+            drive_resistance=self.drive_resistance / factor,
+            intrinsic_delay=self.intrinsic_delay,
+            is_sequential=self.is_sequential,
+            clock_pin=self.clock_pin,
+        )
+
+
+def standard_cell_library() -> Dict[str, Cell]:
+    """The built-in cell library used by the examples and tests.
+
+    Drive strengths follow the usual ``_X1`` / ``_X2`` / ``_X4`` convention:
+    each step up halves the drive resistance and doubles the input load.
+    """
+    base_resistance = 6.0e3  # ohms, X1 inverter
+    base_capacitance = 6.0e-15  # farads, X1 inverter input
+    base_delay = 40e-12  # seconds
+
+    def variants(name: str, inputs: Tuple[str, ...], *, r_scale: float, c_scale: float, d_scale: float):
+        cells = {}
+        for strength in (1, 2, 4):
+            cells[f"{name}_X{strength}"] = Cell(
+                name=f"{name}_X{strength}",
+                inputs=inputs,
+                output="Y",
+                input_capacitance=base_capacitance * c_scale * strength,
+                drive_resistance=base_resistance * r_scale / strength,
+                intrinsic_delay=base_delay * d_scale,
+            )
+        return cells
+
+    library: Dict[str, Cell] = {}
+    library.update(variants("INV", ("A",), r_scale=1.0, c_scale=1.0, d_scale=1.0))
+    library.update(variants("BUF", ("A",), r_scale=1.0, c_scale=1.0, d_scale=2.0))
+    library.update(variants("NAND2", ("A", "B"), r_scale=1.3, c_scale=1.1, d_scale=1.4))
+    library.update(variants("NOR2", ("A", "B"), r_scale=1.8, c_scale=1.1, d_scale=1.6))
+    library.update(variants("AND2", ("A", "B"), r_scale=1.3, c_scale=1.1, d_scale=2.2))
+    library.update(variants("XOR2", ("A", "B"), r_scale=1.6, c_scale=1.8, d_scale=2.6))
+
+    for strength in (1, 2):
+        library[f"DFF_X{strength}"] = Cell(
+            name=f"DFF_X{strength}",
+            inputs=("D",),
+            output="Q",
+            input_capacitance=base_capacitance * 1.2 * strength,
+            drive_resistance=base_resistance / strength,
+            intrinsic_delay=base_delay * 3.0,
+            is_sequential=True,
+            clock_pin="CK",
+        )
+    return library

@@ -1,0 +1,191 @@
+"""Stage delay calculation: gate + interconnect.
+
+A *stage* is one driving cell plus the net it drives.  Its delay to each sink
+pin is computed as
+
+* the cell's intrinsic delay, plus
+* the interconnect delay from an RC tree consisting of the cell's drive
+  resistance in series with the net parasitics, with every sink pin's input
+  capacitance attached at its node.
+
+Because the drive resistance is part of the tree, the classic
+``R_drive * C_load`` term of the linear gate model and the wire delay are
+computed together and never double-counted.  Lumped nets are handled by the
+same code path (a one-resistor, one-capacitor tree).
+
+Three delay models are offered, mirroring the three uses the paper lists in
+its abstract:
+
+* ``DelayModel.ELMORE`` -- the Elmore delay ``T_De`` (an estimate);
+* ``DelayModel.UPPER_BOUND`` -- the guaranteed-latest threshold crossing
+  (eq. 16/17), what a sign-off check must use;
+* ``DelayModel.LOWER_BOUND`` -- the guaranteed-earliest crossing (eq. 14/15),
+  what hold-style "certainly too slow" conclusions use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.bounds import delay_lower_bound, delay_upper_bound
+from repro.core.timeconstants import characteristic_times_all
+from repro.core.tree import RCTree
+from repro.sta.cells import Cell
+from repro.sta.parasitics import NetParasitics
+from repro.utils.checks import require_in_unit_interval, require_non_negative
+
+
+class DelayModel(enum.Enum):
+    """Which number to extract from the interconnect analysis."""
+
+    ELMORE = "elmore"
+    UPPER_BOUND = "upper_bound"
+    LOWER_BOUND = "lower_bound"
+
+
+@dataclass(frozen=True)
+class StageDelay:
+    """Delays of one stage (one driver, one net)."""
+
+    net: str
+    gate_delay: float
+    #: Interconnect delay (driver output to sink pin), per sink pin name.
+    wire_delays: Dict[str, float]
+
+    def total(self, pin: str) -> float:
+        """Total stage delay (gate + wire) to ``pin``."""
+        return self.gate_delay + self.wire_delays[pin]
+
+    @property
+    def worst_sink(self) -> str:
+        """Sink pin with the largest total delay."""
+        return max(self.wire_delays, key=self.wire_delays.get)
+
+
+def _stage_tree(
+    drive_resistance: Optional[float],
+    parasitics: NetParasitics,
+    sink_capacitance: Mapping[str, float],
+) -> RCTree:
+    """Assemble the stage's RC tree: drive resistance + net + sink pin caps."""
+    tree = RCTree("src")
+    if parasitics.tree is None:
+        # Lumped net: one node carrying wire capacitance plus every pin cap.
+        node = "net"
+        resistance = drive_resistance if drive_resistance and drive_resistance > 0 else 1e-6
+        tree.add_resistor("src", node, resistance)
+        tree.add_capacitor(node, parasitics.lumped_capacitance)
+        for pin, capacitance in sink_capacitance.items():
+            tree.add_capacitor(node, capacitance)
+            tree.mark_output(node)
+        if not sink_capacitance:
+            tree.mark_output(node)
+        return tree
+
+    # Distributed net: graft the extracted tree behind the drive resistance.
+    source = parasitics.tree
+    prefix_root = "drv"
+    if drive_resistance and drive_resistance > 0:
+        tree.add_resistor("src", prefix_root, drive_resistance)
+    else:
+        tree.add_resistor("src", prefix_root, 1e-6)
+
+    mapping = {source.root: prefix_root}
+
+    def mapped(name: str) -> str:
+        return mapping.setdefault(name, name)
+
+    for name in source.preorder():
+        if name != source.root:
+            edge = source.parent_edge(name)
+            tree.add_element(mapped(edge.parent), mapped(name), edge.element)
+        capacitance = source.node_capacitance(name)
+        if capacitance:
+            tree.add_capacitor(mapped(name), capacitance)
+
+    for pin, capacitance in sink_capacitance.items():
+        node = parasitics.node_for_pin(pin)
+        if node is None:
+            # Unbound pin: attach its load at the far end of the tree by
+            # convention (the most pessimistic choice for a chain).
+            node = source.leaves()[-1]
+        tree.add_capacitor(mapped(node), capacitance)
+        tree.mark_output(mapped(node))
+    return tree
+
+
+def stage_delays(
+    driver_cell: Optional[Cell],
+    parasitics: NetParasitics,
+    sink_capacitance: Mapping[str, float],
+    *,
+    model: DelayModel = DelayModel.ELMORE,
+    threshold: float = 0.5,
+    drive_resistance_override: Optional[float] = None,
+) -> StageDelay:
+    """Compute the delays of one stage.
+
+    Parameters
+    ----------
+    driver_cell:
+        The driving cell (supplies intrinsic delay and drive resistance).
+        ``None`` models an ideal primary-input driver.
+    parasitics:
+        The net's interconnect description.
+    sink_capacitance:
+        Mapping sink pin name -> input capacitance (farads).
+    model:
+        Which delay number to extract (Elmore or one of the PR bounds).
+    threshold:
+        Voltage threshold used by the bound models (ignored for Elmore).
+    drive_resistance_override:
+        Use this resistance instead of the cell's (for input-port drivers).
+    """
+    threshold = require_in_unit_interval("threshold", threshold)
+    if drive_resistance_override is not None:
+        require_non_negative("drive_resistance_override", drive_resistance_override)
+        resistance = drive_resistance_override
+    elif driver_cell is not None:
+        resistance = driver_cell.drive_resistance
+    else:
+        resistance = 0.0
+    intrinsic = driver_cell.intrinsic_delay if driver_cell is not None else 0.0
+
+    tree = _stage_tree(resistance, parasitics, sink_capacitance)
+    if tree.total_capacitance <= 0.0:
+        # Nothing to charge: the net settles instantaneously in the linear
+        # model, whichever bound is requested.
+        return StageDelay(
+            net=parasitics.net,
+            gate_delay=intrinsic,
+            wire_delays={pin: 0.0 for pin in sink_capacitance},
+        )
+
+    # Map sink pins back to tree nodes for the delay query.
+    pin_to_node: Dict[str, str] = {}
+    for pin in sink_capacitance:
+        node = parasitics.node_for_pin(pin)
+        if parasitics.tree is None:
+            pin_to_node[pin] = "net"
+        elif node is None:
+            pin_to_node[pin] = parasitics.tree.leaves()[-1]
+        else:
+            pin_to_node[pin] = node if node != parasitics.tree.root else "drv"
+
+    query_nodes = sorted(set(pin_to_node.values())) or tree.outputs
+    times = characteristic_times_all(tree, query_nodes)
+
+    wire_delays: Dict[str, float] = {}
+    for pin in sink_capacitance:
+        node_times = times[pin_to_node[pin]]
+        if model is DelayModel.ELMORE:
+            delay = node_times.tde
+        elif model is DelayModel.UPPER_BOUND:
+            delay = float(delay_upper_bound(node_times, threshold))
+        else:
+            delay = float(delay_lower_bound(node_times, threshold))
+        wire_delays[pin] = delay
+
+    return StageDelay(net=parasitics.net, gate_delay=intrinsic, wire_delays=wire_delays)

@@ -1,0 +1,165 @@
+"""Gate-level designs: instances, nets and primary I/O.
+
+A :class:`Design` is a flat gate-level netlist.  Every net has exactly one
+driver (a primary input or an instance output pin) and any number of loads
+(instance input pins and/or primary outputs) -- the same single-driver
+discipline the RC-tree theory assumes for interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import TopologyError
+from repro.sta.cells import Cell
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """A reference to one pin of one instance (or a primary I/O port).
+
+    ``instance`` is ``None`` for ports; ``pin`` then holds the port name.
+    """
+
+    instance: Optional[str]
+    pin: str
+
+    @property
+    def is_port(self) -> bool:
+        """True when this reference names a primary input/output port."""
+        return self.instance is None
+
+    def __str__(self) -> str:
+        return self.pin if self.is_port else f"{self.instance}/{self.pin}"
+
+
+@dataclass
+class Instance:
+    """One placed cell: a name, its library cell, and pin-to-net connections."""
+
+    name: str
+    cell: Cell
+    connections: Dict[str, str]
+
+    def net_of(self, pin: str) -> str:
+        """Net connected to ``pin`` (raises ``KeyError`` if unconnected)."""
+        return self.connections[pin]
+
+
+@dataclass
+class Net:
+    """A net with one driver and a list of loads (filled in by ``Design.connectivity``)."""
+
+    name: str
+    driver: Optional[PinRef] = None
+    loads: List[PinRef] = field(default_factory=list)
+
+
+class Design:
+    """A flat gate-level netlist."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instances: Dict[str, Instance] = {}
+        self._primary_inputs: List[str] = []
+        self._primary_outputs: List[str] = []
+        self._clocks: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_instance(self, name: str, cell: Cell, **connections: str) -> Instance:
+        """Place ``cell`` as instance ``name``; keyword arguments map pins to nets."""
+        if name in self._instances:
+            raise TopologyError(f"instance {name!r} already exists")
+        missing = [pin for pin in cell.pins if pin not in connections]
+        if missing:
+            raise TopologyError(f"instance {name!r} leaves pins {missing!r} unconnected")
+        unknown = [pin for pin in connections if pin not in cell.pins]
+        if unknown:
+            raise TopologyError(f"instance {name!r} connects unknown pins {unknown!r}")
+        instance = Instance(name=name, cell=cell, connections=dict(connections))
+        self._instances[name] = instance
+        return instance
+
+    def add_primary_input(self, net: str) -> None:
+        """Declare ``net`` to be driven from outside the design."""
+        if net not in self._primary_inputs:
+            self._primary_inputs.append(net)
+
+    def add_primary_output(self, net: str) -> None:
+        """Declare ``net`` to be observed outside the design (a timing endpoint)."""
+        if net not in self._primary_outputs:
+            self._primary_outputs.append(net)
+
+    def add_clock(self, net: str) -> None:
+        """Declare ``net`` to be a clock (drives flip-flop clock pins, ideal network)."""
+        if net not in self._clocks:
+            self._clocks.append(net)
+        self.add_primary_input(net)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> Dict[str, Instance]:
+        """All instances by name."""
+        return dict(self._instances)
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        """Primary input net names."""
+        return list(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """Primary output net names."""
+        return list(self._primary_outputs)
+
+    @property
+    def clocks(self) -> List[str]:
+        """Clock net names."""
+        return list(self._clocks)
+
+    def connectivity(self) -> Dict[str, Net]:
+        """Build the net table: driver and loads of every net.
+
+        Raises :class:`TopologyError` for multiply-driven or undriven nets
+        (floating inputs), which would make timing analysis meaningless.
+        """
+        nets: Dict[str, Net] = {}
+
+        def net(name: str) -> Net:
+            if name not in nets:
+                nets[name] = Net(name=name)
+            return nets[name]
+
+        for name in self._primary_inputs:
+            record = net(name)
+            record.driver = PinRef(None, name)
+        for name in self._primary_outputs:
+            net(name).loads.append(PinRef(None, name))
+
+        for instance in self._instances.values():
+            cell = instance.cell
+            for pin, net_name in instance.connections.items():
+                reference = PinRef(instance.name, pin)
+                record = net(net_name)
+                if pin == cell.output:
+                    if record.driver is not None:
+                        raise TopologyError(
+                            f"net {net_name!r} is driven both by {record.driver} and {reference}"
+                        )
+                    record.driver = reference
+                else:
+                    record.loads.append(reference)
+
+        undriven = [n.name for n in nets.values() if n.driver is None and n.loads]
+        if undriven:
+            raise TopologyError(f"nets {undriven!r} have loads but no driver")
+        return nets
+
+    def validate(self) -> None:
+        """Run the connectivity checks without returning the net table."""
+        self.connectivity()

@@ -1,0 +1,74 @@
+"""Per-net interconnect descriptions for the STA engine.
+
+A net's parasitics are either
+
+* a single lumped capacitance (the pre-layout estimate), or
+* a full :class:`~repro.core.tree.RCTree` (post-layout extraction) together
+  with a mapping from sink pins to tree nodes, so the delay calculator knows
+  which output of the tree each receiving pin corresponds to.
+
+:func:`rc_tree_parasitics` builds the latter; :func:`lumped` the former.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.exceptions import UnknownNodeError
+from repro.core.tree import RCTree
+from repro.utils.checks import require_non_negative
+
+
+@dataclass(frozen=True)
+class NetParasitics:
+    """Interconnect parasitics of one net.
+
+    Exactly one of ``lumped_capacitance`` / ``tree`` is meaningful: when
+    ``tree`` is ``None`` the net is modelled as a lumped capacitor, otherwise
+    as an RC tree whose input is the driver pin and whose ``pin_nodes`` map
+    sink pin names (``"instance/pin"``) to tree nodes.
+    """
+
+    net: str
+    lumped_capacitance: float = 0.0
+    tree: Optional[RCTree] = None
+    pin_nodes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        require_non_negative("lumped_capacitance", self.lumped_capacitance)
+        if self.tree is not None:
+            for pin, node in self.pin_nodes.items():
+                if node not in self.tree:
+                    raise UnknownNodeError(node)
+
+    @property
+    def is_distributed(self) -> bool:
+        """True when the net carries a full RC tree."""
+        return self.tree is not None
+
+    def wire_capacitance(self) -> float:
+        """Total wire capacitance of the net (excludes receiver pin caps)."""
+        if self.tree is not None:
+            return self.tree.total_capacitance
+        return self.lumped_capacitance
+
+    def node_for_pin(self, pin: str) -> Optional[str]:
+        """Tree node bound to ``pin``, or ``None`` for lumped nets/unbound pins."""
+        if self.tree is None:
+            return None
+        return self.pin_nodes.get(pin)
+
+
+def lumped(net: str, capacitance: float) -> NetParasitics:
+    """Lumped-capacitance parasitics for ``net``."""
+    return NetParasitics(net=net, lumped_capacitance=capacitance)
+
+
+def rc_tree_parasitics(net: str, tree: RCTree, pin_nodes: Dict[str, str]) -> NetParasitics:
+    """RC-tree parasitics for ``net``.
+
+    ``pin_nodes`` maps each sink pin (``"instance/pin"`` or a port name) to
+    the tree node where that pin connects.
+    """
+    return NetParasitics(net=net, tree=tree, pin_nodes=dict(pin_nodes))

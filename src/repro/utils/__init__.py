@@ -1,0 +1,35 @@
+"""Shared utilities: engineering units, validation helpers, table formatting.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage (core model, simulator, extraction, STA) can use them without
+import cycles.
+"""
+
+from repro.utils.units import (
+    SI_PREFIXES,
+    format_engineering,
+    parse_engineering,
+    seconds_to_ns,
+    ns_to_seconds,
+)
+from repro.utils.checks import (
+    require_finite,
+    require_non_negative,
+    require_positive,
+    require_in_unit_interval,
+)
+from repro.utils.tables import Table, format_table
+
+__all__ = [
+    "SI_PREFIXES",
+    "format_engineering",
+    "parse_engineering",
+    "seconds_to_ns",
+    "ns_to_seconds",
+    "require_finite",
+    "require_non_negative",
+    "require_positive",
+    "require_in_unit_interval",
+    "Table",
+    "format_table",
+]

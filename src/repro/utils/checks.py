@@ -1,0 +1,65 @@
+"""Argument-validation helpers shared across the library.
+
+Each helper raises ``ValueError`` with a message naming the offending
+argument, so callers can simply write::
+
+    require_positive("resistance", resistance)
+
+and get a consistent error message everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def require_finite(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite real number."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and ``>= 0``."""
+    value = require_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and ``> 0``."""
+    value = require_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_in_unit_interval(name: str, value: float, *, open_ends: bool = False) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)``).
+
+    The Penfield-Rubinstein bound formulas are only meaningful for voltage
+    thresholds strictly between 0 and 1 (the paper itself notes its APL
+    functions "fail ... for V = 0"), so several callers use
+    ``open_ends=True``.
+    """
+    value = require_finite(name, value)
+    if open_ends:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be strictly between 0 and 1, got {value!r}")
+    else:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def require_sorted(name: str, values: Iterable[float]) -> list:
+    """Raise ``ValueError`` unless ``values`` is non-decreasing."""
+    out = [require_finite(f"{name} entry", v) for v in values]
+    for a, b in zip(out, out[1:]):
+        if b < a:
+            raise ValueError(f"{name} must be sorted in non-decreasing order")
+    return out

@@ -1,0 +1,74 @@
+"""Lightweight plain-text table formatting.
+
+The experiment harness reproduces the paper's tables (Fig. 10, Fig. 13) as
+rows of numbers printed to the terminal; this module provides the minimal
+column-aligned rendering used by ``repro.experiments`` and the benchmark
+harnesses, with no third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-aligned table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    precision:
+        Number of significant digits used for float cells.
+    title:
+        Optional table title printed above the header row.
+    """
+
+    headers: Sequence[str]
+    precision: int = 6
+    title: str = ""
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable) -> None:
+        """Append one row; values are formatted immediately."""
+        row = [_render_cell(v, self.precision) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as an aligned plain-text block."""
+        columns = [list(col) for col in zip(self.headers, *self.rows)] if self.rows else [
+            [h] for h in self.headers
+        ]
+        widths = [max(len(cell) for cell in col) for col in columns]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Iterable], *, precision: int = 6, title: str = "") -> str:
+    """One-shot helper: build a :class:`Table` and render it."""
+    table = Table(headers=headers, precision=precision, title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

@@ -1,0 +1,141 @@
+"""Engineering-notation helpers.
+
+EDA tools juggle values spanning ~20 orders of magnitude (femtofarads to
+kiloohms, picoseconds to milliseconds).  These helpers convert between raw
+floats and human-readable engineering notation, and between the SI prefixes
+used by SPICE decks (``k``, ``meg``, ``u``, ``n``, ``p``, ``f``) and plain
+floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Mapping from SI prefix symbol to multiplier.  ``meg`` is included because
+#: SPICE uses ``meg`` for 1e6 (``m`` means milli in SPICE decks).
+SI_PREFIXES = {
+    "T": 1e12,
+    "G": 1e9,
+    "MEG": 1e6,
+    "meg": 1e6,
+    "M": 1e6,
+    "k": 1e3,
+    "K": 1e3,
+    "": 1.0,
+    "m": 1e-3,
+    "u": 1e-6,
+    "U": 1e-6,
+    "µ": 1e-6,
+    "n": 1e-9,
+    "N": 1e-9,
+    "p": 1e-12,
+    "P": 1e-12,
+    "f": 1e-15,
+    "F": 1e-15,
+    "a": 1e-18,
+}
+
+# Ordered prefixes used when *formatting* (unambiguous, descending).
+_FORMAT_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an engineering SI prefix.
+
+    >>> format_engineering(1.8e-10, "s")
+    '180 ps'
+    >>> format_engineering(380.0, "ohm")
+    '380 ohm'
+    >>> format_engineering(0.0, "F")
+    '0 F'
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    if math.isnan(value):
+        return f"nan {unit}".rstrip()
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _FORMAT_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g} {prefix}{unit}"
+            return text.rstrip()
+    scale, prefix = _FORMAT_PREFIXES[-1]
+    scaled = value / scale
+    return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def parse_engineering(text: str) -> float:
+    """Parse a SPICE-style engineering-notation number.
+
+    Accepts plain floats (``1e-12``), prefixed values (``1.5k``, ``10p``,
+    ``3meg``) and values with a trailing unit (``10pF``, ``30ohm``) -- any
+    alphabetic characters after the prefix are ignored, matching SPICE
+    semantics.
+
+    >>> parse_engineering("1.5k")
+    1500.0
+    >>> parse_engineering("10pF")
+    1e-11
+    >>> parse_engineering("3meg")
+    3000000.0
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("cannot parse an empty string as a number")
+    # Greedily take the numeric head: sign, digits, dot, exponent.
+    idx = 0
+    seen_exp = False
+    while idx < len(text):
+        ch = text[idx]
+        if ch.isdigit() or ch in "+-.":
+            idx += 1
+            continue
+        if ch in "eE" and not seen_exp:
+            # Only treat as exponent if followed by a digit or sign+digit.
+            rest = text[idx + 1 : idx + 3]
+            if rest and (rest[0].isdigit() or (rest[0] in "+-" and len(rest) > 1 and rest[1].isdigit())):
+                seen_exp = True
+                idx += 1
+                continue
+        break
+    head, tail = text[:idx], text[idx:]
+    if not head:
+        raise ValueError(f"no numeric value found in {text!r}")
+    value = float(head)
+    tail = tail.strip()
+    if not tail:
+        return value
+    # SPICE-style: "meg" must be checked before "m".
+    lowered = tail.lower()
+    if lowered.startswith("meg"):
+        return value * 1e6
+    prefix = tail[0]
+    if prefix in SI_PREFIXES:
+        return value * SI_PREFIXES[prefix]
+    # No recognised prefix: the tail is a bare unit such as "ohm" or "V".
+    return value
+
+
+def seconds_to_ns(value: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return value * 1e9
+
+
+def ns_to_seconds(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9

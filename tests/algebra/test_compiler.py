@@ -1,0 +1,96 @@
+"""Tests for tree <-> expression <-> two-port compilation."""
+
+import pytest
+
+from repro.algebra.compiler import (
+    expression_to_tree,
+    tree_to_expression,
+    tree_to_twoport,
+    twoport_times,
+)
+from repro.core.exceptions import UnknownNodeError
+from repro.core.networks import figure7_tree, rc_ladder, symmetric_fanout
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+
+class TestTreeToTwoport:
+    def test_figure7(self, fig7):
+        twoport = tree_to_twoport(fig7, "out")
+        assert twoport.as_vector() == pytest.approx((22.0, 419.0, 18.0, 363.0, 6033.0))
+
+    def test_matches_direct_computation_on_random_trees(self, small_random_tree):
+        tree = small_random_tree
+        for output in tree.outputs:
+            direct = characteristic_times(tree, output)
+            algebra = twoport_times(tree, output)
+            assert algebra.tp == pytest.approx(direct.tp, rel=1e-9, abs=1e-30)
+            assert algebra.tde == pytest.approx(direct.tde, rel=1e-9, abs=1e-30)
+            assert algebra.tre == pytest.approx(direct.tre, rel=1e-9, abs=1e-30)
+            assert algebra.ree == pytest.approx(direct.ree, rel=1e-9, abs=1e-30)
+
+    def test_output_on_side_branch(self, fig7):
+        direct = characteristic_times(fig7, "b")
+        algebra = twoport_times(fig7, "b")
+        assert algebra.tde == pytest.approx(direct.tde)
+        assert algebra.tre == pytest.approx(direct.tre)
+
+    def test_deep_chain_does_not_recurse(self):
+        # 3000-node chain would blow Python's default recursion limit if the
+        # implementation were recursive.
+        tree = rc_ladder(3000, 1.0, 1.0)
+        twoport = tree_to_twoport(tree, "out")
+        assert twoport.ct == pytest.approx(3000.0)
+
+    def test_unknown_output_raises(self, fig7):
+        with pytest.raises(UnknownNodeError):
+            tree_to_twoport(fig7, "zz")
+
+
+class TestTreeToExpression:
+    def test_figure7_text_is_equivalent(self, fig7):
+        expr = tree_to_expression(fig7, "out")
+        assert expr.to_twoport().as_vector() == pytest.approx(
+            (22.0, 419.0, 18.0, 363.0, 6033.0)
+        )
+
+    def test_expression_mentions_wb_for_branches(self, fig7):
+        text = tree_to_expression(fig7, "out").to_text()
+        assert "WB" in text
+        assert "URC 8" in text
+
+    def test_chain_has_no_wb(self):
+        tree = rc_ladder(4, 2.0, 3.0)
+        assert "WB" not in tree_to_expression(tree, "out").to_text()
+
+    def test_random_tree_roundtrip(self, small_random_tree):
+        tree = small_random_tree
+        output = tree.outputs[0]
+        expr = tree_to_expression(tree, output)
+        rebuilt = expression_to_tree(expr)
+        direct = characteristic_times(tree, output)
+        rebuilt_times = characteristic_times(rebuilt, "out")
+        assert rebuilt_times.tp == pytest.approx(direct.tp, rel=1e-9)
+        assert rebuilt_times.tde == pytest.approx(direct.tde, rel=1e-9)
+        assert rebuilt_times.tre == pytest.approx(direct.tre, rel=1e-9)
+
+
+class TestExpressionToTree:
+    def test_accepts_text(self):
+        tree = expression_to_tree("(URC 15 0) WC URC 0 2")
+        assert tree.total_capacitance == pytest.approx(2.0)
+
+    def test_accepts_ast(self, fig7):
+        expr = tree_to_expression(fig7, "out")
+        tree = expression_to_tree(expr, root="source", output="sink")
+        assert tree.root == "source"
+        assert "sink" in tree
+
+
+class TestFanoutAgreement:
+    def test_every_output_of_a_fanout_net(self):
+        tree = symmetric_fanout(4, 200.0, 80.0, 3e-12, 1e-12)
+        for output in tree.outputs:
+            assert twoport_times(tree, output).tde == pytest.approx(
+                characteristic_times(tree, output).tde, rel=1e-12
+            )

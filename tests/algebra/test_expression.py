@@ -1,0 +1,127 @@
+"""Tests for the expression parser and AST (paper's eq. 18 notation)."""
+
+import pytest
+
+from repro.algebra.expression import (
+    URCExpr,
+    WBExpr,
+    WCExpr,
+    figure7_expression,
+    parse_expression,
+)
+from repro.core.exceptions import ParseError
+from repro.core.timeconstants import characteristic_times
+
+
+FIG7_TEXT = "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9"
+
+
+class TestParsing:
+    def test_single_urc(self):
+        expr = parse_expression("URC 3 4")
+        assert isinstance(expr, URCExpr)
+        assert expr.resistance == 3.0
+        assert expr.capacitance == 4.0
+
+    def test_parenthesised_urc(self):
+        expr = parse_expression("(URC 3 4)")
+        assert isinstance(expr, URCExpr)
+
+    def test_wc_is_right_associative(self):
+        expr = parse_expression("URC 1 0 WC URC 2 0 WC URC 3 0")
+        assert isinstance(expr, WCExpr)
+        assert isinstance(expr.left, URCExpr)
+        assert isinstance(expr.right, WCExpr)
+
+    def test_wb_grabs_rest_of_group(self):
+        expr = parse_expression("WB (URC 8 0) WC URC 0 7")
+        assert isinstance(expr, WBExpr)
+        assert isinstance(expr.operand, WCExpr)
+
+    def test_wb_confined_by_parentheses(self):
+        expr = parse_expression("(WB URC 8 0) WC URC 0 7")
+        assert isinstance(expr, WCExpr)
+        assert isinstance(expr.left, WBExpr)
+
+    def test_r_and_c_shorthands(self):
+        expr = parse_expression("R 15 WC C 2")
+        assert expr.to_twoport().r22 == 15.0
+        assert expr.to_twoport().ct == 2.0
+
+    def test_engineering_notation_numbers(self):
+        expr = parse_expression("URC 1.5k 10p")
+        assert expr.resistance == pytest.approx(1500.0)
+        assert expr.capacitance == pytest.approx(10e-12)
+
+    def test_commas_are_ignored(self):
+        expr = parse_expression("URC 15, 0")
+        assert expr.resistance == 15.0
+
+    def test_case_insensitive_keywords(self):
+        expr = parse_expression("urc 1 2 wc urc 3 4")
+        assert isinstance(expr, WCExpr)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "URC 1",
+            "URC",
+            "WC URC 1 2",
+            "(URC 1 2",
+            "URC 1 2)",
+            "FOO 1 2",
+            "URC 1 2 extra",
+            "URC 1 2 WC",
+            "URC one two",
+            "@#!",
+        ],
+    )
+    def test_malformed_expressions_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_expression(text)
+
+
+class TestEvaluation:
+    def test_figure7_twoport(self):
+        twoport = parse_expression(FIG7_TEXT).to_twoport()
+        assert twoport.as_vector() == pytest.approx((22.0, 419.0, 18.0, 363.0, 6033.0))
+
+    def test_figure7_expression_helper(self):
+        assert figure7_expression().to_twoport().as_vector() == pytest.approx(
+            (22.0, 419.0, 18.0, 363.0, 6033.0)
+        )
+
+    def test_to_text_roundtrip(self):
+        expr = parse_expression(FIG7_TEXT)
+        reparsed = parse_expression(expr.to_text())
+        assert reparsed.to_twoport().as_vector() == pytest.approx(
+            expr.to_twoport().as_vector()
+        )
+
+
+class TestToTree:
+    def test_figure7_tree_elaboration(self, fig7_times):
+        tree = parse_expression(FIG7_TEXT).to_tree()
+        times = characteristic_times(tree, "out")
+        assert times.tp == pytest.approx(fig7_times.tp)
+        assert times.tde == pytest.approx(fig7_times.tde)
+        assert times.tre == pytest.approx(fig7_times.tre)
+        assert times.ree == pytest.approx(fig7_times.ree)
+
+    def test_output_is_marked(self):
+        tree = parse_expression("URC 5 1 WC URC 5 1").to_tree()
+        assert tree.outputs == ["out"]
+
+    def test_pure_capacitor_expression(self):
+        tree = parse_expression("URC 0 3").to_tree()
+        # No series resistance: port 2 is the input itself.
+        assert tree.outputs == ["in"]
+        assert tree.total_capacitance == pytest.approx(3.0)
+
+    def test_custom_node_names(self):
+        tree = parse_expression("URC 5 1").to_tree(root="source", output="sink")
+        assert tree.root == "source"
+        assert tree.outputs == ["sink"]

@@ -1,0 +1,51 @@
+"""Tests for the TwoPort value type."""
+
+import pytest
+
+from repro.algebra.twoport import TwoPort
+from repro.algebra.wiring import urc
+from repro.core.exceptions import ElementValueError
+
+
+class TestTwoPort:
+    def test_vector_roundtrip(self):
+        vector = (22.0, 419.0, 18.0, 363.0, 6033.0)
+        twoport = TwoPort.from_vector(vector)
+        assert twoport.as_vector() == vector
+
+    def test_tr2_derived_from_product(self):
+        twoport = TwoPort.from_vector((22.0, 419.0, 18.0, 363.0, 6033.0))
+        assert twoport.tr2 == pytest.approx(6033.0 / 18.0)
+
+    def test_tr2_zero_when_r22_zero(self):
+        twoport = TwoPort(ct=5.0, tp=1.0, r22=0.0, td2=0.0, tr2_r22=0.0)
+        assert twoport.tr2 == 0.0
+
+    def test_tde_alias(self):
+        twoport = urc(3.0, 4.0)
+        assert twoport.tde == twoport.td2
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ElementValueError):
+            TwoPort(ct=-1.0, tp=0.0, r22=0.0, td2=0.0, tr2_r22=0.0)
+
+    def test_characteristic_times_conversion(self):
+        times = TwoPort.from_vector((22.0, 419.0, 18.0, 363.0, 6033.0)).characteristic_times("out")
+        assert times.output == "out"
+        assert times.tp == 419.0
+        assert times.tde == 363.0
+        assert times.tre == pytest.approx(6033.0 / 18.0)
+        assert times.ree == 18.0
+        assert times.total_capacitance == 22.0
+
+    def test_fluent_composition_matches_functions(self):
+        from repro.algebra.wiring import wb, wc
+
+        a, b = urc(15.0, 0.0), urc(0.0, 2.0)
+        assert a.wc(b) == wc(a, b)
+        assert a.wb() == wb(a)
+
+    def test_ordering_invariant_check(self):
+        assert urc(3.0, 4.0).satisfies_ordering()
+        broken = TwoPort(ct=1.0, tp=1.0, r22=1.0, td2=5.0, tr2_r22=0.1)
+        assert not broken.satisfies_ordering()

@@ -1,0 +1,110 @@
+"""Tests for the URC / WB / WC wiring functions (paper, Fig. 8, eqs. 19-28)."""
+
+import pytest
+
+from repro.algebra.twoport import TwoPort
+from repro.algebra.wiring import capacitor, cascade_chain, from_element, resistor, urc, wb, wc
+from repro.core.elements import Capacitor, Resistor, URCLine
+
+
+class TestURCPrimitive:
+    def test_urc_vector(self):
+        # URC R C -> (C, RC/2, R, RC/2, R^2 C / 3), the paper's APL listing.
+        twoport = urc(3.0, 4.0)
+        assert twoport.as_vector() == pytest.approx((4.0, 6.0, 3.0, 6.0, 12.0))
+
+    def test_resistor_degenerate(self):
+        assert urc(15.0, 0.0).as_vector() == pytest.approx((0.0, 0.0, 15.0, 0.0, 0.0))
+        assert resistor(15.0) == urc(15.0, 0.0)
+
+    def test_capacitor_degenerate(self):
+        assert urc(0.0, 2.0).as_vector() == pytest.approx((2.0, 0.0, 0.0, 0.0, 0.0))
+        assert capacitor(2.0) == urc(0.0, 2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            urc(-1.0, 0.0)
+
+    def test_from_element(self):
+        assert from_element(Resistor(5.0)) == resistor(5.0)
+        assert from_element(Capacitor(2.0)) == capacitor(2.0)
+        assert from_element(URCLine(3.0, 4.0)) == urc(3.0, 4.0)
+        with pytest.raises(TypeError):
+            from_element("not an element")
+
+
+class TestWC:
+    def test_paper_cascade_formulas(self):
+        # Hand-check eqs. (19)-(23) on a concrete pair.
+        a = TwoPort(ct=2.0, tp=5.0, r22=3.0, td2=4.0, tr2_r22=6.0)
+        b = TwoPort(ct=7.0, tp=11.0, r22=13.0, td2=17.0, tr2_r22=19.0)
+        combined = wc(a, b)
+        assert combined.ct == pytest.approx(2.0 + 7.0)
+        assert combined.tp == pytest.approx(5.0 + 11.0 + 3.0 * 7.0)
+        assert combined.r22 == pytest.approx(3.0 + 13.0)
+        assert combined.td2 == pytest.approx(4.0 + 17.0 + 3.0 * 7.0)
+        assert combined.tr2_r22 == pytest.approx(6.0 + 19.0 + 2.0 * 3.0 * 17.0 + 9.0 * 7.0)
+
+    def test_identity_element(self):
+        empty = TwoPort(0.0, 0.0, 0.0, 0.0, 0.0)
+        x = urc(3.0, 4.0)
+        assert wc(empty, x) == x
+        assert wc(x, empty) == x
+
+    def test_associativity(self):
+        a, b, c = urc(15.0, 2.0), urc(8.0, 7.0), urc(3.0, 4.0)
+        left = wc(wc(a, b), c)
+        right = wc(a, wc(b, c))
+        assert left.as_vector() == pytest.approx(right.as_vector())
+
+    def test_not_commutative_in_general(self):
+        a, b = urc(15.0, 0.0), urc(0.0, 2.0)
+        assert wc(a, b).tp != wc(b, a).tp
+
+    def test_preserves_ordering_invariant(self):
+        a, b = urc(10.0, 3.0), urc(20.0, 5.0)
+        assert wc(a, b).satisfies_ordering()
+
+
+class TestWB:
+    def test_keeps_ct_and_tp_only(self):
+        branch = wb(urc(8.0, 6.0))
+        assert branch.ct == 6.0
+        assert branch.tp == 24.0
+        assert branch.r22 == 0.0
+        assert branch.td2 == 0.0
+        assert branch.tr2_r22 == 0.0
+
+    def test_wb_is_idempotent(self):
+        once = wb(urc(8.0, 6.0))
+        assert wb(once) == once
+
+
+class TestCascadeChain:
+    def test_empty_chain_is_identity(self):
+        assert cascade_chain([]).as_vector() == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_single_element(self):
+        x = urc(3.0, 4.0)
+        assert cascade_chain([x]) == x
+
+    def test_matches_nested_wc(self):
+        parts = [urc(15.0, 0.0), urc(0.0, 2.0), urc(3.0, 4.0), urc(0.0, 9.0)]
+        nested = wc(parts[0], wc(parts[1], wc(parts[2], parts[3])))
+        assert cascade_chain(parts).as_vector() == pytest.approx(nested.as_vector())
+
+
+class TestFigure7ByHand:
+    """Walk the paper's eq. (18) exactly as the APL session does."""
+
+    def test_branch_subnetwork(self):
+        branch = wb(wc(urc(8.0, 0.0), urc(0.0, 7.0)))
+        assert branch.as_vector() == pytest.approx((7.0, 56.0, 0.0, 0.0, 0.0))
+
+    def test_full_network_vector(self):
+        branch = wb(wc(urc(8.0, 0.0), urc(0.0, 7.0)))
+        net = wc(
+            urc(15.0, 0.0),
+            wc(urc(0.0, 2.0), wc(branch, wc(urc(3.0, 4.0), urc(0.0, 9.0)))),
+        )
+        assert net.as_vector() == pytest.approx((22.0, 419.0, 18.0, 363.0, 6033.0))

@@ -1,0 +1,60 @@
+"""Tests for the clock-tree builder and skew analysis."""
+
+import pytest
+
+from repro.apps.clocktree import clock_skew_report, h_tree
+from repro.core.timeconstants import characteristic_times_all
+from repro.mos.drivers import DriverModel
+
+
+class TestHTree:
+    def test_leaf_count(self):
+        for levels in (1, 2, 3, 4):
+            tree = h_tree(levels)
+            assert len(tree.outputs) == 2 ** levels
+
+    def test_balanced_tree_has_identical_elmore_delays(self):
+        tree = h_tree(3)
+        delays = [t.tde for t in characteristic_times_all(tree).values()]
+        assert max(delays) - min(delays) < 1e-18
+
+    def test_driver_included_when_given(self):
+        driver = DriverModel("clkbuf", 150.0, 30e-15)
+        tree = h_tree(2, driver=driver)
+        first_edge = tree.path_edges(tree.outputs[0])[0]
+        assert first_edge.resistance == pytest.approx(150.0)
+
+    def test_mismatch_creates_skew(self):
+        balanced = clock_skew_report(h_tree(3))
+        skewed = clock_skew_report(h_tree(3, leaf_capacitance_mismatch=(1.0, 2.0)))
+        assert skewed.elmore_skew > balanced.elmore_skew
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            h_tree(0)
+
+
+class TestSkewReport:
+    def test_guaranteed_skew_bounds_elmore_skew(self):
+        report = clock_skew_report(h_tree(3, leaf_capacitance_mismatch=(1.0, 1.5)))
+        assert report.guaranteed_skew_bound >= report.elmore_skew
+
+    def test_earliest_not_after_latest(self):
+        report = clock_skew_report(h_tree(2))
+        for leaf in report.latest:
+            assert report.earliest[leaf] <= report.latest[leaf]
+
+    def test_slowest_and_fastest_leaves_identified(self):
+        report = clock_skew_report(h_tree(2, leaf_capacitance_mismatch=(1.0, 3.0)))
+        assert report.latest[report.slowest_leaf] == max(report.latest.values())
+        assert report.earliest[report.fastest_leaf] == min(report.earliest.values())
+
+    def test_describe(self):
+        text = clock_skew_report(h_tree(2)).describe()
+        assert "skew" in text
+        assert "ps" in text
+
+    def test_deeper_tree_is_slower(self):
+        shallow = clock_skew_report(h_tree(2))
+        deep = clock_skew_report(h_tree(4))
+        assert max(deep.elmore.values()) > max(shallow.elmore.values())

@@ -1,0 +1,63 @@
+"""Tests for the daisy-chain, star and comb-bus net builders."""
+
+import pytest
+
+from repro.apps.nets import comb_bus_net, daisy_chain_net, star_net
+from repro.core.timeconstants import characteristic_times, characteristic_times_all
+from repro.mos.drivers import DriverModel
+
+
+DRIVER = DriverModel("drv", 1000.0, 10e-15)
+
+
+class TestDaisyChain:
+    def test_loads_in_order(self):
+        tree = daisy_chain_net([10e-15, 20e-15, 30e-15], 100e-6)
+        assert tree.outputs == ["load0", "load1", "load2"]
+        assert tree.parent_of("load1") == "load0"
+
+    def test_later_loads_are_slower(self):
+        tree = daisy_chain_net([10e-15] * 4, 200e-6, driver=DRIVER)
+        table = characteristic_times_all(tree)
+        delays = [table[f"load{i}"].tde for i in range(4)]
+        assert delays == sorted(delays)
+        assert delays[0] < delays[-1]
+
+    def test_requires_at_least_one_load(self):
+        with pytest.raises(ValueError):
+            daisy_chain_net([], 100e-6)
+
+
+class TestStar:
+    def test_every_load_direct_from_hub(self):
+        tree = star_net([10e-15, 20e-15], 100e-6, driver=DRIVER)
+        assert tree.parent_of("load0") == "drv"
+        assert tree.parent_of("load1") == "drv"
+
+    def test_star_outputs_fast_but_loaded_by_siblings(self):
+        star = star_net([10e-15] * 4, 200e-6, driver=DRIVER)
+        chain = daisy_chain_net([10e-15] * 4, 200e-6, driver=DRIVER)
+        star_worst = max(t.tde for t in characteristic_times_all(star).values())
+        chain_worst = max(t.tde for t in characteristic_times_all(chain).values())
+        # The chain's far load sees all of the wire resistance in series and
+        # is always slower than the star's worst output.
+        assert star_worst < chain_worst
+
+
+class TestCombBus:
+    def test_structure(self):
+        tree = comb_bus_net(4, 15e-15, 250e-6, 20e-6, driver=DRIVER)
+        assert len(tree.outputs) == 4
+        assert tree.parent_of("drop2") == "tap2"
+
+    def test_far_drop_slower_than_near_drop(self):
+        tree = comb_bus_net(4, 15e-15, 250e-6, 20e-6, driver=DRIVER)
+        near = characteristic_times(tree, "drop0").tde
+        far = characteristic_times(tree, "drop3").tde
+        assert far > near
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            comb_bus_net(0, 15e-15, 250e-6, 20e-6)
+        with pytest.raises(ValueError):
+            comb_bus_net(2, -1.0, 250e-6, 20e-6)

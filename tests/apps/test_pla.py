@@ -1,0 +1,106 @@
+"""Tests for the PLA line application (paper, Section V)."""
+
+import pytest
+
+from repro.apps.pla import (
+    PLA_DRIVER,
+    PLA_SECTION,
+    max_minterms_within,
+    pla_delay_sweep,
+    pla_line_from_technology,
+    pla_line_tree,
+    pla_line_twoport,
+)
+from repro.core.bounds import delay_bounds
+from repro.core.timeconstants import characteristic_times
+
+
+class TestPLALineConstruction:
+    def test_section_values_match_listing(self):
+        assert PLA_SECTION.segment_resistance == pytest.approx(180.0)
+        assert PLA_SECTION.segment_capacitance == pytest.approx(0.0107e-12)
+        assert PLA_SECTION.gate_resistance == pytest.approx(30.0)
+        assert PLA_SECTION.gate_capacitance == pytest.approx(0.0134e-12)
+        assert PLA_DRIVER.effective_resistance == pytest.approx(378.0)
+
+    def test_two_minterms_is_one_section(self):
+        twoport = pla_line_twoport(2)
+        # Driver R + one 180-ohm segment + one 30-ohm gate = 588 ohm to the far end.
+        assert twoport.r22 == pytest.approx(378.0 + 180.0 + 30.0)
+        assert twoport.ct == pytest.approx(0.04e-12 + 0.0107e-12 + 0.0134e-12)
+
+    def test_odd_minterm_counts_round_up(self):
+        assert pla_line_twoport(3).r22 == pytest.approx(pla_line_twoport(4).r22)
+
+    def test_zero_minterms_is_just_the_driver(self):
+        twoport = pla_line_twoport(0)
+        assert twoport.r22 == pytest.approx(378.0)
+        assert twoport.ct == pytest.approx(0.04e-12)
+
+    def test_tree_matches_twoport(self):
+        for count in (2, 10, 50):
+            tree_times = characteristic_times(pla_line_tree(count), "out")
+            algebra = pla_line_twoport(count)
+            assert tree_times.tde == pytest.approx(algebra.td2, rel=1e-12)
+            assert tree_times.tp == pytest.approx(algebra.tp, rel=1e-12)
+            assert tree_times.tre == pytest.approx(algebra.tr2, rel=1e-12)
+
+    def test_negative_minterms_rejected(self):
+        with pytest.raises(ValueError):
+            pla_line_twoport(-2)
+
+
+class TestFromTechnology:
+    def test_derived_values_close_to_paper(self):
+        derived = characteristic_times(pla_line_from_technology(40), "out")
+        listing = pla_line_twoport(40).characteristic_times()
+        # The process-derived element values reproduce the paper's within ~15%.
+        assert derived.tde == pytest.approx(listing.tde, rel=0.2)
+
+    def test_more_minterms_always_slower(self):
+        delays = [
+            characteristic_times(pla_line_from_technology(count), "out").tde
+            for count in (2, 10, 40)
+        ]
+        assert delays == sorted(delays)
+
+
+class TestFigure13Sweep:
+    def test_rows_are_monotone_in_minterms(self):
+        rows = pla_delay_sweep([2, 10, 40, 100])
+        uppers = [row.t_upper for row in rows]
+        lowers = [row.t_lower for row in rows]
+        assert uppers == sorted(uppers)
+        assert lowers == sorted(lowers)
+
+    def test_lower_below_upper(self):
+        for row in pla_delay_sweep([2, 20, 100]):
+            assert row.t_lower < row.t_upper
+
+    def test_hundred_minterms_guaranteed_near_10_ns(self):
+        row = pla_delay_sweep([100])[0]
+        # The paper reads "no worse than 10 ns" off its log-log plot.
+        assert 8.0 <= row.t_upper_ns <= 12.0
+
+    def test_quadratic_growth(self):
+        rows = pla_delay_sweep([25, 50, 100])
+        ratio = rows[2].t_upper / rows[1].t_upper
+        # Doubling the line length should roughly quadruple the delay.
+        assert 3.0 < ratio < 4.5
+
+    def test_ns_properties(self):
+        row = pla_delay_sweep([10])[0]
+        assert row.t_upper_ns == pytest.approx(row.t_upper * 1e9)
+        assert row.threshold == 0.7
+
+
+class TestMaxMinterms:
+    def test_consistent_with_sweep(self):
+        limit = max_minterms_within(10e-9)
+        at_limit = pla_line_twoport(limit).characteristic_times()
+        beyond = pla_line_twoport(limit + 2).characteristic_times()
+        assert delay_bounds(at_limit, 0.7).upper <= 10e-9
+        assert delay_bounds(beyond, 0.7).upper > 10e-9
+
+    def test_tiny_deadline_gives_zero(self):
+        assert max_minterms_within(1e-12) == 0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite."""
+
+import pytest
+
+from repro.core.networks import figure3_tree, figure7_tree, rc_ladder, single_line
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+
+@pytest.fixture
+def fig7():
+    """The paper's Figure 7 example network."""
+    return figure7_tree()
+
+
+@pytest.fixture
+def fig7_times(fig7):
+    """Characteristic times of the Figure 7 network's output."""
+    return characteristic_times(fig7, "out")
+
+
+@pytest.fixture
+def fig3():
+    """The paper's Figure 3 resistance-term illustration network."""
+    return figure3_tree()
+
+
+@pytest.fixture
+def unit_line():
+    """A single uniform RC line with R = C = 1."""
+    return single_line(1.0, 1.0)
+
+
+@pytest.fixture
+def ladder10():
+    """A 10-section lumped RC ladder."""
+    return rc_ladder(10, 5.0, 2e-12)
+
+
+@pytest.fixture(params=[0, 1, 2, 3, 4])
+def small_random_tree(request):
+    """A handful of deterministic random trees of moderate size."""
+    return random_tree(seed=request.param, config=RandomTreeConfig(nodes=25))

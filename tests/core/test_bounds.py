@@ -1,0 +1,219 @@
+"""Tests for the Penfield-Rubinstein bound formulas (eqs. 8-17)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    BoundedResponse,
+    delay_bound_table,
+    delay_bounds,
+    delay_lower_bound,
+    delay_upper_bound,
+    voltage_bound_table,
+    voltage_bounds,
+    voltage_lower_bound,
+    voltage_upper_bound,
+)
+from repro.core.exceptions import AnalysisError, DegenerateNetworkError
+from repro.core.networks import (
+    FIGURE10_DELAY_ROWS,
+    FIGURE10_VOLTAGE_ROWS,
+    figure7_tree,
+    single_line,
+)
+from repro.core.timeconstants import CharacteristicTimes, characteristic_times
+from repro.core.tree import RCTree
+
+
+class TestFigure10DelayTable:
+    """Numeric agreement with the paper's printed TMIN/TMAX table."""
+
+    @pytest.mark.parametrize("threshold,tmin,tmax", FIGURE10_DELAY_ROWS)
+    def test_rows_match_paper(self, fig7_times, threshold, tmin, tmax):
+        bounds = delay_bounds(fig7_times, threshold)
+        assert bounds.lower == pytest.approx(tmin, rel=5e-4, abs=5e-3)
+        assert bounds.upper == pytest.approx(tmax, rel=5e-4)
+
+    def test_table_helper_matches_scalar_calls(self, fig7_times):
+        thresholds = [row[0] for row in FIGURE10_DELAY_ROWS]
+        table = delay_bound_table(fig7_times, thresholds)
+        for (v, lo, hi), threshold in zip(table, thresholds):
+            assert v == pytest.approx(threshold)
+            assert lo == pytest.approx(float(delay_lower_bound(fig7_times, threshold)))
+            assert hi == pytest.approx(float(delay_upper_bound(fig7_times, threshold)))
+
+
+class TestFigure10VoltageTable:
+    """Numeric agreement with the paper's printed VMIN/VMAX table."""
+
+    @pytest.mark.parametrize("time,vmin,vmax", FIGURE10_VOLTAGE_ROWS)
+    def test_rows_match_paper(self, fig7_times, time, vmin, vmax):
+        bounds = voltage_bounds(fig7_times, time)
+        assert bounds.lower == pytest.approx(vmin, abs=5e-5)
+        assert bounds.upper == pytest.approx(vmax, abs=5e-5)
+
+    def test_table_helper(self, fig7_times):
+        times = [row[0] for row in FIGURE10_VOLTAGE_ROWS]
+        table = voltage_bound_table(fig7_times, times)
+        assert len(table) == len(times)
+        assert all(lo <= hi for _, lo, hi in table)
+
+
+class TestStructuralProperties:
+    def test_lower_never_exceeds_upper_in_time(self, fig7_times):
+        for threshold in np.linspace(0.01, 0.99, 25):
+            assert float(delay_lower_bound(fig7_times, threshold)) <= float(
+                delay_upper_bound(fig7_times, threshold)
+            ) + 1e-12
+
+    def test_lower_never_exceeds_upper_in_voltage(self, fig7_times):
+        for time in np.linspace(0.0, 5000.0, 40):
+            assert float(voltage_lower_bound(fig7_times, time)) <= float(
+                voltage_upper_bound(fig7_times, time)
+            ) + 1e-12
+
+    def test_bounds_monotone_in_threshold(self, fig7_times):
+        thresholds = np.linspace(0.05, 0.95, 19)
+        lower = delay_lower_bound(fig7_times, thresholds)
+        upper = delay_upper_bound(fig7_times, thresholds)
+        assert np.all(np.diff(lower) >= -1e-12)
+        assert np.all(np.diff(upper) >= -1e-12)
+
+    def test_voltage_bounds_monotone_in_time(self, fig7_times):
+        times = np.linspace(0.0, 4000.0, 200)
+        assert np.all(np.diff(voltage_lower_bound(fig7_times, times)) >= -1e-12)
+        assert np.all(np.diff(voltage_upper_bound(fig7_times, times)) >= -1e-12)
+
+    def test_voltage_bounds_approach_one(self, fig7_times):
+        assert float(voltage_lower_bound(fig7_times, 1e6)) > 0.999
+        assert float(voltage_upper_bound(fig7_times, 1e6)) > 0.999
+
+    def test_lower_bound_zero_before_tde_minus_tre(self, fig7_times):
+        region_end = fig7_times.tde - fig7_times.tre
+        assert float(voltage_lower_bound(fig7_times, 0.5 * region_end)) == 0.0
+        assert float(voltage_lower_bound(fig7_times, 2.0 * region_end)) > 0.0
+
+    def test_upper_bound_at_zero_is_one_minus_tde_over_tp(self, fig7_times):
+        expected = 1.0 - fig7_times.tde / fig7_times.tp
+        assert float(voltage_upper_bound(fig7_times, 0.0)) == pytest.approx(expected)
+
+    def test_delay_lower_bound_at_zero_threshold_is_zero(self, fig7_times):
+        assert float(delay_lower_bound(fig7_times, 0.0)) == 0.0
+
+    def test_inversion_consistency(self, fig7_times):
+        """t_max(v) is the inverse of v_min(t): v_min(t_max(v)) == v."""
+        for threshold in (0.1, 0.3, 0.5, 0.7, 0.9):
+            upper_time = float(delay_upper_bound(fig7_times, threshold))
+            assert float(voltage_lower_bound(fig7_times, upper_time)) == pytest.approx(
+                threshold, abs=1e-9
+            )
+
+    def test_inversion_consistency_lower(self, fig7_times):
+        """t_min(v) is the inverse of v_max(t): v_max(t_min(v)) == v (when t_min > 0)."""
+        for threshold in (0.3, 0.5, 0.7, 0.9):
+            lower_time = float(delay_lower_bound(fig7_times, threshold))
+            if lower_time > 0.0:
+                assert float(voltage_upper_bound(fig7_times, lower_time)) == pytest.approx(
+                    threshold, abs=1e-9
+                )
+
+
+class TestSingleRC:
+    """For a single lumped RC the response is exact: both bounds coincide."""
+
+    def make_times(self):
+        tree = RCTree()
+        tree.add_resistor("in", "out", 2.0)
+        tree.add_capacitor("out", 3.0)
+        return characteristic_times(tree, "out")
+
+    def test_delay_bounds_coincide(self):
+        times = self.make_times()
+        for threshold in (0.1, 0.5, 0.632, 0.9):
+            exact = 6.0 * math.log(1.0 / (1.0 - threshold))
+            assert float(delay_lower_bound(times, threshold)) == pytest.approx(exact)
+            assert float(delay_upper_bound(times, threshold)) == pytest.approx(exact)
+
+    def test_voltage_bounds_coincide(self):
+        times = self.make_times()
+        for t in (0.5, 3.0, 6.0, 20.0):
+            exact = 1.0 - math.exp(-t / 6.0)
+            assert float(voltage_lower_bound(times, t)) == pytest.approx(exact)
+            assert float(voltage_upper_bound(times, t)) == pytest.approx(exact)
+
+
+class TestArgumentValidation:
+    def test_threshold_must_be_below_one(self, fig7_times):
+        with pytest.raises(AnalysisError):
+            delay_bounds(fig7_times, 1.0)
+
+    def test_threshold_must_be_non_negative(self, fig7_times):
+        with pytest.raises(AnalysisError):
+            delay_bounds(fig7_times, -0.1)
+
+    def test_time_must_be_non_negative(self, fig7_times):
+        with pytest.raises(AnalysisError):
+            voltage_bounds(fig7_times, -1.0)
+
+    def test_time_must_be_finite(self, fig7_times):
+        with pytest.raises(AnalysisError):
+            voltage_upper_bound(fig7_times, float("inf"))
+
+    def test_degenerate_network_rejected(self):
+        times = CharacteristicTimes(
+            output="x", tp=0.0, tde=0.0, tre=0.0, ree=1.0, total_capacitance=0.0
+        )
+        with pytest.raises(DegenerateNetworkError):
+            delay_bounds(times, 0.5)
+
+    def test_output_at_input_gives_instantaneous_response(self):
+        times = CharacteristicTimes(
+            output="in", tp=10.0, tde=0.0, tre=0.0, ree=0.0, total_capacitance=1.0
+        )
+        assert float(delay_upper_bound(times, 0.9)) == 0.0
+        assert float(voltage_lower_bound(times, 0.0)) == 1.0
+
+
+class TestVectorised:
+    def test_array_in_array_out(self, fig7_times):
+        thresholds = np.array([0.1, 0.5, 0.9])
+        lower = delay_lower_bound(fig7_times, thresholds)
+        assert isinstance(lower, np.ndarray)
+        assert lower.shape == (3,)
+
+    def test_scalar_in_float_out(self, fig7_times):
+        assert isinstance(delay_lower_bound(fig7_times, 0.5), float)
+        assert isinstance(voltage_upper_bound(fig7_times, 10.0), float)
+
+
+class TestBoundedResponse:
+    def test_wraps_times(self, fig7_times):
+        bounded = BoundedResponse(fig7_times)
+        assert bounded.output == "out"
+        assert bounded.times is fig7_times
+
+    def test_delay_queries(self, fig7_times):
+        bounded = BoundedResponse(fig7_times)
+        assert bounded.worst_case_delay(0.5) == pytest.approx(314.149, rel=1e-4)
+        assert bounded.best_case_delay(0.5) == pytest.approx(184.234, rel=1e-4)
+        record = bounded.delay_bounds(0.5)
+        assert record.width == pytest.approx(record.upper - record.lower)
+        assert record.midpoint == pytest.approx((record.upper + record.lower) / 2)
+        assert 0 < record.relative_width < 1
+
+    def test_envelope_sampling(self, fig7_times):
+        bounded = BoundedResponse(fig7_times)
+        t, lo, hi = bounded.envelope(600.0, points=50)
+        assert len(t) == 50
+        assert np.all(lo <= hi + 1e-12)
+
+    def test_envelope_rejects_bad_horizon(self, fig7_times):
+        with pytest.raises(AnalysisError):
+            BoundedResponse(fig7_times).envelope(0.0)
+
+    def test_voltage_bounds_record(self, fig7_times):
+        record = BoundedResponse(fig7_times).voltage_bounds(100.0)
+        assert record.time == 100.0
+        assert record.width == pytest.approx(record.upper - record.lower)

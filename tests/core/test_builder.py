@@ -1,0 +1,75 @@
+"""Tests for the fluent TreeBuilder."""
+
+import pytest
+
+from repro.core.builder import TreeBuilder
+from repro.core.timeconstants import characteristic_times
+
+
+class TestTreeBuilder:
+    def test_simple_chain(self):
+        tree = (
+            TreeBuilder("drv")
+            .resistor(100.0, "a")
+            .capacitor(1e-12)
+            .line(50.0, 2e-12, "b", output=True)
+            .build()
+        )
+        assert tree.root == "drv"
+        assert tree.outputs == ["b"]
+        assert tree.parent_of("b") == "a"
+        assert tree.node_capacitance("a") == pytest.approx(1e-12)
+
+    def test_auto_named_nodes(self):
+        builder = TreeBuilder()
+        builder.resistor(1.0).resistor(2.0).resistor(3.0)
+        tree = builder.build()
+        assert len(tree) == 4
+        assert builder.cursor == "n3"
+
+    def test_tap_does_not_move_cursor(self):
+        builder = TreeBuilder()
+        builder.resistor(10.0, "a")
+        builder.tap("gate1", capacitance=1e-12, resistance=5.0)
+        assert builder.cursor == "a"
+        tree = builder.resistor(20.0, "b").build()
+        assert tree.parent_of("gate1") == "a"
+        assert tree.parent_of("b") == "a"
+
+    def test_tap_marks_output(self):
+        tree = TreeBuilder().resistor(1.0, "a").tap("g", 1e-12, output=True).build()
+        assert tree.outputs == ["g"]
+
+    def test_at_moves_cursor(self):
+        builder = TreeBuilder().resistor(1.0, "a").resistor(2.0, "b")
+        builder.at("a").resistor(3.0, "c")
+        tree = builder.build()
+        assert tree.parent_of("c") == "a"
+        assert set(tree.children_of("a")) == {"b", "c"}
+
+    def test_at_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            TreeBuilder().at("nope")
+
+    def test_output_marks_cursor_by_default(self):
+        tree = TreeBuilder().resistor(1.0, "a").output().build()
+        assert tree.outputs == ["a"]
+
+    def test_builder_reproduces_figure7(self, fig7_times):
+        tree = (
+            TreeBuilder("in")
+            .resistor(15.0, "a")
+            .capacitor(2.0)
+            .tap("b", capacitance=7.0, resistance=8.0)
+            .line(3.0, 4.0, "out", output=True)
+            .capacitor(9.0)
+            .build()
+        )
+        times = characteristic_times(tree, "out")
+        assert times.tp == pytest.approx(fig7_times.tp)
+        assert times.tde == pytest.approx(fig7_times.tde)
+        assert times.tre == pytest.approx(fig7_times.tre)
+
+    def test_build_validates_by_default(self):
+        tree = TreeBuilder().resistor(1.0).capacitor(1.0).build()
+        assert tree.total_capacitance == 1.0

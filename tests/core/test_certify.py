@@ -1,0 +1,70 @@
+"""Tests for timing certification (the paper's OK function)."""
+
+import pytest
+
+from repro.core.certify import Verdict, certify, certify_tree, worst_output
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times
+
+
+class TestVerdictValues:
+    """The paper's OK returns 1 / 0 / -1; Verdict keeps those numeric values."""
+
+    def test_numeric_values(self):
+        assert int(Verdict.PASS) == 1
+        assert int(Verdict.INDETERMINATE) == 0
+        assert int(Verdict.FAIL) == -1
+
+
+class TestCertify:
+    def test_pass_when_deadline_beyond_upper_bound(self, fig7_times):
+        certificate = certify(fig7_times, 0.5, deadline=400.0)
+        assert certificate.verdict is Verdict.PASS
+        assert certificate.guaranteed_slack > 0
+
+    def test_fail_when_deadline_before_lower_bound(self, fig7_times):
+        certificate = certify(fig7_times, 0.5, deadline=100.0)
+        assert certificate.verdict is Verdict.FAIL
+        assert certificate.optimistic_slack < 0
+
+    def test_indeterminate_between_bounds(self, fig7_times):
+        certificate = certify(fig7_times, 0.5, deadline=250.0)
+        assert certificate.verdict is Verdict.INDETERMINATE
+        assert certificate.guaranteed_slack < 0 < certificate.optimistic_slack
+
+    def test_boundary_exactly_at_upper_bound_passes(self, fig7_times):
+        upper = certify(fig7_times, 0.5, deadline=1e9).bounds.upper
+        assert certify(fig7_times, 0.5, deadline=upper).verdict is Verdict.PASS
+
+    def test_describe_mentions_verdict(self, fig7_times):
+        text = certify(fig7_times, 0.5, deadline=400.0).describe()
+        assert "PASS" in text
+        assert "out" in text
+
+    def test_threshold_validation(self, fig7_times):
+        with pytest.raises(ValueError):
+            certify(fig7_times, 1.5, deadline=100.0)
+
+    def test_deadline_validation(self, fig7_times):
+        with pytest.raises(ValueError):
+            certify(fig7_times, 0.5, deadline=-1.0)
+
+
+class TestCertifyTree:
+    def test_certifies_marked_outputs(self, fig7):
+        results = certify_tree(fig7, 0.5, deadline=400.0)
+        assert set(results) == {"out"}
+        assert results["out"].verdict is Verdict.PASS
+
+    def test_certifies_requested_outputs(self, fig7):
+        results = certify_tree(fig7, 0.5, deadline=400.0, outputs=["out", "b"])
+        assert set(results) == {"out", "b"}
+
+    def test_worst_output_has_smallest_slack(self, fig7):
+        results = certify_tree(fig7, 0.5, deadline=600.0, outputs=["out", "b", "a"])
+        worst = worst_output(results)
+        assert worst.guaranteed_slack == min(c.guaranteed_slack for c in results.values())
+
+    def test_worst_output_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst_output({})

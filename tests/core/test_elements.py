@@ -1,0 +1,108 @@
+"""Unit tests for the circuit element value objects."""
+
+import pytest
+
+from repro.core.elements import Capacitor, Resistor, URCLine
+from repro.core.exceptions import ElementValueError
+
+
+class TestResistor:
+    def test_holds_value(self):
+        assert Resistor(15.0).resistance == 15.0
+
+    def test_zero_resistance_is_legal(self):
+        assert Resistor(0.0).resistance == 0.0
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ElementValueError):
+            Resistor(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ElementValueError):
+            Resistor(float("nan"))
+
+    def test_capacitance_is_zero(self):
+        assert Resistor(10.0).capacitance == 0.0
+
+    def test_scaled(self):
+        assert Resistor(10.0).scaled(2.5).resistance == 25.0
+
+    def test_immutable(self):
+        resistor = Resistor(10.0)
+        with pytest.raises(AttributeError):
+            resistor.resistance = 5.0
+
+    def test_equality_by_value(self):
+        assert Resistor(3.0) == Resistor(3.0)
+        assert Resistor(3.0) != Resistor(4.0)
+
+
+class TestCapacitor:
+    def test_holds_value(self):
+        assert Capacitor(2e-12).capacitance == 2e-12
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ElementValueError):
+            Capacitor(-1e-15)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ElementValueError):
+            Capacitor(float("inf"))
+
+    def test_resistance_is_zero(self):
+        assert Capacitor(1e-12).resistance == 0.0
+
+    def test_scaled(self):
+        assert Capacitor(4.0).scaled(0.5).capacitance == 2.0
+
+
+class TestURCLine:
+    def test_holds_values(self):
+        line = URCLine(3.0, 4.0)
+        assert line.resistance == 3.0
+        assert line.capacitance == 4.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ElementValueError):
+            URCLine(-3.0, 4.0)
+        with pytest.raises(ElementValueError):
+            URCLine(3.0, -4.0)
+
+    def test_pure_resistor_detection(self):
+        assert URCLine(5.0, 0.0).is_pure_resistor
+        assert not URCLine(5.0, 1.0).is_pure_resistor
+
+    def test_pure_capacitor_detection(self):
+        assert URCLine(0.0, 5.0).is_pure_capacitor
+        assert not URCLine(1.0, 5.0).is_pure_capacitor
+
+    def test_as_lumped_degenerates_to_resistor(self):
+        assert URCLine(5.0, 0.0).as_lumped() == Resistor(5.0)
+
+    def test_as_lumped_degenerates_to_capacitor(self):
+        assert URCLine(0.0, 5.0).as_lumped() == Capacitor(5.0)
+
+    def test_as_lumped_keeps_distributed_line(self):
+        line = URCLine(5.0, 3.0)
+        assert line.as_lumped() is line
+
+    def test_split_preserves_totals(self):
+        head, tail = URCLine(10.0, 4.0).split(0.25)
+        assert head.resistance == pytest.approx(2.5)
+        assert head.capacitance == pytest.approx(1.0)
+        assert head.resistance + tail.resistance == pytest.approx(10.0)
+        assert head.capacitance + tail.capacitance == pytest.approx(4.0)
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ElementValueError):
+            URCLine(1.0, 1.0).split(1.5)
+
+    def test_segments_preserve_totals(self):
+        pieces = URCLine(9.0, 3.0).segments(3)
+        assert len(pieces) == 3
+        assert sum(p.resistance for p in pieces) == pytest.approx(9.0)
+        assert sum(p.capacitance for p in pieces) == pytest.approx(3.0)
+
+    def test_segments_rejects_zero_count(self):
+        with pytest.raises(ElementValueError):
+            URCLine(1.0, 1.0).segments(0)

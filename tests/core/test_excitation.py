@@ -1,0 +1,95 @@
+"""Tests for the ramp-excitation (superposition) bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.excitation import RampResponseBounds, ramp_delay_bounds, ramp_voltage_bounds
+from repro.core.bounds import delay_bounds, voltage_bounds
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times
+from repro.simulate.transient import ramp_input, transient_step_response
+
+
+class TestConstruction:
+    def test_rejects_bad_rise_time(self, fig7_times):
+        with pytest.raises(ValueError):
+            RampResponseBounds(fig7_times, 0.0)
+
+    def test_rejects_too_few_samples(self, fig7_times):
+        from repro.core.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            RampResponseBounds(fig7_times, 10.0, samples=3)
+
+    def test_properties(self, fig7_times):
+        bounds = RampResponseBounds(fig7_times, 50.0)
+        assert bounds.rise_time == 50.0
+        assert bounds.times is fig7_times
+
+
+class TestLimits:
+    def test_tiny_rise_time_recovers_step_bounds(self, fig7_times):
+        ramp = ramp_delay_bounds(fig7_times, 1e-6, 0.5)
+        step = delay_bounds(fig7_times, 0.5)
+        assert ramp.lower == pytest.approx(step.lower, rel=1e-3)
+        assert ramp.upper == pytest.approx(step.upper, rel=1e-3)
+
+    def test_tiny_rise_time_voltage_bounds(self, fig7_times):
+        ramp = ramp_voltage_bounds(fig7_times, 1e-6, 200.0)
+        step = voltage_bounds(fig7_times, 200.0)
+        assert ramp.lower == pytest.approx(step.lower, abs=1e-3)
+        assert ramp.upper == pytest.approx(step.upper, abs=1e-3)
+
+    def test_slower_ramp_means_later_crossing(self, fig7_times):
+        fast = ramp_delay_bounds(fig7_times, 10.0, 0.5)
+        slow = ramp_delay_bounds(fig7_times, 400.0, 0.5)
+        assert slow.lower > fast.lower
+        assert slow.upper > fast.upper
+
+    def test_zero_time_gives_zero_voltage(self, fig7_times):
+        bounds = RampResponseBounds(fig7_times, 100.0)
+        assert float(bounds.vmin(0.0)) == 0.0
+        assert float(bounds.vmax(0.0)) == 0.0
+
+
+class TestStructure:
+    def test_envelopes_ordered_and_monotone(self, fig7_times):
+        bounds = RampResponseBounds(fig7_times, 150.0)
+        grid = np.linspace(0.0, 3000.0, 40)
+        lower = bounds.vmin(grid)
+        upper = bounds.vmax(grid)
+        assert np.all(lower <= upper + 1e-12)
+        assert np.all(np.diff(lower) >= -1e-9)
+        assert np.all(np.diff(upper) >= -1e-9)
+
+    def test_delay_bounds_ordered(self, fig7_times):
+        record = ramp_delay_bounds(fig7_times, 120.0, 0.7)
+        assert 0.0 <= record.lower <= record.upper
+
+
+class TestAgainstTransientSimulation:
+    def test_simulated_ramp_response_inside_bounds(self, fig7, fig7_times):
+        rise_time = 100.0
+        bounds = RampResponseBounds(fig7_times, rise_time)
+        result = transient_step_response(
+            fig7, 2000.0, steps=4000, segments_per_line=40,
+            input_function=ramp_input(rise_time),
+        )
+        waveform = result.waveform("out")
+        grid = np.linspace(0.0, 2000.0, 50)
+        exact = waveform(grid)
+        lower = bounds.vmin(grid)
+        upper = bounds.vmax(grid)
+        assert np.all(exact >= lower - 3e-3)
+        assert np.all(exact <= upper + 3e-3)
+
+    def test_simulated_crossing_inside_delay_bounds(self, fig7, fig7_times):
+        rise_time = 100.0
+        bounds = RampResponseBounds(fig7_times, rise_time)
+        result = transient_step_response(
+            fig7, 3000.0, steps=4000, segments_per_line=40,
+            input_function=ramp_input(rise_time),
+        )
+        exact = result.waveform("out").delay_to(0.5)
+        record = bounds.delay_bounds(0.5)
+        assert record.lower - 1.0 <= exact <= record.upper + 1.0

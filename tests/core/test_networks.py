@@ -1,0 +1,82 @@
+"""Tests for the reference-network constructors."""
+
+import pytest
+
+from repro.core.networks import (
+    FIGURE7_TWOPORT,
+    figure3_tree,
+    figure7_tree,
+    rc_ladder,
+    single_line,
+    symmetric_fanout,
+)
+from repro.core.timeconstants import characteristic_times
+
+
+class TestFigure7Tree:
+    def test_matches_published_twoport(self):
+        times = characteristic_times(figure7_tree(), "out")
+        ct, tp, r22, td2, tr2_r22 = FIGURE7_TWOPORT
+        assert times.total_capacitance == pytest.approx(ct)
+        assert times.tp == pytest.approx(tp)
+        assert times.ree == pytest.approx(r22)
+        assert times.tde == pytest.approx(td2)
+        assert times.tre * times.ree == pytest.approx(tr2_r22)
+
+    def test_marks_out_as_output(self):
+        assert figure7_tree().outputs == ["out"]
+
+    def test_has_distributed_line(self):
+        assert any(edge.is_distributed for edge in figure7_tree().edges)
+
+
+class TestFigure3Tree:
+    def test_output_is_e(self):
+        assert figure3_tree().outputs == ["e"]
+
+    def test_has_five_resistors(self):
+        assert len(figure3_tree().edges) == 5
+
+    def test_custom_values(self):
+        tree = figure3_tree(r1=10.0, r2=20.0, r3=30.0, r4=40.0, r5=50.0)
+        assert tree.total_resistance == pytest.approx(150.0)
+
+
+class TestSingleLine:
+    def test_one_edge(self):
+        tree = single_line(10.0, 2.0)
+        assert len(tree.edges) == 1
+        assert tree.edges[0].is_distributed
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            single_line(0.0, 1.0)
+        with pytest.raises(ValueError):
+            single_line(1.0, 0.0)
+
+
+class TestRCLadder:
+    def test_size(self):
+        tree = rc_ladder(5, 1.0, 2.0)
+        assert len(tree.edges) == 5
+        assert tree.total_capacitance == pytest.approx(10.0)
+        assert tree.outputs == ["out"]
+
+    def test_single_section(self):
+        tree = rc_ladder(1, 3.0, 4.0)
+        assert tree.parent_of("out") == "in"
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(ValueError):
+            rc_ladder(0, 1.0, 1.0)
+
+
+class TestSymmetricFanout:
+    def test_branch_count(self):
+        tree = symmetric_fanout(5, 100.0, 10.0, 1e-12, 2e-12)
+        assert len(tree.outputs) == 5
+        assert tree.total_capacitance == pytest.approx(5 * (1e-12 + 2e-12))
+
+    def test_rejects_zero_branches(self):
+        with pytest.raises(ValueError):
+            symmetric_fanout(0, 1.0, 1.0, 1.0, 1.0)

@@ -1,0 +1,90 @@
+"""Tests for path and shared-path resistances, including the Figure 3 identities."""
+
+import pytest
+
+from repro.core.networks import figure3_tree, figure7_tree
+from repro.core.path import (
+    all_path_resistances,
+    path_resistance,
+    resistance_between,
+    shared_path_resistance,
+    shared_resistances_to_output,
+)
+
+
+class TestFigure3:
+    """The exact identities printed under the paper's Figure 3."""
+
+    def test_rke_is_r1_plus_r2(self, fig3):
+        assert shared_path_resistance(fig3, "k", "e") == pytest.approx(1.0 + 2.0)
+
+    def test_rkk_is_r1_r2_r3(self, fig3):
+        assert path_resistance(fig3, "k") == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_ree_is_r1_r2_r5(self, fig3):
+        assert path_resistance(fig3, "e") == pytest.approx(1.0 + 2.0 + 5.0)
+
+    def test_rke_not_larger_than_either_path(self, fig3):
+        rke = shared_path_resistance(fig3, "k", "e")
+        assert rke <= path_resistance(fig3, "k")
+        assert rke <= path_resistance(fig3, "e")
+
+    def test_symmetry(self, fig3):
+        assert shared_path_resistance(fig3, "k", "e") == shared_path_resistance(fig3, "e", "k")
+
+
+class TestPathResistance:
+    def test_root_has_zero_path_resistance(self, fig7):
+        assert path_resistance(fig7, "in") == 0.0
+
+    def test_figure7_output_resistance(self, fig7):
+        # R_ee of the Figure 7 network is 15 + 3 = 18 ohm.
+        assert path_resistance(fig7, "out") == pytest.approx(18.0)
+
+    def test_all_path_resistances_matches_individual(self, fig7):
+        table = all_path_resistances(fig7)
+        for node in fig7.nodes:
+            assert table[node] == pytest.approx(path_resistance(fig7, node))
+
+    def test_distributed_line_counts_full_resistance(self):
+        from repro.core.tree import RCTree
+
+        tree = RCTree()
+        tree.add_line("in", "a", 7.0, 1.0)
+        assert path_resistance(tree, "a") == pytest.approx(7.0)
+
+
+class TestSharedResistances:
+    def test_on_path_nodes_equal_their_own_resistance(self, fig7):
+        shared = shared_resistances_to_output(fig7, "out")
+        rkk = all_path_resistances(fig7)
+        for node in fig7.path_nodes("out"):
+            assert shared[node] == pytest.approx(rkk[node])
+
+    def test_side_branch_uses_branch_point(self, fig7):
+        shared = shared_resistances_to_output(fig7, "out")
+        # Node b hangs off node a; its shared resistance with out is R(in->a) = 15.
+        assert shared["b"] == pytest.approx(15.0)
+
+    def test_shared_map_matches_pairwise(self, small_random_tree):
+        tree = small_random_tree
+        output = tree.leaves()[-1]
+        shared = shared_resistances_to_output(tree, output)
+        for node in tree.nodes:
+            assert shared[node] == pytest.approx(
+                shared_path_resistance(tree, node, output), rel=1e-12
+            )
+
+
+class TestResistanceBetween:
+    def test_between_siblings(self, fig3):
+        # e and k share R1 + R2; distance = R5 + R3.
+        assert resistance_between(fig3, "e", "k") == pytest.approx(5.0 + 3.0)
+
+    def test_between_node_and_itself_is_zero(self, fig7):
+        assert resistance_between(fig7, "out", "out") == pytest.approx(0.0)
+
+    def test_between_root_and_node_equals_path(self, fig7):
+        assert resistance_between(fig7, "in", "out") == pytest.approx(
+            path_resistance(fig7, "out")
+        )

@@ -1,0 +1,166 @@
+"""Tests for the characteristic times T_P, T_De, T_Re."""
+
+import pytest
+
+from repro.core.exceptions import AnalysisError, UnknownNodeError
+from repro.core.networks import figure7_tree, rc_ladder, single_line, symmetric_fanout
+from repro.core.timeconstants import (
+    CharacteristicTimes,
+    characteristic_times,
+    characteristic_times_all,
+    elmore_delay,
+    elmore_delays,
+)
+from repro.core.tree import RCTree
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+
+class TestSingleLine:
+    """The paper's closed forms for one uniform RC line: TP = TDe = RC/2, TRe = RC/3."""
+
+    def test_tp_and_tde_are_rc_over_2(self):
+        times = characteristic_times(single_line(10.0, 4.0), "out")
+        assert times.tp == pytest.approx(20.0)
+        assert times.tde == pytest.approx(20.0)
+
+    def test_tre_is_rc_over_3(self):
+        times = characteristic_times(single_line(10.0, 4.0), "out")
+        assert times.tre == pytest.approx(40.0 / 3.0)
+
+    def test_ree_is_full_line_resistance(self):
+        times = characteristic_times(single_line(10.0, 4.0), "out")
+        assert times.ree == pytest.approx(10.0)
+
+
+class TestFigure7:
+    """The paper's Figure 10 session prints the 5-tuple (22, 419, 18, 363, 6033)."""
+
+    def test_total_capacitance(self, fig7_times):
+        assert fig7_times.total_capacitance == pytest.approx(22.0)
+
+    def test_tp(self, fig7_times):
+        assert fig7_times.tp == pytest.approx(419.0)
+
+    def test_ree(self, fig7_times):
+        assert fig7_times.ree == pytest.approx(18.0)
+
+    def test_tde(self, fig7_times):
+        assert fig7_times.tde == pytest.approx(363.0)
+
+    def test_tre_ree_product(self, fig7_times):
+        assert fig7_times.tre_ree == pytest.approx(6033.0)
+
+    def test_ordering_eq7(self, fig7_times):
+        assert fig7_times.tre <= fig7_times.tde <= fig7_times.tp
+        fig7_times.check_ordering()
+
+    def test_elmore_alias(self, fig7_times):
+        assert fig7_times.elmore_delay == fig7_times.tde
+
+
+class TestChainIdentity:
+    def test_chain_without_branches_has_tde_equal_tp(self):
+        # "For nonuniform RC lines (RC trees without side branches) T_De = T_P."
+        tree = rc_ladder(8, 3.0, 2.0)
+        times = characteristic_times(tree, "out")
+        assert times.tde == pytest.approx(times.tp)
+
+    def test_simple_rc_identities(self):
+        tree = RCTree()
+        tree.add_resistor("in", "out", 5.0)
+        tree.add_capacitor("out", 3.0)
+        times = characteristic_times(tree, "out")
+        assert times.tp == pytest.approx(15.0)
+        assert times.tde == pytest.approx(15.0)
+        assert times.tre == pytest.approx(15.0)
+
+
+class TestOutputLocation:
+    def test_output_at_root_has_zero_times(self, fig7):
+        times = characteristic_times(fig7, "in")
+        assert times.tde == 0.0
+        assert times.tre == 0.0
+        assert times.ree == 0.0
+        # T_P is output-independent and stays 419.
+        assert times.tp == pytest.approx(419.0)
+
+    def test_tp_identical_across_outputs(self, fig7):
+        for node in fig7.nodes:
+            assert characteristic_times(fig7, node).tp == pytest.approx(419.0)
+
+    def test_side_branch_output(self, fig7):
+        # For output b: R_bb = 23, Elmore = 15*22 + 8*7 = 386.
+        times = characteristic_times(fig7, "b")
+        assert times.ree == pytest.approx(23.0)
+        assert times.tde == pytest.approx(15.0 * 22.0 + 8.0 * 7.0)
+
+    def test_unknown_output_raises(self, fig7):
+        with pytest.raises(UnknownNodeError):
+            characteristic_times(fig7, "nope")
+
+
+class TestLinearTimeAlgorithm:
+    def test_matches_direct_on_figure7(self, fig7):
+        table = characteristic_times_all(fig7, fig7.nodes)
+        for node in fig7.nodes:
+            direct = characteristic_times(fig7, node)
+            fast = table[node]
+            assert fast.tp == pytest.approx(direct.tp, rel=1e-12)
+            assert fast.tde == pytest.approx(direct.tde, rel=1e-12)
+            assert fast.tre == pytest.approx(direct.tre, rel=1e-12)
+            assert fast.ree == pytest.approx(direct.ree, rel=1e-12)
+
+    def test_matches_direct_on_random_trees(self, small_random_tree):
+        tree = small_random_tree
+        table = characteristic_times_all(tree, tree.nodes)
+        for node in tree.nodes:
+            direct = characteristic_times(tree, node)
+            fast = table[node]
+            assert fast.tde == pytest.approx(direct.tde, rel=1e-9, abs=1e-30)
+            assert fast.tre == pytest.approx(direct.tre, rel=1e-9, abs=1e-30)
+            assert fast.tp == pytest.approx(direct.tp, rel=1e-9, abs=1e-30)
+
+    def test_defaults_to_marked_outputs(self, fig7):
+        table = characteristic_times_all(fig7)
+        assert set(table) == {"out"}
+
+    def test_unknown_output_raises(self, fig7):
+        with pytest.raises(UnknownNodeError):
+            characteristic_times_all(fig7, ["zz"])
+
+
+class TestFanout:
+    def test_symmetric_fanout_outputs_identical(self):
+        tree = symmetric_fanout(4, 100.0, 50.0, 2e-12, 1e-12)
+        table = characteristic_times_all(tree)
+        values = [times.tde for times in table.values()]
+        assert len(values) == 4
+        assert max(values) == pytest.approx(min(values))
+
+    def test_more_branches_slow_every_output(self):
+        few = characteristic_times(symmetric_fanout(2, 100.0, 50.0, 2e-12, 1e-12), "load1")
+        many = characteristic_times(symmetric_fanout(6, 100.0, 50.0, 2e-12, 1e-12), "load1")
+        assert many.tde > few.tde
+
+
+class TestConvenienceWrappers:
+    def test_elmore_delay_wrapper(self, fig7):
+        assert elmore_delay(fig7, "out") == pytest.approx(363.0)
+
+    def test_elmore_delays_wrapper(self, fig7):
+        delays = elmore_delays(fig7, ["out", "b"])
+        assert delays["out"] == pytest.approx(363.0)
+        assert delays["b"] == pytest.approx(386.0)
+
+
+class TestOrderingCheck:
+    def test_check_ordering_raises_on_inconsistent_record(self):
+        record = CharacteristicTimes(
+            output="x", tp=1.0, tde=2.0, tre=0.5, ree=1.0, total_capacitance=1.0
+        )
+        with pytest.raises(AnalysisError):
+            record.check_ordering()
+
+    def test_describe_contains_key_numbers(self, fig7_times):
+        text = fig7_times.describe()
+        assert "419" in text and "363" in text

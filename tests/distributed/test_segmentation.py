@@ -1,0 +1,56 @@
+"""Tests for distributed-line segmentation and convergence."""
+
+import pytest
+
+from repro.core.timeconstants import characteristic_times
+from repro.distributed.segmentation import (
+    convergence_study,
+    lumped_line_tree,
+    segmentation_error,
+)
+
+
+class TestLumpedLineTree:
+    def test_totals_preserved(self):
+        tree = lumped_line_tree(10.0, 4.0, 8)
+        assert tree.total_resistance == pytest.approx(10.0)
+        assert tree.total_capacitance == pytest.approx(4.0)
+        assert tree.outputs == ["out"]
+
+    def test_pi_lumping_preserves_elmore_exactly(self):
+        # Pi sections preserve the first moment for any section count.
+        for segments in (1, 2, 5, 20):
+            tree = lumped_line_tree(10.0, 4.0, segments, style="pi")
+            assert characteristic_times(tree, "out").tde == pytest.approx(20.0)
+
+    def test_l_lumping_overestimates_elmore(self):
+        tree = lumped_line_tree(10.0, 4.0, 4, style="L")
+        assert characteristic_times(tree, "out").tde > 20.0
+
+
+class TestSegmentationError:
+    def test_error_decreases_with_more_segments(self):
+        coarse = segmentation_error(1.0, 1.0, 1)
+        fine = segmentation_error(1.0, 1.0, 20)
+        assert fine.max_error < coarse.max_error
+
+    def test_many_segments_are_accurate(self):
+        point = segmentation_error(1.0, 1.0, 50)
+        assert point.max_error < 5e-3
+        assert abs(point.delay_error_50) < 2e-3
+
+    def test_result_records_inputs(self):
+        point = segmentation_error(1.0, 1.0, 3, style="L")
+        assert point.segments == 3
+        assert point.style == "L"
+
+
+class TestConvergenceStudy:
+    def test_monotone_convergence(self):
+        points = convergence_study(segment_counts=(1, 2, 5, 10, 20))
+        errors = [p.max_error for p in points]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_returns_one_point_per_count(self):
+        points = convergence_study(segment_counts=(2, 4))
+        assert [p.segments for p in points] == [2, 4]

@@ -1,0 +1,100 @@
+"""Tests for the analytic uniform-RC-line step response."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.distributed.urc import (
+    URC_HALF_VOLTAGE_COEFFICIENT,
+    urc_step_response,
+    urc_step_waveform,
+    urc_threshold_delay,
+)
+
+
+class TestSeriesSolution:
+    def test_zero_at_time_zero(self):
+        assert urc_step_response(1.0, 1.0, 0.0) == 0.0
+
+    def test_driven_end_is_one_for_positive_time(self):
+        assert urc_step_response(1.0, 1.0, 1e-6, position=0.0) == pytest.approx(1.0)
+
+    def test_approaches_one(self):
+        assert urc_step_response(1.0, 1.0, 10.0) == pytest.approx(1.0, abs=1e-10)
+
+    def test_monotone_in_time(self):
+        t = np.linspace(0.0, 3.0, 200)
+        v = urc_step_response(1.0, 1.0, t)
+        assert np.all(np.diff(v) >= -1e-12)
+
+    def test_monotone_in_position(self):
+        # Points nearer the driven end respond earlier.
+        t = 0.2
+        near = urc_step_response(1.0, 1.0, t, position=0.3)
+        far = urc_step_response(1.0, 1.0, t, position=1.0)
+        assert near > far
+
+    def test_scaling_with_rc(self):
+        # Doubling RC halves normalised time: v(R, C, t) == v(2R, C, 2t).
+        assert urc_step_response(1.0, 1.0, 0.4) == pytest.approx(
+            urc_step_response(2.0, 1.0, 0.8), abs=1e-12
+        )
+
+    def test_vectorised(self):
+        values = urc_step_response(1.0, 1.0, [0.1, 0.2, 0.3])
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (3,)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(AnalysisError):
+            urc_step_response(1.0, 1.0, -0.5)
+
+    def test_rejects_zero_resistance(self):
+        with pytest.raises(ValueError):
+            urc_step_response(0.0, 1.0, 0.5)
+
+
+class TestElmoreConsistency:
+    def test_area_above_response_is_rc_over_2(self):
+        # T_De of the open end of a line is RC/2 (paper, Section III).
+        t = np.linspace(0.0, 30.0, 30000)
+        v = urc_step_response(1.0, 1.0, t)
+        area = np.trapezoid(1.0 - v, t)
+        assert area == pytest.approx(0.5, abs=1e-3)
+
+
+class TestThresholdDelay:
+    def test_half_voltage_near_0_38_rc(self):
+        delay = urc_threshold_delay(1.0, 1.0, 0.5)
+        assert delay == pytest.approx(URC_HALF_VOLTAGE_COEFFICIENT, abs=2e-3)
+
+    def test_delay_scales_with_rc(self):
+        assert urc_threshold_delay(10.0, 2.0, 0.5) == pytest.approx(
+            20.0 * urc_threshold_delay(1.0, 1.0, 0.5), rel=1e-6
+        )
+
+    def test_delay_within_pr_bounds(self):
+        from repro.core.bounds import delay_lower_bound, delay_upper_bound
+        from repro.core.networks import single_line
+        from repro.core.timeconstants import characteristic_times
+
+        times = characteristic_times(single_line(1.0, 1.0), "out")
+        for threshold in (0.3, 0.5, 0.7, 0.9):
+            exact = urc_threshold_delay(1.0, 1.0, threshold)
+            assert float(delay_lower_bound(times, threshold)) <= exact + 1e-9
+            assert exact <= float(delay_upper_bound(times, threshold)) + 1e-9
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            urc_threshold_delay(1.0, 1.0, 0.0)
+
+
+class TestWaveformHelper:
+    def test_waveform_sampling(self):
+        wf = urc_step_waveform(1.0, 1.0, 3.0, points=100)
+        assert len(wf) == 100
+        assert wf.is_monotonic()
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(AnalysisError):
+            urc_step_waveform(1.0, 1.0, 0.0)

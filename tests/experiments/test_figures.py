@@ -1,0 +1,108 @@
+"""Tests for the experiment harness (one per reproduced figure)."""
+
+import pytest
+
+from repro.experiments.figure05 import figure05_envelope
+from repro.experiments.figure10 import (
+    PAPER_THRESHOLDS,
+    PAPER_TIMES,
+    figure10_delay_table,
+    figure10_report,
+    figure10_voltage_table,
+)
+from repro.experiments.figure11 import figure11_comparison
+from repro.experiments.figure13 import figure13_sweep
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestFigure05:
+    def test_structural_checks_pass(self):
+        envelope = figure05_envelope(points=120)
+        assert envelope.envelopes_ordered
+        assert envelope.exact_inside
+        assert envelope.approaches_one
+        assert 0.0 <= envelope.upper_start < 1.0
+
+    def test_without_exact_curve(self):
+        envelope = figure05_envelope(points=50, include_exact=False)
+        assert envelope.exact is None
+        assert envelope.exact_inside  # vacuously true
+
+    def test_custom_network(self, ladder10):
+        envelope = figure05_envelope(ladder10, "out", points=60)
+        assert envelope.envelopes_ordered
+
+
+class TestFigure10:
+    def test_delay_table_has_nine_rows(self):
+        assert len(figure10_delay_table()) == 9
+        assert [row[0] for row in figure10_delay_table()] == list(PAPER_THRESHOLDS)
+
+    def test_voltage_table_has_eleven_rows(self):
+        assert len(figure10_voltage_table()) == 11
+        assert [row[0] for row in figure10_voltage_table()] == list(PAPER_TIMES)
+
+    def test_report_matches_paper_within_print_precision(self):
+        report = figure10_report()
+        assert report.max_relative_error() < 5e-4
+
+    def test_render_contains_both_tables(self):
+        text = figure10_report().render()
+        assert "delay bounds" in text
+        assert "voltage bounds" in text
+        assert "988.5" in text
+
+
+class TestFigure11:
+    def test_exact_response_inside_envelope(self):
+        comparison = figure11_comparison(points=150, segments_per_line=30)
+        assert comparison.check.within(5e-3)
+
+    def test_exact_crossings_inside_delay_bounds(self):
+        comparison = figure11_comparison(points=100, segments_per_line=30)
+        for threshold, t_lower, t_exact, t_upper in comparison.crossings:
+            assert t_lower <= t_exact <= t_upper
+
+    def test_render(self):
+        text = figure11_comparison(points=80, segments_per_line=20).render()
+        assert "exact crossings" in text
+        assert "envelope width" in text
+
+
+class TestFigure13:
+    def test_quadratic_slope(self):
+        sweep = figure13_sweep()
+        assert 1.5 <= sweep.loglog_slope() <= 2.2
+        assert 1.5 <= sweep.loglog_slope(bound="lower") <= 2.3
+
+    def test_ten_ns_claim(self):
+        assert 8.0 <= figure13_sweep().upper_bound_at_100_ns <= 12.0
+
+    def test_missing_100_minterms_raises(self):
+        sweep = figure13_sweep(minterm_counts=(2, 4))
+        with pytest.raises(ValueError):
+            sweep.upper_bound_at_100_ns
+
+    def test_render(self):
+        text = figure13_sweep().render()
+        assert "minterms" in text
+        assert "10" in text
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"figure05", "figure10", "figure11", "figure13"}
+
+    def test_run_all_passes(self):
+        results = run_all()
+        assert len(results) == 4
+        assert all(result.passed for result in results)
+
+    def test_run_selected(self):
+        results = run_all(("figure10",))
+        assert len(results) == 1
+        assert results[0].experiment == "figure10"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(("figure99",))

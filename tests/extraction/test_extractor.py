@@ -1,0 +1,113 @@
+"""Tests for geometry-to-RC-tree extraction (the Figure 1 -> Figure 2 step)."""
+
+import pytest
+
+from repro.core.timeconstants import characteristic_times, characteristic_times_all
+from repro.extraction.extractor import extract_net, extract_wire_chain
+from repro.extraction.geometry import RoutedNet
+from repro.extraction.technology import GENERIC_1UM_CMOS, PAPER_NMOS_4UM, Layer
+from repro.mos.drivers import PAPER_SUPERBUFFER, DriverModel
+
+
+def figure1_like_net():
+    """A poly run with two gate taps plus a metal branch to a third gate."""
+    net = RoutedNet("sig")
+    net.add_wire("drv", "p1", Layer.POLY, 50e-6, 4e-6)
+    net.add_wire("p1", "p2", Layer.POLY, 50e-6, 4e-6)
+    net.add_wire("p1", "m1", Layer.METAL, 500e-6, 4e-6)
+    net.add_gate("p2", 4e-6, 4e-6, series_resistance=30.0, name="gateA")
+    net.add_gate("m1", 4e-6, 4e-6, series_resistance=30.0, name="gateB")
+    return net
+
+
+class TestExtractNet:
+    def test_outputs_are_gates(self):
+        tree = extract_net(figure1_like_net(), PAPER_NMOS_4UM)
+        assert set(tree.outputs) == {"gateA", "gateB"}
+
+    def test_poly_becomes_distributed_lines(self):
+        tree = extract_net(figure1_like_net(), PAPER_NMOS_4UM)
+        distributed = [edge for edge in tree.edges if edge.is_distributed]
+        assert len(distributed) == 2  # the two poly segments
+
+    def test_metal_resistance_neglected_by_default(self):
+        tree = extract_net(figure1_like_net(), PAPER_NMOS_4UM)
+        # The metal branch contributes capacitance only: gateB hangs off the
+        # same electrical node as the end of the first poly segment.
+        assert tree.parent_of("gateB") == "sig.p1"
+
+    def test_metal_resistance_can_be_kept(self):
+        tree = extract_net(figure1_like_net(), PAPER_NMOS_4UM, neglect_metal_resistance=False)
+        assert tree.parent_of("gateB") == "sig.m1"
+
+    def test_total_capacitance_accounts_for_wires_and_gates(self):
+        technology = PAPER_NMOS_4UM
+        tree = extract_net(figure1_like_net(), technology)
+        expected = (
+            technology.wire_capacitance(Layer.POLY, 50e-6, 4e-6) * 2
+            + technology.wire_capacitance(Layer.METAL, 500e-6, 4e-6)
+            + technology.gate_capacitance(4e-6, 4e-6) * 2
+        )
+        assert tree.total_capacitance == pytest.approx(expected, rel=1e-12)
+
+    def test_driver_model_prepended(self):
+        tree = extract_net(figure1_like_net(), PAPER_NMOS_4UM, driver=PAPER_SUPERBUFFER)
+        first_edge = tree.path_edges("gateA")[0]
+        assert first_edge.resistance == pytest.approx(380.0)
+        assert tree.total_capacitance == pytest.approx(
+            extract_net(figure1_like_net(), PAPER_NMOS_4UM).total_capacitance + 0.04e-12
+        )
+
+    def test_driver_slows_every_output(self):
+        bare = extract_net(figure1_like_net(), PAPER_NMOS_4UM)
+        driven = extract_net(figure1_like_net(), PAPER_NMOS_4UM, driver=PAPER_SUPERBUFFER)
+        for output in ("gateA", "gateB"):
+            assert (
+                characteristic_times(driven, output).tde
+                > characteristic_times(bare, output).tde
+            )
+
+    def test_zero_series_resistance_gate_sits_on_wire(self):
+        net = RoutedNet("n")
+        net.add_wire("drv", "p1", Layer.POLY, 10e-6, 1e-6)
+        net.add_gate("p1", 1e-6, 1e-6)
+        tree = extract_net(net, GENERIC_1UM_CMOS)
+        assert tree.outputs == ["n.p1"]
+
+    def test_contacts_add_capacitance(self):
+        net = RoutedNet("n")
+        net.add_wire("drv", "p1", Layer.POLY, 10e-6, 1e-6)
+        net.add_contact("p1", count=3)
+        tree = extract_net(net, GENERIC_1UM_CMOS)
+        base = GENERIC_1UM_CMOS.wire_capacitance(Layer.POLY, 10e-6, 1e-6)
+        assert tree.total_capacitance == pytest.approx(
+            base + 3 * GENERIC_1UM_CMOS.contact_capacitance
+        )
+
+
+class TestExtractWireChain:
+    def test_chain_structure(self):
+        tree = extract_wire_chain(
+            "bus", PAPER_NMOS_4UM, Layer.POLY, [24e-6] * 4, 4e-6, load_capacitance=0.05e-12
+        )
+        assert tree.outputs == ["bus.p4"]
+        assert len([e for e in tree.edges if e.is_distributed]) == 4
+
+    def test_longer_chain_is_slower(self):
+        short = extract_wire_chain("a", PAPER_NMOS_4UM, Layer.POLY, [24e-6] * 2, 4e-6)
+        long = extract_wire_chain("a", PAPER_NMOS_4UM, Layer.POLY, [24e-6] * 8, 4e-6)
+        assert (
+            characteristic_times(long, "a.p8").tde
+            > characteristic_times(short, "a.p2").tde
+        )
+
+    def test_with_driver(self):
+        tree = extract_wire_chain(
+            "a",
+            PAPER_NMOS_4UM,
+            Layer.POLY,
+            [24e-6] * 2,
+            4e-6,
+            driver=DriverModel("d", 500.0, 0.02e-12),
+        )
+        assert tree.path_edges("a.p2")[0].resistance == pytest.approx(500.0)

@@ -1,0 +1,69 @@
+"""Tests for the routed-net geometry model."""
+
+import pytest
+
+from repro.core.exceptions import DuplicateNodeError, TopologyError, UnknownNodeError
+from repro.extraction.geometry import Contact, GateLoad, RoutedNet, WireSegment
+from repro.extraction.technology import Layer
+
+
+def simple_net():
+    net = RoutedNet("sig", driver_point="drv")
+    net.add_wire("drv", "p1", Layer.POLY, 24e-6, 4e-6)
+    net.add_wire("p1", "p2", Layer.POLY, 24e-6, 4e-6)
+    net.add_wire("p1", "p3", Layer.METAL, 100e-6, 4e-6)
+    net.add_gate("p2", 4e-6, 4e-6, series_resistance=30.0)
+    net.add_gate("p3", 4e-6, 4e-6)
+    net.add_contact("p1", count=2)
+    return net
+
+
+class TestRoutedNet:
+    def test_points_in_order(self):
+        net = simple_net()
+        assert net.points == ["drv", "p1", "p2", "p3"]
+
+    def test_wire_from_unknown_point_rejected(self):
+        net = RoutedNet("sig")
+        with pytest.raises(UnknownNodeError):
+            net.add_wire("nowhere", "p1", Layer.POLY, 1e-6, 1e-6)
+
+    def test_wire_to_existing_point_rejected(self):
+        net = simple_net()
+        with pytest.raises(DuplicateNodeError):
+            net.add_wire("p2", "p1", Layer.POLY, 1e-6, 1e-6)
+
+    def test_gate_on_unknown_point_rejected(self):
+        net = simple_net()
+        with pytest.raises(UnknownNodeError):
+            net.add_gate("nowhere", 1e-6, 1e-6)
+
+    def test_contact_on_unknown_point_rejected(self):
+        net = simple_net()
+        with pytest.raises(UnknownNodeError):
+            net.add_contact("nowhere")
+
+    def test_fanout_and_length(self):
+        net = simple_net()
+        assert net.fanout() == 2
+        assert net.total_wire_length() == pytest.approx(24e-6 + 24e-6 + 100e-6)
+
+    def test_validate_passes(self):
+        simple_net().validate()
+
+
+class TestValueObjects:
+    def test_wire_segment_checks_dimensions(self):
+        with pytest.raises(ValueError):
+            WireSegment("a", "b", Layer.POLY, 0.0, 1e-6)
+
+    def test_gate_load_checks_dimensions(self):
+        with pytest.raises(ValueError):
+            GateLoad("a", -1e-6, 1e-6)
+        with pytest.raises(ValueError):
+            GateLoad("a", 1e-6, 1e-6, series_resistance=-1.0)
+
+    def test_contact_count_positive(self):
+        with pytest.raises(ValueError):
+            Contact("a", count=0)
+        assert Contact("a").count == 1

@@ -1,0 +1,90 @@
+"""Tests for the technology descriptions, including the paper's derived values."""
+
+import pytest
+
+from repro.core.exceptions import ElementValueError
+from repro.extraction.technology import (
+    GENERIC_1UM_CMOS,
+    PAPER_NMOS_4UM,
+    Layer,
+    Technology,
+)
+
+
+class TestPaperProcess:
+    """Section V: 'These numbers lead to a capacitance of 0.01 pF and resistance
+    180 ohms between gates, and a resistance of 30 ohms and capacitance of
+    0.013 pF for each gate.'"""
+
+    def test_poly_segment_resistance_is_180_ohm(self):
+        # 24 um of 4 um wide poly at 30 ohm/sq = 6 squares = 180 ohm.
+        r = PAPER_NMOS_4UM.wire_resistance(Layer.POLY, 24e-6, 4e-6)
+        assert r == pytest.approx(180.0)
+
+    def test_poly_segment_capacitance_is_about_0_01_pf(self):
+        c = PAPER_NMOS_4UM.wire_capacitance(Layer.POLY, 24e-6, 4e-6)
+        assert c == pytest.approx(0.011e-12, rel=0.15)
+
+    def test_gate_resistance_is_30_ohm(self):
+        # A 4x4 um gate is one square of poly.
+        r = PAPER_NMOS_4UM.gate_resistance(4e-6, 4e-6)
+        assert r == pytest.approx(30.0)
+
+    def test_gate_capacitance_is_about_0_013_pf(self):
+        c = PAPER_NMOS_4UM.gate_capacitance(4e-6, 4e-6)
+        assert c == pytest.approx(0.0138e-12, rel=0.1)
+
+    def test_minimum_gate_capacitance_helper(self):
+        assert PAPER_NMOS_4UM.minimum_gate_capacitance() == pytest.approx(
+            PAPER_NMOS_4UM.gate_capacitance(4e-6, 4e-6)
+        )
+
+    def test_gate_oxide_thinner_than_field_oxide(self):
+        assert (
+            PAPER_NMOS_4UM.gate_capacitance_per_area
+            > PAPER_NMOS_4UM.field_capacitance_per_area
+        )
+
+    def test_describe_mentions_process(self):
+        text = PAPER_NMOS_4UM.describe()
+        assert "paper-nmos-4um" in text
+        assert "ohm/sq" in text
+
+
+class TestGenericProcess:
+    def test_fringe_capacitance_included(self):
+        with_fringe = GENERIC_1UM_CMOS.wire_capacitance(Layer.METAL, 100e-6, 1e-6)
+        plate_only = (
+            GENERIC_1UM_CMOS.field_capacitance_per_area * 100e-6 * 1e-6
+        )
+        assert with_fringe > plate_only
+
+    def test_metal_much_less_resistive_than_poly(self):
+        metal = GENERIC_1UM_CMOS.wire_resistance(Layer.METAL, 100e-6, 1e-6)
+        poly = GENERIC_1UM_CMOS.wire_resistance(Layer.POLY, 100e-6, 1e-6)
+        assert metal < poly / 50.0
+
+
+class TestValidation:
+    def test_missing_layer_rejected(self):
+        with pytest.raises(ElementValueError):
+            Technology(
+                name="broken",
+                feature_size=1e-6,
+                sheet_resistance={Layer.POLY: 20.0},
+                gate_oxide_thickness=200e-10,
+                field_oxide_thickness=6000e-10,
+            )
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_NMOS_4UM.wire_resistance(Layer.POLY, 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            PAPER_NMOS_4UM.gate_capacitance(1e-6, -1e-6)
+
+    def test_resistance_scales_with_length_over_width(self):
+        r1 = PAPER_NMOS_4UM.wire_resistance(Layer.POLY, 10e-6, 2e-6)
+        r2 = PAPER_NMOS_4UM.wire_resistance(Layer.POLY, 20e-6, 2e-6)
+        r3 = PAPER_NMOS_4UM.wire_resistance(Layer.POLY, 10e-6, 4e-6)
+        assert r2 == pytest.approx(2.0 * r1)
+        assert r3 == pytest.approx(0.5 * r1)

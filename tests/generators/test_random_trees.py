@@ -1,0 +1,81 @@
+"""Tests for the random RC-tree generators."""
+
+import pytest
+
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_trees import (
+    RandomTreeConfig,
+    random_balanced_tree,
+    random_chain,
+    random_tree,
+    random_trees,
+)
+
+
+class TestRandomTree:
+    def test_deterministic_for_a_seed(self):
+        a = random_tree(seed=7)
+        b = random_tree(seed=7)
+        assert a.nodes == b.nodes
+        assert a.total_capacitance == pytest.approx(b.total_capacitance)
+        assert a.total_resistance == pytest.approx(b.total_resistance)
+
+    def test_different_seeds_differ(self):
+        a = random_tree(seed=1)
+        b = random_tree(seed=2)
+        assert (
+            a.total_capacitance != b.total_capacitance
+            or a.total_resistance != b.total_resistance
+        )
+
+    def test_size_matches_config(self):
+        tree = random_tree(seed=0, config=RandomTreeConfig(nodes=42))
+        assert len(tree) == 43  # nodes + input
+
+    def test_always_has_capacitance(self):
+        config = RandomTreeConfig(nodes=10, capacitor_fraction=0.0, distributed_fraction=0.0)
+        tree = random_tree(seed=3, config=config)
+        assert tree.total_capacitance > 0.0
+
+    def test_valid_and_analysable(self):
+        for seed in range(5):
+            tree = random_tree(seed=seed)
+            tree.validate(require_capacitance=True, require_resistance=True)
+            output = tree.outputs[0]
+            times = characteristic_times(tree, output)
+            times.check_ordering()
+
+    def test_leaves_marked_as_outputs(self):
+        tree = random_tree(seed=0)
+        assert set(tree.outputs) == set(tree.leaves())
+
+    def test_chain_config_gives_single_leaf(self):
+        tree = random_tree(seed=0, config=RandomTreeConfig(nodes=15, branching_bias=0.0))
+        assert len(tree.leaves()) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomTreeConfig(nodes=0)
+        with pytest.raises(ValueError):
+            RandomTreeConfig(resistance_range=(0.0, 1.0))
+
+
+class TestOtherGenerators:
+    def test_random_trees_yields_count(self):
+        trees = list(random_trees(4, seed=10))
+        assert len(trees) == 4
+
+    def test_random_chain_depth(self):
+        chain = random_chain(12, seed=1)
+        assert chain.depth(chain.leaves()[0]) == 12
+
+    def test_balanced_tree_leaf_count(self):
+        tree = random_balanced_tree(depth=3, fanout=2)
+        assert len(tree.outputs) == 8
+        tree.validate(require_capacitance=True)
+
+    def test_balanced_tree_argument_validation(self):
+        with pytest.raises(ValueError):
+            random_balanced_tree(depth=0)
+        with pytest.raises(ValueError):
+            random_balanced_tree(depth=2, fanout=0)

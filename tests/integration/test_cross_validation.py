@@ -1,0 +1,95 @@
+"""Cross-validation between the analytical engine and the simulators.
+
+Three independent implementations exist for every network: the closed-form
+characteristic times (direct and via the algebra), the modal state-space
+simulator, and the trapezoidal transient engine.  These tests assert that
+they agree with one another and with the bound theory on a variety of
+realistic networks, which is the strongest correctness evidence the
+repository has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.clocktree import h_tree
+from repro.apps.nets import comb_bus_net, daisy_chain_net
+from repro.apps.pla import pla_line_tree
+from repro.core.bounds import BoundedResponse, delay_lower_bound, delay_upper_bound
+from repro.core.networks import figure7_tree, rc_ladder, symmetric_fanout
+from repro.core.timeconstants import characteristic_times
+from repro.mos.drivers import PAPER_SUPERBUFFER
+from repro.simulate.compare import bounds_violations
+from repro.simulate.state_space import exact_step_response
+from repro.simulate.transient import transient_step_response
+
+
+def network_catalogue():
+    return {
+        "figure7": (figure7_tree(), "out"),
+        "ladder": (rc_ladder(10, 50.0, 2e-12), "out"),
+        "fanout": (symmetric_fanout(3, 300.0, 100.0, 1e-12, 2e-12), "load2"),
+        "pla40": (pla_line_tree(40), "out"),
+        "daisy": (daisy_chain_net([15e-15] * 3, 300e-6, driver=PAPER_SUPERBUFFER), "load2"),
+        "bus": (comb_bus_net(4, 20e-15, 400e-6, 30e-6, driver=PAPER_SUPERBUFFER), "drop3"),
+        "htree": (h_tree(3, leaf_capacitance_mismatch=(1.0, 1.6)), "leaf5"),
+    }
+
+
+@pytest.fixture(params=list(network_catalogue()))
+def network(request):
+    tree, output = network_catalogue()[request.param]
+    return request.param, tree, output
+
+
+class TestElmoreAgreement:
+    def test_simulated_first_moment_matches_analytic(self, network):
+        _, tree, output = network
+        analytic = characteristic_times(tree, output).tde
+        simulated = exact_step_response(tree, segments_per_line=30).elmore_delay(output)
+        assert simulated == pytest.approx(analytic, rel=1e-4)
+
+
+class TestBoundsHold:
+    def test_exact_delay_inside_bounds(self, network):
+        _, tree, output = network
+        times = characteristic_times(tree, output)
+        response = exact_step_response(tree, segments_per_line=30)
+        for threshold in (0.1, 0.5, 0.9):
+            exact = response.delay(output, threshold)
+            lower = float(delay_lower_bound(times, threshold))
+            upper = float(delay_upper_bound(times, threshold))
+            assert lower <= exact * (1 + 1e-9) + 1e-30
+            assert exact <= upper * (1 + 1e-9) + 1e-30
+
+    def test_exact_waveform_inside_envelope(self, network):
+        _, tree, output = network
+        times = characteristic_times(tree, output)
+        horizon = 10.0 * times.tp
+        waveform = exact_step_response(tree, segments_per_line=30).waveform(
+            output, horizon, points=200
+        )
+        check = bounds_violations(waveform, BoundedResponse(times))
+        # Allow a sliver of tolerance for the discretisation of distributed lines.
+        assert check.within(2e-3)
+
+
+class TestSimulatorAgreement:
+    def test_transient_matches_modal_solution(self, network):
+        name, tree, output = network
+        times = characteristic_times(tree, output)
+        horizon = 5.0 * times.tp
+        modal = exact_step_response(tree, segments_per_line=15)
+        stepped = transient_step_response(tree, horizon, steps=3000, segments_per_line=15)
+        grid = np.linspace(0.0, horizon, 40)
+        difference = np.abs(modal.voltage(output, grid) - stepped.waveform(output)(grid))
+        assert float(np.max(difference)) < 2e-3
+
+
+class TestMonotonicity:
+    def test_step_responses_never_decrease(self, network):
+        _, tree, output = network
+        times = characteristic_times(tree, output)
+        waveform = exact_step_response(tree, segments_per_line=20).waveform(
+            output, 8.0 * times.tp, points=300
+        )
+        assert waveform.is_monotonic(tolerance=1e-10)

@@ -1,0 +1,100 @@
+"""End-to-end reproduction checks: the numbers the paper actually prints.
+
+These tests are the written-down form of EXPERIMENTS.md: every quantitative
+claim in the paper that this repository can check is asserted here.
+"""
+
+import pytest
+
+from repro.algebra.compiler import tree_to_twoport
+from repro.algebra.expression import figure7_expression, parse_expression
+from repro.apps.pla import pla_delay_sweep
+from repro.core.bounds import delay_bounds, voltage_bounds
+from repro.core.networks import (
+    FIGURE10_DELAY_ROWS,
+    FIGURE10_VOLTAGE_ROWS,
+    FIGURE7_TWOPORT,
+    figure7_tree,
+    single_line,
+)
+from repro.core.timeconstants import characteristic_times
+
+
+class TestEquation18Pipeline:
+    """Expression (eq. 18) -> algebra -> bounds reproduces the Fig. 10 session."""
+
+    def test_expression_evaluates_to_published_vector(self):
+        assert figure7_expression().to_twoport().as_vector() == pytest.approx(FIGURE7_TWOPORT)
+
+    def test_tree_evaluates_to_published_vector(self):
+        assert tree_to_twoport(figure7_tree(), "out").as_vector() == pytest.approx(
+            FIGURE7_TWOPORT
+        )
+
+    @pytest.mark.parametrize("threshold,tmin,tmax", FIGURE10_DELAY_ROWS)
+    def test_delay_rows(self, threshold, tmin, tmax):
+        times = figure7_expression().to_twoport().characteristic_times()
+        bounds = delay_bounds(times, threshold)
+        assert bounds.lower == pytest.approx(tmin, rel=5e-4, abs=5e-3)
+        assert bounds.upper == pytest.approx(tmax, rel=5e-4)
+
+    @pytest.mark.parametrize("time,vmin,vmax", FIGURE10_VOLTAGE_ROWS)
+    def test_voltage_rows(self, time, vmin, vmax):
+        times = figure7_expression().to_twoport().characteristic_times()
+        bounds = voltage_bounds(times, time)
+        assert bounds.lower == pytest.approx(vmin, abs=5e-5)
+        assert bounds.upper == pytest.approx(vmax, abs=5e-5)
+
+
+class TestSectionIIIIdentities:
+    def test_single_uniform_line_constants(self):
+        """'For a single uniform RC line, Tp = TDe = RC/2, and TRe = RC/3.'"""
+        times = characteristic_times(single_line(7.0, 3.0), "out")
+        assert times.tp == pytest.approx(10.5)
+        assert times.tde == pytest.approx(10.5)
+        assert times.tre == pytest.approx(7.0)
+
+    def test_eq7_ordering_on_figure7(self, fig7_times):
+        assert fig7_times.tre <= fig7_times.tde <= fig7_times.tp
+
+    def test_elmore_equals_area_above_step_response(self, fig7):
+        """T_De is the area between the final value and the step response (Fig. 4)."""
+        import numpy as np
+
+        from repro.simulate.state_space import exact_step_response
+
+        response = exact_step_response(fig7, segments_per_line=60)
+        t = np.linspace(0.0, 30000.0, 300000)
+        v = response.voltage("out", t)
+        area = np.trapezoid(1.0 - v, t)
+        assert area == pytest.approx(363.0, rel=1e-3)
+
+
+class TestSectionVClaims:
+    def test_pla_quadratic_dependence(self):
+        rows = pla_delay_sweep([10, 20, 40, 80])
+        # Doubling the minterm count multiplies the delay bound by ~4 once the
+        # line resistance dominates the fixed driver resistance.
+        ratio = rows[3].t_upper / rows[2].t_upper
+        assert 3.0 < ratio < 4.5
+
+    def test_pla_100_minterms_guaranteed_around_10ns(self):
+        row = pla_delay_sweep([100])[0]
+        assert 8.0 <= row.t_upper_ns <= 12.0
+
+    def test_pla_delay_does_not_dominate(self):
+        """The paper's design conclusion: even the guaranteed PLA line delay is
+        small compared to a (period-scale) 50 ns budget."""
+        row = pla_delay_sweep([100])[0]
+        assert row.t_upper < 50e-9
+
+
+class TestExpressionNotation:
+    def test_paper_expression_text_parses_with_original_spacing(self):
+        text = (
+            "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) "
+            "WC (URC 3 4) WC URC 0 9"
+        )
+        assert parse_expression(text).to_twoport().as_vector() == pytest.approx(
+            FIGURE7_TWOPORT
+        )

@@ -1,0 +1,97 @@
+"""Round-trip tests across the interchange formats and representations.
+
+A tree should survive the journey through every representation the library
+offers -- expression text, SPICE deck, SPEF file -- with its analysis results
+intact (up to documented discretisation of distributed lines).
+"""
+
+import pytest
+
+from repro.algebra.compiler import expression_to_tree, tree_to_expression
+from repro.core.networks import figure7_tree, rc_ladder, symmetric_fanout
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+from repro.spef.reader import spef_to_trees
+from repro.spef.writer import tree_to_spef
+from repro.spicefmt.reader import spice_to_tree
+from repro.spicefmt.writer import tree_to_spice
+
+
+def catalogue():
+    return {
+        "figure7": (figure7_tree(), "out"),
+        "ladder": (rc_ladder(6, 11.0, 3e-12), "out"),
+        "fanout": (symmetric_fanout(4, 150.0, 75.0, 2e-12, 1e-12), "load3"),
+        "random": (random_tree(3, RandomTreeConfig(nodes=20, distributed_fraction=0.0)), None),
+    }
+
+
+@pytest.fixture(params=list(catalogue()))
+def tree_and_output(request):
+    tree, output = catalogue()[request.param]
+    if output is None:
+        output = tree.outputs[0]
+    return tree, output
+
+
+class TestExpressionRoundTrip:
+    def test_times_preserved(self, tree_and_output):
+        tree, output = tree_and_output
+        expression = tree_to_expression(tree, output)
+        rebuilt = expression_to_tree(expression)
+        original = characteristic_times(tree, output)
+        recovered = characteristic_times(rebuilt, "out")
+        assert recovered.tp == pytest.approx(original.tp, rel=1e-9)
+        assert recovered.tde == pytest.approx(original.tde, rel=1e-9)
+        assert recovered.tre == pytest.approx(original.tre, rel=1e-9)
+        assert recovered.ree == pytest.approx(original.ree, rel=1e-9)
+
+    def test_text_form_reparses(self, tree_and_output):
+        tree, output = tree_and_output
+        text = tree_to_expression(tree, output).to_text()
+        rebuilt = expression_to_tree(text)
+        assert characteristic_times(rebuilt, "out").tde == pytest.approx(
+            characteristic_times(tree, output).tde, rel=1e-9
+        )
+
+
+class TestSpiceRoundTrip:
+    def test_elmore_preserved(self, tree_and_output):
+        tree, output = tree_and_output
+        deck = tree_to_spice(tree, segments_per_line=12)
+        rebuilt = spice_to_tree(deck)
+        assert characteristic_times(rebuilt, output).tde == pytest.approx(
+            characteristic_times(tree, output).tde, rel=1e-9
+        )
+
+    def test_tre_close_despite_lumping(self, tree_and_output):
+        tree, output = tree_and_output
+        deck = tree_to_spice(tree, segments_per_line=40)
+        rebuilt = spice_to_tree(deck)
+        assert characteristic_times(rebuilt, output).tre == pytest.approx(
+            characteristic_times(tree, output).tre, rel=2e-3
+        )
+
+
+class TestSpefRoundTrip:
+    def test_elmore_preserved(self, tree_and_output):
+        tree, output = tree_and_output
+        rebuilt = spef_to_trees(tree_to_spef(tree, segments_per_line=12))["net0"]
+        assert characteristic_times(rebuilt, output).tde == pytest.approx(
+            characteristic_times(tree, output).tde, rel=1e-6
+        )
+
+    def test_total_capacitance_preserved(self, tree_and_output):
+        tree, _ = tree_and_output
+        rebuilt = spef_to_trees(tree_to_spef(tree, segments_per_line=12))["net0"]
+        assert rebuilt.total_capacitance == pytest.approx(tree.total_capacitance, rel=1e-6)
+
+
+class TestChainedRoundTrip:
+    def test_spice_then_spef_then_expression(self, fig7):
+        """Push the Figure 7 network through every format in sequence."""
+        via_spice = spice_to_tree(tree_to_spice(fig7, segments_per_line=10))
+        via_spef = spef_to_trees(tree_to_spef(via_spice))["net0"]
+        expression = tree_to_expression(via_spef, "out")
+        final = expression_to_tree(expression)
+        assert characteristic_times(final, "out").tde == pytest.approx(363.0, rel=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for the moment-based delay metrics."""
+
+import math
+
+import pytest
+
+from repro.core.networks import figure7_tree, rc_ladder
+from repro.core.tree import RCTree
+from repro.moments.metrics import (
+    delay_d2m,
+    delay_elmore_metric,
+    delay_single_pole,
+    delay_two_pole,
+    estimate_all,
+    fit_two_pole,
+    two_pole_step_response,
+)
+from repro.moments.moments import transfer_moments
+from repro.simulate.state_space import exact_step_response
+
+
+def single_rc_moments(rc=6.0, order=3):
+    return [(-rc) ** k for k in range(order + 1)]
+
+
+class TestSingleRCExactness:
+    """For one pole every metric collapses to the exact RC ln(1/(1-v))."""
+
+    def test_single_pole(self):
+        assert delay_single_pole(single_rc_moments(), 0.5) == pytest.approx(6.0 * math.log(2.0))
+
+    def test_d2m(self):
+        assert delay_d2m(single_rc_moments(), 0.5) == pytest.approx(6.0 * math.log(2.0))
+
+    def test_two_pole(self):
+        assert delay_two_pole(single_rc_moments(), 0.5) == pytest.approx(
+            6.0 * math.log(2.0), rel=1e-9
+        )
+
+    def test_elmore_metric_ignores_threshold(self):
+        assert delay_elmore_metric(single_rc_moments(), 0.3) == pytest.approx(6.0)
+        assert delay_elmore_metric(single_rc_moments(), 0.9) == pytest.approx(6.0)
+
+    def test_two_pole_fit_degenerates(self):
+        fit = fit_two_pole(single_rc_moments())
+        assert fit.degenerate
+        assert fit.poles[0] == pytest.approx(-1.0 / 6.0)
+
+
+class TestAccuracyAgainstExactSimulation:
+    @pytest.fixture(scope="class")
+    def ladder_case(self):
+        tree = rc_ladder(10, 10.0, 1.0)
+        exact = exact_step_response(tree).delay("out", 0.5)
+        return tree, exact
+
+    def test_metrics_beat_raw_elmore_at_half_vdd(self, ladder_case):
+        tree, exact = ladder_case
+        estimates = estimate_all(tree, "out", 0.5, exact=exact)
+        errors = estimates.errors_vs_exact()
+        assert abs(errors["single_pole"]) < abs(errors["elmore"])
+        assert abs(errors["d2m"]) < abs(errors["elmore"])
+        assert abs(errors["two_pole"]) < abs(errors["elmore"])
+
+    def test_d2m_within_a_few_percent(self, ladder_case):
+        tree, exact = ladder_case
+        estimates = estimate_all(tree, "out", 0.5, exact=exact)
+        assert abs(estimates.errors_vs_exact()["d2m"]) < 0.05
+
+    def test_estimates_inside_or_near_pr_bounds(self, ladder_case):
+        tree, exact = ladder_case
+        estimates = estimate_all(tree, "out", 0.5, exact=exact)
+        assert estimates.bound_lower <= exact <= estimates.bound_upper
+
+    def test_figure7_estimates(self, fig7):
+        exact = exact_step_response(fig7, segments_per_line=50).delay("out", 0.5)
+        estimates = estimate_all(fig7, "out", 0.5, segments_per_line=50, exact=exact)
+        assert abs(estimates.errors_vs_exact()["two_pole"]) < 0.05
+        assert estimates.bound_lower <= estimates.two_pole <= estimates.bound_upper
+
+
+class TestTwoPoleFit:
+    def test_non_degenerate_for_multi_pole_network(self, fig7):
+        fit = two_pole_step_response(fig7, "out", segments_per_line=40)
+        assert not fit.degenerate
+        assert all(p < 0 for p in fit.poles)
+
+    def test_step_response_starts_at_zero_and_ends_at_one(self, fig7):
+        fit = two_pole_step_response(fig7, "out", segments_per_line=40)
+        assert fit.step_response(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert fit.step_response(1e6) == pytest.approx(1.0, abs=1e-9)
+
+    def test_step_response_rejects_negative_time(self, fig7):
+        fit = two_pole_step_response(fig7, "out")
+        with pytest.raises(Exception):
+            fit.step_response(-1.0)
+
+    def test_two_pole_monotone_in_threshold(self, fig7):
+        moments = transfer_moments(fig7, ["out"], order=3, segments_per_line=40)["out"]
+        delays = [delay_two_pole(moments, v) for v in (0.2, 0.5, 0.8)]
+        assert delays == sorted(delays)
+
+
+class TestValidation:
+    def test_d2m_needs_second_moment(self):
+        with pytest.raises(Exception):
+            delay_d2m([1.0, -5.0], 0.5)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            delay_single_pole(single_rc_moments(), 1.0)
+
+    def test_fit_rejects_positive_mu1(self):
+        with pytest.raises(Exception):
+            fit_two_pole([1.0, 5.0, 1.0])

@@ -1,0 +1,85 @@
+"""Tests for higher-order impulse-response moments."""
+
+import pytest
+
+from repro.core.networks import figure7_tree, rc_ladder, single_line
+from repro.core.timeconstants import characteristic_times, characteristic_times_all
+from repro.core.tree import RCTree
+from repro.moments.moments import impulse_moments, transfer_moments
+
+
+def single_rc(r=2.0, c=3.0):
+    tree = RCTree()
+    tree.add_resistor("in", "out", r)
+    tree.add_capacitor("out", c)
+    return tree
+
+
+class TestSingleRC:
+    """H(s) = 1/(1 + RCs): mu_k = (-RC)^k exactly."""
+
+    def test_transfer_moments(self):
+        moments = transfer_moments(single_rc(), ["out"], order=4)["out"]
+        rc = 6.0
+        assert moments == pytest.approx([1.0, -rc, rc**2, -(rc**3), rc**4])
+
+    def test_impulse_moments(self):
+        moments = impulse_moments(single_rc(), ["out"], order=3)["out"]
+        rc = 6.0
+        # M_k = k! (RC)^k for a single pole.
+        assert moments == pytest.approx([1.0, rc, 2 * rc**2, 6 * rc**3])
+
+
+class TestFirstMomentIsElmore:
+    def test_on_figure7(self, fig7):
+        moments = transfer_moments(fig7, ["out"], order=1)["out"]
+        assert -moments[1] == pytest.approx(characteristic_times(fig7, "out").tde, rel=1e-9)
+
+    def test_on_all_nodes_of_a_ladder(self):
+        tree = rc_ladder(7, 3.0, 2.0)
+        table = characteristic_times_all(tree, tree.nodes[1:])
+        moments = transfer_moments(tree, tree.nodes[1:], order=1)
+        for node in tree.nodes[1:]:
+            assert -moments[node][1] == pytest.approx(table[node].tde, rel=1e-12)
+
+
+class TestStructuralProperties:
+    def test_moment_signs_alternate(self, fig7):
+        moments = transfer_moments(fig7, ["out"], order=4)["out"]
+        for k, value in enumerate(moments):
+            assert (value >= 0) == (k % 2 == 0)
+
+    def test_second_moment_at_least_half_square_of_first(self, small_random_tree):
+        # The impulse response is a unit-mass non-negative density, so
+        # E[t^2] >= (E[t])^2, i.e. 2 mu_2 >= mu_1^2.
+        tree = small_random_tree
+        for output in tree.outputs:
+            moments = transfer_moments(tree, [output], order=2)[output]
+            assert 2.0 * moments[2] >= moments[1] ** 2 * (1 - 1e-12)
+
+    def test_default_outputs_are_marked_outputs(self, fig7):
+        assert set(transfer_moments(fig7, order=2)) == {"out"}
+
+    def test_unknown_output_rejected(self, fig7):
+        from repro.core.exceptions import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            transfer_moments(fig7, ["zz"])
+
+    def test_order_validation(self, fig7):
+        with pytest.raises(ValueError):
+            transfer_moments(fig7, ["out"], order=0)
+
+
+class TestDistributedLines:
+    def test_first_moment_exact_despite_lumping(self):
+        tree = single_line(4.0, 2.0)
+        moments = transfer_moments(tree, ["out"], order=1, segments_per_line=5)["out"]
+        assert -moments[1] == pytest.approx(4.0, rel=1e-12)  # RC/2
+
+    def test_higher_moments_converge_with_segments(self):
+        tree = single_line(1.0, 1.0)
+        coarse = transfer_moments(tree, ["out"], order=2, segments_per_line=3)["out"][2]
+        fine = transfer_moments(tree, ["out"], order=2, segments_per_line=60)["out"][2]
+        finer = transfer_moments(tree, ["out"], order=2, segments_per_line=120)["out"][2]
+        assert abs(finer - fine) < abs(fine - coarse)

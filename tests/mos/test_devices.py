@@ -1,0 +1,46 @@
+"""Tests for the MOS device models."""
+
+import pytest
+
+from repro.mos.devices import DeviceType, MOSDevice, effective_resistance
+
+
+class TestMOSDevice:
+    def test_aspect_ratio(self):
+        device = MOSDevice(DeviceType.NMOS_ENHANCEMENT, width=8e-6, length=4e-6)
+        assert device.aspect_ratio == pytest.approx(2.0)
+
+    def test_effective_resistance_scales_inversely_with_width(self):
+        narrow = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, 4e-6)
+        wide = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 16e-6, 4e-6)
+        assert wide.effective_resistance == pytest.approx(narrow.effective_resistance / 4.0)
+
+    def test_depletion_load_weaker_than_enhancement(self):
+        enhancement = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, 4e-6)
+        depletion = MOSDevice(DeviceType.NMOS_DEPLETION, 4e-6, 4e-6)
+        assert depletion.effective_resistance > enhancement.effective_resistance
+
+    def test_pmos_weaker_than_nmos(self):
+        nmos = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, 4e-6)
+        pmos = MOSDevice(DeviceType.PMOS, 4e-6, 4e-6)
+        assert pmos.effective_resistance > nmos.effective_resistance
+
+    def test_gate_capacitance(self):
+        device = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, 4e-6)
+        per_area = 8.63e-4
+        assert device.gate_capacitance(per_area) == pytest.approx(per_area * 16e-12)
+
+    def test_diffusion_capacitance(self):
+        device = MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, 4e-6)
+        assert device.diffusion_capacitance(1e-4, 6e-6) == pytest.approx(1e-4 * 4e-6 * 6e-6)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MOSDevice(DeviceType.NMOS_ENHANCEMENT, 0.0, 4e-6)
+        with pytest.raises(ValueError):
+            MOSDevice(DeviceType.NMOS_ENHANCEMENT, 4e-6, -1.0)
+
+    def test_functional_wrapper(self):
+        assert effective_resistance(DeviceType.PMOS, 8e-6, 4e-6) == pytest.approx(
+            MOSDevice(DeviceType.PMOS, 8e-6, 4e-6).effective_resistance
+        )

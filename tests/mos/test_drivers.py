@@ -1,0 +1,50 @@
+"""Tests for the linearised driver models."""
+
+import pytest
+
+from repro.mos.devices import DeviceType, MOSDevice
+from repro.mos.drivers import (
+    PAPER_SUPERBUFFER,
+    DriverModel,
+    inverter_driver,
+    paper_pla_driver,
+    superbuffer_driver,
+)
+
+
+class TestDriverModel:
+    def test_paper_superbuffer_values(self):
+        assert PAPER_SUPERBUFFER.effective_resistance == pytest.approx(380.0)
+        assert PAPER_SUPERBUFFER.output_capacitance == pytest.approx(0.04e-12)
+
+    def test_paper_pla_driver_alias(self):
+        assert paper_pla_driver() is PAPER_SUPERBUFFER
+
+    def test_scaled_driver_trades_resistance_for_capacitance(self):
+        strong = PAPER_SUPERBUFFER.scaled(4.0)
+        assert strong.effective_resistance == pytest.approx(95.0)
+        assert strong.output_capacitance == pytest.approx(0.16e-12)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DriverModel("bad", effective_resistance=0.0)
+        with pytest.raises(ValueError):
+            DriverModel("bad", effective_resistance=100.0, output_capacitance=-1.0)
+        with pytest.raises(ValueError):
+            PAPER_SUPERBUFFER.scaled(0.0)
+
+
+class TestDriverConstructors:
+    def test_inverter_driver_uses_pullup_resistance(self):
+        pullup = MOSDevice(DeviceType.NMOS_DEPLETION, 4e-6, 16e-6)
+        driver = inverter_driver("inv1", pullup, output_capacitance=0.02e-12)
+        assert driver.effective_resistance == pytest.approx(pullup.effective_resistance)
+        assert driver.output_capacitance == pytest.approx(0.02e-12)
+
+    def test_superbuffer_is_twice_as_strong_as_plain_inverter(self):
+        device = MOSDevice(DeviceType.NMOS_DEPLETION, 8e-6, 4e-6)
+        plain = inverter_driver("plain", device)
+        buffered = superbuffer_driver("super", device)
+        assert buffered.effective_resistance == pytest.approx(
+            plain.effective_resistance / 2.0
+        )

@@ -1,0 +1,102 @@
+"""Tests for repeater insertion along a long RC line."""
+
+import pytest
+
+from repro.mos.drivers import DriverModel, PAPER_SUPERBUFFER
+from repro.opt.buffering import (
+    Repeater,
+    buffered_line_delay,
+    compare_buffering,
+    optimal_buffer_count,
+)
+
+REPEATER = Repeater("rep_x4", drive_resistance=500.0, input_capacitance=20e-15,
+                    intrinsic_delay=30e-12)
+DRIVER = DriverModel("drv", effective_resistance=500.0, output_capacitance=20e-15)
+
+#: A long, very resistive line: 10 kohm / 2 pF (several mm of poly).
+LONG_LINE = dict(line_resistance=10e3, line_capacitance=2e-12, load_capacitance=50e-15)
+#: A short line where repeaters cannot pay for themselves.
+SHORT_LINE = dict(line_resistance=100.0, line_capacitance=50e-15, load_capacitance=10e-15)
+
+
+class TestRepeater:
+    def test_scaled(self):
+        strong = REPEATER.scaled(2.0)
+        assert strong.drive_resistance == pytest.approx(250.0)
+        assert strong.input_capacitance == pytest.approx(40e-15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Repeater("bad", 0.0, 1e-15)
+        with pytest.raises(ValueError):
+            Repeater("bad", 100.0, -1e-15)
+
+
+class TestBufferedLineDelay:
+    def test_zero_repeaters_is_the_plain_line(self):
+        plan = buffered_line_delay(0, DRIVER, REPEATER, **LONG_LINE)
+        assert plan.repeater_count == 0
+        assert len(plan.stage_delays) == 1
+        assert plan.total_delay == pytest.approx(sum(plan.stage_delays))
+
+    def test_stage_count(self):
+        plan = buffered_line_delay(3, DRIVER, REPEATER, **LONG_LINE)
+        assert len(plan.stage_delays) == 4
+
+    def test_intrinsic_delay_charged_per_repeater(self):
+        with_delay = buffered_line_delay(4, DRIVER, REPEATER, **LONG_LINE)
+        free = buffered_line_delay(
+            4, DRIVER, Repeater("free", 500.0, 20e-15, 0.0), **LONG_LINE
+        )
+        assert with_delay.total_delay == pytest.approx(
+            free.total_delay + 4 * REPEATER.intrinsic_delay
+        )
+
+    def test_elmore_mode_smaller_than_bound_mode_here(self):
+        bound = buffered_line_delay(2, DRIVER, REPEATER, **LONG_LINE, use_bounds=True)
+        elmore = buffered_line_delay(2, DRIVER, REPEATER, **LONG_LINE, use_bounds=False)
+        assert bound.total_delay != elmore.total_delay
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            buffered_line_delay(-1, DRIVER, REPEATER, **LONG_LINE)
+
+
+class TestOptimalBufferCount:
+    def test_long_line_wants_many_repeaters(self):
+        best = optimal_buffer_count(DRIVER, REPEATER, **LONG_LINE)
+        assert best.repeater_count >= 5
+
+    def test_short_line_wants_none(self):
+        best = optimal_buffer_count(DRIVER, REPEATER, **SHORT_LINE)
+        assert best.repeater_count == 0
+
+    def test_optimum_beats_neighbours(self):
+        best = optimal_buffer_count(DRIVER, REPEATER, **LONG_LINE)
+        k = best.repeater_count
+        below = buffered_line_delay(k - 1, DRIVER, REPEATER, **LONG_LINE)
+        above = buffered_line_delay(k + 1, DRIVER, REPEATER, **LONG_LINE)
+        assert best.total_delay <= below.total_delay
+        assert best.total_delay <= above.total_delay
+
+    def test_faster_repeaters_mean_more_of_them(self):
+        lazy = optimal_buffer_count(DRIVER, Repeater("slow", 500.0, 20e-15, 300e-12), **LONG_LINE)
+        quick = optimal_buffer_count(DRIVER, Repeater("fast", 500.0, 20e-15, 5e-12), **LONG_LINE)
+        assert quick.repeater_count >= lazy.repeater_count
+
+
+class TestComparison:
+    def test_long_line_improves_substantially(self):
+        comparison = compare_buffering(PAPER_SUPERBUFFER, REPEATER, **LONG_LINE)
+        assert comparison.improvement > 2.0
+
+    def test_short_line_does_not_regress(self):
+        comparison = compare_buffering(PAPER_SUPERBUFFER, REPEATER, **SHORT_LINE)
+        assert comparison.improvement == pytest.approx(1.0)
+
+    def test_buffered_delay_grows_linearly_not_quadratically(self):
+        """Repeaters restore linear growth with line length (vs Fig. 13's quadratic)."""
+        single = compare_buffering(DRIVER, REPEATER, 5e3, 1e-12, 50e-15).buffered.total_delay
+        double = compare_buffering(DRIVER, REPEATER, 10e3, 2e-12, 50e-15).buffered.total_delay
+        assert double / single < 2.6  # unbuffered the ratio would approach 4

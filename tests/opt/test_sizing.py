@@ -1,0 +1,78 @@
+"""Tests for driver sizing against a guaranteed-delay deadline."""
+
+import pytest
+
+from repro.apps.pla import pla_line_from_technology
+from repro.core.bounds import delay_bounds
+from repro.core.timeconstants import characteristic_times
+from repro.mos.drivers import PAPER_SUPERBUFFER
+from repro.opt.sizing import size_driver_for_deadline, sweep_driver_sizes
+
+
+def pla_factory(minterms):
+    def factory(driver):
+        return pla_line_from_technology(minterms, driver=driver)
+
+    return factory
+
+
+class TestSweep:
+    def test_sweep_returns_scale_delay_pairs(self):
+        sweep = sweep_driver_sizes(pla_factory(20), PAPER_SUPERBUFFER, threshold=0.7,
+                                   scales=[0.5, 1.0, 2.0, 4.0])
+        assert len(sweep) == 4
+        assert all(delay > 0 for _, delay in sweep)
+
+    def test_upsizing_helps_for_driver_dominated_nets(self):
+        sweep = dict(sweep_driver_sizes(pla_factory(4), PAPER_SUPERBUFFER, threshold=0.7,
+                                        scales=[1.0, 4.0]))
+        assert sweep[4.0] < sweep[1.0]
+
+    def test_upsizing_saturates_for_wire_dominated_nets(self):
+        sweep = dict(sweep_driver_sizes(pla_factory(100), PAPER_SUPERBUFFER, threshold=0.7,
+                                        scales=[1.0, 16.0]))
+        # The quadratic wire term dominates: a 16x driver buys well under 2x.
+        assert sweep[16.0] > sweep[1.0] / 2.0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_driver_sizes(pla_factory(10), PAPER_SUPERBUFFER, scales=[0.0])
+
+
+class TestSizing:
+    def test_feasible_deadline_met_with_margin(self):
+        result = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7
+        )
+        assert result.feasible
+        assert result.guaranteed_delay <= 0.8e-9
+        assert result.scale > 0
+
+    def test_chosen_driver_actually_meets_deadline(self):
+        result = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7
+        )
+        tree = pla_line_from_technology(20, driver=result.driver)
+        bounds = delay_bounds(characteristic_times(tree, "out"), 0.7)
+        assert bounds.upper <= 0.8e-9 * (1 + 1e-9)
+
+    def test_smaller_driver_would_miss_the_deadline(self):
+        result = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7
+        )
+        weaker = PAPER_SUPERBUFFER.scaled(result.scale * 0.7)
+        tree = pla_line_from_technology(20, driver=weaker)
+        bounds = delay_bounds(characteristic_times(tree, "out"), 0.7)
+        assert bounds.upper > 0.8e-9
+
+    def test_infeasible_when_wire_alone_is_too_slow(self):
+        result = size_driver_for_deadline(
+            pla_factory(100), PAPER_SUPERBUFFER, deadline=2.0e-9, threshold=0.7
+        )
+        assert not result.feasible
+        assert result.scale is None
+        assert result.best_achievable_delay > 2.0e-9
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            size_driver_for_deadline(pla_factory(10), PAPER_SUPERBUFFER, deadline=0.0)

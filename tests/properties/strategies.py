@@ -1,0 +1,49 @@
+"""Hypothesis strategies for building random RC trees and elements."""
+
+from hypothesis import strategies as st
+
+from repro.core.tree import RCTree
+
+#: Element-value strategies kept within a few orders of magnitude so that the
+#: numerical comparisons in the properties stay well conditioned.
+resistances = st.floats(min_value=1e-2, max_value=1e5, allow_nan=False, allow_infinity=False)
+capacitances = st.floats(min_value=1e-16, max_value=1e-9, allow_nan=False, allow_infinity=False)
+thresholds = st.floats(min_value=0.01, max_value=0.99, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rc_trees(draw, min_nodes=2, max_nodes=30, allow_distributed=True):
+    """Draw a random RC tree with at least one capacitor and positive resistance.
+
+    The topology is drawn as a random parent pointer for each new node (any
+    already-created node may be the parent), which covers chains, stars and
+    bushy trees; element values come from the module-level strategies.
+    """
+    node_count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    tree = RCTree("in")
+    names = ["in"]
+    for index in range(1, node_count + 1):
+        name = f"n{index}"
+        parent = names[draw(st.integers(min_value=0, max_value=len(names) - 1))]
+        resistance = draw(resistances)
+        if allow_distributed and draw(st.booleans()):
+            tree.add_line(parent, name, resistance, draw(capacitances))
+        else:
+            tree.add_resistor(parent, name, resistance)
+        if draw(st.booleans()):
+            tree.add_capacitor(name, draw(capacitances))
+        names.append(name)
+    if tree.total_capacitance <= 0.0:
+        tree.add_capacitor(names[-1], draw(capacitances))
+    for leaf in tree.leaves():
+        tree.mark_output(leaf)
+    return tree
+
+
+@st.composite
+def trees_with_output(draw, **kwargs):
+    """Draw a tree plus one of its non-root nodes to use as the output."""
+    tree = draw(rc_trees(**kwargs))
+    candidates = [name for name in tree.nodes if name != tree.root]
+    output = candidates[draw(st.integers(min_value=0, max_value=len(candidates) - 1))]
+    return tree, output

@@ -1,0 +1,57 @@
+"""Property-based agreement between the three characteristic-time algorithms.
+
+The paper presents two ways to get (T_P, T_De, T_Re): summing over every
+capacitor with explicit shared resistances, and evaluating the constructive
+two-port algebra.  This library adds a third (the linear-time recurrence over
+the tree).  All three must agree on every tree hypothesis can construct.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.compiler import tree_to_expression, tree_to_twoport, twoport_times
+from repro.core.timeconstants import characteristic_times, characteristic_times_all
+
+from tests.properties.strategies import trees_with_output
+
+
+def assert_times_close(a, b, rel=1e-9):
+    assert a.tp == pytest.approx(b.tp, rel=rel, abs=1e-30)
+    assert a.tde == pytest.approx(b.tde, rel=rel, abs=1e-30)
+    assert a.tre == pytest.approx(b.tre, rel=rel, abs=1e-30)
+    assert a.ree == pytest.approx(b.ree, rel=rel, abs=1e-30)
+    assert a.total_capacitance == pytest.approx(b.total_capacitance, rel=rel, abs=1e-30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees_with_output())
+def test_algebra_matches_direct_summation(tree_output):
+    tree, output = tree_output
+    assert_times_close(characteristic_times(tree, output), twoport_times(tree, output))
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees_with_output())
+def test_linear_time_recurrence_matches_direct_summation(tree_output):
+    tree, output = tree_output
+    direct = characteristic_times(tree, output)
+    fast = characteristic_times_all(tree, [output])[output]
+    assert_times_close(direct, fast)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output())
+def test_expression_roundtrip_preserves_times(tree_output):
+    """tree -> expression -> two-port gives the same numbers as the tree itself."""
+    tree, output = tree_output
+    direct = characteristic_times(tree, output)
+    via_expression = tree_to_expression(tree, output).to_twoport().characteristic_times(output)
+    assert_times_close(direct, via_expression)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output())
+def test_twoport_ordering_invariant(tree_output):
+    """The algebra never produces a vector violating T_R2 <= T_D2 <= T_P."""
+    tree, output = tree_output
+    assert tree_to_twoport(tree, output).satisfies_ordering()

@@ -1,0 +1,97 @@
+"""Property-based tests for the extension modules (moments, ramp bounds).
+
+These mirror the invariants of the core theory for the extended machinery:
+the first moment must always equal the Elmore delay, the moment-based
+estimates must stay between the guaranteed bounds' extremes of plausibility
+on well-behaved trees, and the ramp bounds must degrade gracefully toward
+the step bounds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import delay_bounds
+from repro.core.excitation import RampResponseBounds
+from repro.core.timeconstants import characteristic_times
+from repro.moments.metrics import delay_d2m, delay_single_pole, fit_two_pole
+from repro.moments.moments import transfer_moments
+
+from tests.properties.strategies import trees_with_output
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output(allow_distributed=False))
+def test_first_transfer_moment_is_minus_elmore(tree_output):
+    tree, output = tree_output
+    moments = transfer_moments(tree, [output], order=1)[output]
+    assert -moments[1] == pytest.approx(characteristic_times(tree, output).tde, rel=1e-9, abs=1e-30)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output(allow_distributed=False))
+def test_moment_signs_alternate(tree_output):
+    tree, output = tree_output
+    moments = transfer_moments(tree, [output], order=4)[output]
+    for order, value in enumerate(moments):
+        if order % 2 == 0:
+            assert value >= -1e-30
+        else:
+            assert value <= 1e-30
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees_with_output(allow_distributed=False))
+def test_two_pole_fit_is_stable(tree_output):
+    """The AWE-2 fit always yields negative real poles (or falls back cleanly)."""
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    if times.tde <= 0.0:
+        return
+    moments = transfer_moments(tree, [output], order=3)[output]
+    fit = fit_two_pole(moments)
+    assert all(pole < 0 for pole in fit.poles)
+    # Extreme time-constant spreads cost the closed-form residues a few
+    # digits, so the endpoint checks use a loose absolute tolerance.
+    assert fit.step_response(0.0) == pytest.approx(0.0, abs=1e-2)
+    assert fit.step_response(1e9 * times.tp) == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees_with_output(allow_distributed=False), st.floats(min_value=0.05, max_value=0.95))
+def test_single_pole_and_d2m_lie_between_plausible_extremes(tree_output, threshold):
+    """Both metrics are positive; D2M never exceeds sqrt(2) times the single-pole value.
+
+    The ratio D2M / single-pole equals ``|mu_1| / sqrt(mu_2)``, and for a
+    unit-mass non-negative impulse response ``mu_2 >= mu_1^2 / 2``, so the
+    ratio is at most sqrt(2).
+    """
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    if times.tde <= 0.0:
+        return
+    moments = transfer_moments(tree, [output], order=2)[output]
+    one_pole = delay_single_pole(moments, threshold)
+    d2m = delay_d2m(moments, threshold)
+    assert one_pole > 0.0
+    assert 0.0 < d2m <= one_pole * (2.0 ** 0.5) * (1 + 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    trees_with_output(max_nodes=10, allow_distributed=False),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+def test_ramp_bounds_contain_step_bounds_shifted_window(tree_output, threshold):
+    """Ramp delay bounds are never earlier than the step bounds and never later
+    than the step bounds plus the full rise time."""
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    if times.tde <= 0.0:
+        return
+    step = delay_bounds(times, threshold)
+    rise_time = 0.5 * times.tp
+    ramp = RampResponseBounds(times, rise_time, samples=65).delay_bounds(threshold)
+    assert ramp.lower >= step.lower - 1e-9 * max(step.upper, 1.0)
+    assert ramp.upper <= step.upper + rise_time + 1e-9 * max(step.upper, 1.0)
+    assert ramp.lower <= ramp.upper + 1e-12

@@ -1,0 +1,103 @@
+"""Property-based tests of the paper's structural invariants.
+
+These are the statements the paper proves for *every* RC tree; hypothesis
+generates arbitrary trees and checks them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    delay_lower_bound,
+    delay_upper_bound,
+    voltage_lower_bound,
+    voltage_upper_bound,
+)
+from repro.core.path import all_path_resistances, shared_resistances_to_output
+from repro.core.timeconstants import characteristic_times
+
+from tests.properties.strategies import thresholds, trees_with_output
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees_with_output())
+def test_eq7_ordering_holds_for_every_tree(tree_output):
+    """Eq. (7): T_Re <= T_De <= T_P for any RC tree and any output."""
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    slack = 1e-12 * max(times.tp, 1e-30)
+    assert times.tre <= times.tde + slack
+    assert times.tde <= times.tp + slack
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees_with_output())
+def test_shared_resistance_bounded_by_path_resistances(tree_output):
+    """R_ke <= R_kk and R_ke <= R_ee (Section III)."""
+    tree, output = tree_output
+    rkk = all_path_resistances(tree)
+    shared = shared_resistances_to_output(tree, output)
+    ree = rkk[output]
+    for node in tree.nodes:
+        assert shared[node] <= rkk[node] + 1e-12 * max(rkk[node], 1.0)
+        assert shared[node] <= ree + 1e-12 * max(ree, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output(), thresholds)
+def test_delay_lower_bound_never_exceeds_upper_bound(tree_output, threshold):
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    lower = float(delay_lower_bound(times, threshold))
+    upper = float(delay_upper_bound(times, threshold))
+    assert lower >= 0.0
+    assert lower <= upper * (1 + 1e-9) + 1e-30
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output(), st.floats(min_value=0.0, max_value=50.0))
+def test_voltage_bounds_ordered_and_in_unit_interval(tree_output, time_in_tp):
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    t = time_in_tp * times.tp
+    lower = float(voltage_lower_bound(times, t))
+    upper = float(voltage_upper_bound(times, t))
+    assert 0.0 <= lower <= upper <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees_with_output())
+def test_voltage_bounds_monotone_in_time(tree_output):
+    """The envelopes are themselves monotone, like the response they bracket."""
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    grid = np.linspace(0.0, 10.0 * times.tp, 100)
+    lower = voltage_lower_bound(times, grid)
+    upper = voltage_upper_bound(times, grid)
+    assert np.all(np.diff(lower) >= -1e-12)
+    assert np.all(np.diff(upper) >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees_with_output(), thresholds)
+def test_delay_bounds_invert_voltage_bounds(tree_output, threshold):
+    """Inverting: the voltage bound evaluated at its own delay bound recovers v."""
+    tree, output = tree_output
+    times = characteristic_times(tree, output)
+    if times.tde <= 0.0:
+        return
+    upper_time = float(delay_upper_bound(times, threshold))
+    assert float(voltage_lower_bound(times, upper_time)) <= threshold + 1e-6
+    lower_time = float(delay_lower_bound(times, threshold))
+    if lower_time > 0.0:
+        assert float(voltage_upper_bound(times, lower_time)) >= threshold - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees_with_output())
+def test_tp_is_output_independent(tree_output):
+    """T_P (eq. 5) does not depend on which node is taken as the output."""
+    tree, _ = tree_output
+    values = {characteristic_times(tree, node).tp for node in tree.nodes}
+    assert max(values) - min(values) <= 1e-9 * max(values)

@@ -1,0 +1,97 @@
+"""Tests for waveform/bound comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundedResponse
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times
+from repro.simulate.compare import (
+    bound_tightness,
+    bounds_violations,
+    max_abs_error,
+    rms_error,
+    threshold_delay_error,
+)
+from repro.simulate.state_space import simulate_step
+from repro.simulate.waveform import Waveform
+
+
+def make_waveform(offset=0.0):
+    times = np.linspace(0.0, 10.0, 200)
+    return Waveform(times, np.clip(1.0 - np.exp(-times) + offset, 0.0, None))
+
+
+class TestErrorMetrics:
+    def test_zero_error_against_itself(self):
+        wf = make_waveform()
+        assert max_abs_error(wf, wf) == 0.0
+        assert rms_error(wf, wf) == 0.0
+
+    def test_constant_offset(self):
+        reference = make_waveform()
+        shifted = make_waveform(offset=0.1)
+        assert max_abs_error(reference, shifted) == pytest.approx(0.1, abs=1e-9)
+        assert rms_error(reference, shifted) == pytest.approx(0.1, abs=1e-2)
+
+    def test_rms_not_larger_than_max(self):
+        reference = make_waveform()
+        other = Waveform(reference.times, reference.values * 0.9)
+        assert rms_error(reference, other) <= max_abs_error(reference, other) + 1e-15
+
+    def test_threshold_delay_error(self):
+        reference = make_waveform()
+        slower = Waveform(reference.times, reference.values * 0.8)
+        delta = threshold_delay_error(reference, slower, 0.5)
+        assert delta is not None and delta > 0.0
+
+    def test_threshold_delay_error_none_when_unreached(self):
+        reference = make_waveform()
+        too_small = Waveform(reference.times, reference.values * 0.1)
+        assert threshold_delay_error(reference, too_small, 0.5) is None
+
+
+class TestBoundsViolations:
+    def test_exact_response_stays_inside(self, fig7, fig7_times):
+        wf = simulate_step(fig7, "out", 800.0, points=300, segments_per_line=40)
+        check = bounds_violations(wf, BoundedResponse(fig7_times))
+        assert check.ok or check.within(1e-9)
+        assert check.samples == 300
+
+    def test_fabricated_violation_detected(self, fig7_times):
+        bounded = BoundedResponse(fig7_times)
+        times = np.linspace(0.0, 600.0, 100)
+        too_fast = Waveform(times, np.minimum(1.0, times / 50.0))  # rises way too fast
+        check = bounds_violations(too_fast, bounded)
+        assert check.worst_upper_violation > 0.0
+        assert not check.ok
+
+    def test_within_tolerance_logic(self):
+        from repro.simulate.compare import BoundsCheck
+
+        check = BoundsCheck(worst_lower_violation=1e-5, worst_upper_violation=-1.0, samples=10)
+        assert not check.ok
+        assert check.within(1e-4)
+        assert not check.within(1e-6)
+
+
+class TestBoundTightness:
+    def test_driver_dominated_is_tighter_than_wire_dominated(self):
+        from repro.core.tree import RCTree
+
+        def net(driver_r, wire_r):
+            tree = RCTree()
+            tree.add_resistor("in", "d", driver_r)
+            tree.add_line("d", "out", wire_r, 1.0)
+            tree.add_capacitor("out", 1.0)
+            return BoundedResponse(characteristic_times(tree, "out"))
+
+        thresholds = (0.2, 0.5, 0.8)
+        driver_dominated = bound_tightness(net(100.0, 1.0), thresholds)
+        wire_dominated = bound_tightness(net(1.0, 100.0), thresholds)
+        # The paper: bounds are "very tight in the case where most of the
+        # resistance is in the pullup".
+        assert driver_dominated < wire_dominated
+
+    def test_empty_threshold_list(self, fig7_times):
+        assert bound_tightness(BoundedResponse(fig7_times), []) == 0.0

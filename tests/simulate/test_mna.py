@@ -1,0 +1,71 @@
+"""Tests for MNA matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError, ElementValueError
+from repro.core.networks import figure7_tree, rc_ladder
+from repro.core.tree import RCTree
+from repro.simulate.mna import build_mna
+
+
+class TestBuildMNA:
+    def test_dimensions_exclude_input(self):
+        system = build_mna(rc_ladder(5, 1.0, 1.0))
+        assert system.size == 5
+        assert system.conductance.shape == (5, 5)
+        assert system.capacitance.shape == (5,)
+        assert system.input_node == "in"
+
+    def test_conductance_is_symmetric(self):
+        system = build_mna(figure7_tree(), segments_per_line=8)
+        assert np.allclose(system.conductance, system.conductance.T)
+
+    def test_dc_solution_is_all_ones(self):
+        system = build_mna(figure7_tree(), segments_per_line=8)
+        assert np.allclose(system.dc_solution(), 1.0)
+
+    def test_source_vector_only_on_nodes_touching_input(self):
+        tree = rc_ladder(3, 2.0, 1.0)
+        system = build_mna(tree)
+        source = system.source
+        first = system.index["s1"]
+        assert source[first] == pytest.approx(0.5)
+        assert np.count_nonzero(source) == 1
+
+    def test_simple_ladder_matrix_values(self):
+        tree = rc_ladder(2, 4.0, 3.0)
+        system = build_mna(tree)
+        i1, i2 = system.index["s1"], system.index["out"]
+        g = system.conductance
+        assert g[i1, i1] == pytest.approx(0.25 + 0.25)
+        assert g[i2, i2] == pytest.approx(0.25)
+        assert g[i1, i2] == pytest.approx(-0.25)
+        assert system.capacitance[i1] == pytest.approx(3.0)
+
+    def test_distributed_lines_are_lumped(self):
+        tree = figure7_tree()
+        system = build_mna(tree, segments_per_line=6)
+        # The 3-ohm/4-F line becomes 6 segments: 5 internal nodes appear.
+        assert system.size == len(tree) - 1 + 5
+
+    def test_total_capacitance_preserved_by_lumping(self):
+        tree = figure7_tree()
+        system = build_mna(tree, segments_per_line=9)
+        assert system.capacitance.sum() == pytest.approx(tree.total_capacitance)
+
+    def test_capacitance_matrix_diagonal(self):
+        system = build_mna(rc_ladder(3, 1.0, 2.0))
+        matrix = system.capacitance_matrix()
+        assert np.allclose(matrix, np.diag(system.capacitance))
+
+    def test_zero_resistance_branch_rejected(self):
+        tree = RCTree()
+        tree.add_resistor("in", "a", 0.0)
+        tree.add_capacitor("a", 1.0)
+        with pytest.raises(ElementValueError):
+            build_mna(tree)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(AnalysisError):
+            build_mna(RCTree())

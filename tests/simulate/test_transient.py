@@ -1,0 +1,105 @@
+"""Tests for the companion-model transient engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.networks import figure7_tree, rc_ladder
+from repro.core.tree import RCTree
+from repro.simulate.state_space import exact_step_response
+from repro.simulate.transient import ramp_input, transient_step_response
+
+
+def single_rc():
+    tree = RCTree()
+    tree.add_resistor("in", "out", 2.0)
+    tree.add_capacitor("out", 3.0)
+    return tree
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("method", ["trapezoidal", "backward-euler"])
+    def test_single_rc_converges(self, method):
+        result = transient_step_response(single_rc(), 30.0, steps=3000, method=method)
+        wf = result.waveform("out")
+        for t in (3.0, 6.0, 12.0):
+            expected = 1.0 - math.exp(-t / 6.0)
+            assert wf(t) == pytest.approx(expected, abs=2e-3)
+
+    def test_trapezoidal_more_accurate_than_backward_euler(self):
+        exact = lambda t: 1.0 - math.exp(-t / 6.0)
+        trap = transient_step_response(single_rc(), 30.0, steps=300, method="trapezoidal")
+        be = transient_step_response(single_rc(), 30.0, steps=300, method="backward-euler")
+        t_probe = 6.0
+        err_trap = abs(trap.waveform("out")(t_probe) - exact(t_probe))
+        err_be = abs(be.waveform("out")(t_probe) - exact(t_probe))
+        assert err_trap < err_be
+
+
+class TestAgainstModalEngine:
+    def test_figure7_agreement(self, fig7):
+        exact = exact_step_response(fig7, segments_per_line=20)
+        transient = transient_step_response(fig7, 600.0, steps=4000, segments_per_line=20)
+        grid = np.linspace(0.0, 600.0, 50)
+        modal = exact.voltage("out", grid)
+        stepped = transient.waveform("out")(grid)
+        assert np.max(np.abs(modal - stepped)) < 1e-3
+
+    def test_ladder_agreement(self):
+        tree = rc_ladder(8, 5.0, 2.0)
+        exact = exact_step_response(tree)
+        transient = transient_step_response(tree, 400.0, steps=4000)
+        grid = np.linspace(0.0, 400.0, 40)
+        assert np.max(np.abs(exact.voltage("out", grid) - transient.waveform("out")(grid))) < 1e-3
+
+
+class TestDelays:
+    def test_delay_extraction(self):
+        result = transient_step_response(single_rc(), 40.0, steps=4000)
+        assert result.delay("out", 0.5) == pytest.approx(6.0 * math.log(2.0), rel=1e-3)
+
+    def test_unknown_node_raises(self):
+        result = transient_step_response(single_rc(), 10.0, steps=100)
+        with pytest.raises(AnalysisError):
+            result.waveform("zz")
+
+
+class TestRampInput:
+    def test_ramp_shape(self):
+        source = ramp_input(2.0, amplitude=3.0)
+        assert source(-1.0) == 0.0
+        assert source(1.0) == pytest.approx(1.5)
+        assert source(5.0) == pytest.approx(3.0)
+
+    def test_ramp_rejects_zero_rise(self):
+        with pytest.raises(AnalysisError):
+            ramp_input(0.0)
+
+    def test_slow_ramp_slows_the_response(self):
+        fast = transient_step_response(single_rc(), 40.0, steps=2000)
+        slow = transient_step_response(
+            single_rc(), 40.0, steps=2000, input_function=ramp_input(10.0)
+        )
+        assert slow.delay("out", 0.5) > fast.delay("out", 0.5)
+
+    def test_final_value_reached_with_ramp(self):
+        result = transient_step_response(
+            single_rc(), 100.0, steps=2000, input_function=ramp_input(5.0)
+        )
+        assert result.waveform("out")(100.0) == pytest.approx(1.0, abs=1e-4)
+
+
+class TestArgumentValidation:
+    def test_bad_method(self):
+        with pytest.raises(AnalysisError):
+            transient_step_response(single_rc(), 1.0, method="gear2")
+
+    def test_bad_t_end(self):
+        with pytest.raises(AnalysisError):
+            transient_step_response(single_rc(), 0.0)
+
+    def test_bad_steps(self):
+        with pytest.raises(AnalysisError):
+            transient_step_response(single_rc(), 1.0, steps=0)

@@ -1,0 +1,116 @@
+"""Tests for the Waveform value type."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.simulate.waveform import Waveform
+
+
+def exponential_waveform(tau=1.0, t_end=10.0, points=500):
+    times = np.linspace(0.0, t_end, points)
+    return Waveform(times, 1.0 - np.exp(-times / tau))
+
+
+class TestConstruction:
+    def test_basic(self):
+        wf = exponential_waveform()
+        assert len(wf) == 500
+        assert wf.t_start == 0.0
+        assert wf.t_end == 10.0
+        assert wf.final_value == pytest.approx(1.0 - np.exp(-10.0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0]))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0, 1.0, 1.0]), np.array([0.0, 0.5, 0.6]))
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.array([0.0]), np.array([0.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestInterpolation:
+    def test_call_scalar(self):
+        wf = exponential_waveform()
+        assert wf(1.0) == pytest.approx(1.0 - np.exp(-1.0), abs=1e-3)
+
+    def test_call_array(self):
+        wf = exponential_waveform()
+        values = wf(np.array([0.5, 1.5]))
+        assert values.shape == (2,)
+
+    def test_clamps_outside_range(self):
+        wf = exponential_waveform()
+        assert wf(-5.0) == wf.values[0]
+        assert wf(100.0) == wf.values[-1]
+
+    def test_sample_resamples(self):
+        wf = exponential_waveform()
+        resampled = wf.sample(np.linspace(0, 5, 10))
+        assert len(resampled) == 10
+        assert resampled.t_end == pytest.approx(5.0)
+
+
+class TestCrossings:
+    def test_crossing_time_exponential(self):
+        wf = exponential_waveform(tau=2.0)
+        assert wf.crossing_time(0.5) == pytest.approx(2.0 * np.log(2.0), rel=1e-3)
+
+    def test_crossing_none_when_never_reached(self):
+        wf = exponential_waveform(t_end=0.1)
+        assert wf.crossing_time(0.99) is None
+
+    def test_delay_to_raises_when_never_reached(self):
+        wf = exponential_waveform(t_end=0.1)
+        with pytest.raises(AnalysisError):
+            wf.delay_to(0.99)
+
+    def test_crossing_at_first_sample(self):
+        wf = Waveform(np.array([0.0, 1.0]), np.array([0.7, 0.9]))
+        assert wf.crossing_time(0.5) == 0.0
+
+    def test_falling_crossing(self):
+        times = np.linspace(0, 10, 200)
+        wf = Waveform(times, np.exp(-times))
+        assert wf.crossing_time(0.5, rising=False) == pytest.approx(np.log(2.0), rel=1e-3)
+
+    def test_rise_time(self):
+        wf = exponential_waveform(tau=1.0)
+        expected = np.log(10.0) - np.log(10.0 / 9.0)
+        assert wf.rise_time() == pytest.approx(expected, rel=1e-3)
+
+
+class TestTransforms:
+    def test_shifted(self):
+        wf = exponential_waveform()
+        shifted = wf.shifted(2.0)
+        assert shifted.t_start == pytest.approx(2.0)
+        assert shifted.values[0] == wf.values[0]
+
+    def test_scaled(self):
+        wf = exponential_waveform()
+        assert wf.scaled(3.3).final_value == pytest.approx(3.3 * wf.final_value)
+
+    def test_clipped(self):
+        wf = Waveform(np.array([0.0, 1.0, 2.0]), np.array([-0.5, 0.5, 1.5]))
+        clipped = wf.clipped()
+        assert clipped.values.min() == 0.0
+        assert clipped.values.max() == 1.0
+
+    def test_subtraction(self):
+        wf = exponential_waveform()
+        zero = wf - wf
+        assert np.allclose(zero.values, 0.0)
+
+    def test_monotonic_check(self):
+        assert exponential_waveform().is_monotonic()
+        wobble = Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 0.5]))
+        assert not wobble.is_monotonic()

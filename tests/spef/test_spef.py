@@ -1,0 +1,126 @@
+"""Tests for the simplified SPEF writer and reader."""
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.core.networks import figure7_tree, rc_ladder, symmetric_fanout
+from repro.core.timeconstants import characteristic_times
+from repro.spef.reader import read_spef, spef_to_trees
+from repro.spef.writer import tree_to_spef, write_spef
+
+
+class TestWriter:
+    def test_header_fields(self):
+        text = tree_to_spef(rc_ladder(2, 1.0, 1e-12), design="testchip")
+        assert '*SPEF "IEEE 1481-1998"' in text
+        assert '*DESIGN "testchip"' in text
+        assert "*C_UNIT 1 PF" in text
+
+    def test_single_tree_becomes_net0(self):
+        text = tree_to_spef(rc_ladder(2, 1.0, 1e-12))
+        assert "*D_NET net0" in text
+        assert text.count("*D_NET") == 1
+
+    def test_mapping_of_multiple_nets(self):
+        trees = {"clk": rc_ladder(2, 1.0, 1e-12), "data": rc_ladder(3, 2.0, 2e-12)}
+        text = tree_to_spef(trees)
+        assert "*D_NET clk" in text
+        assert "*D_NET data" in text
+
+    def test_sections_present(self):
+        text = tree_to_spef(rc_ladder(2, 1.0, 1e-12))
+        for keyword in ("*CONN", "*CAP", "*RES", "*END"):
+            assert keyword in text
+
+    def test_total_capacitance_in_pf(self):
+        tree = rc_ladder(4, 1.0, 0.5e-12)
+        text = tree_to_spef(tree)
+        assert "*D_NET net0 2" in text  # 4 x 0.5 pF
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "design.spef"
+        write_spef(figure7_tree(), path)
+        assert path.read_text().startswith("*SPEF")
+
+
+class TestReader:
+    def test_roundtrip_preserves_elmore(self, fig7, fig7_times):
+        text = tree_to_spef(fig7, segments_per_line=10)
+        trees = spef_to_trees(text)
+        rebuilt = trees["net0"]
+        times = characteristic_times(rebuilt, "out")
+        assert times.tde == pytest.approx(fig7_times.tde, rel=1e-9)
+        assert times.tp == pytest.approx(fig7_times.tp, rel=1e-9)
+
+    def test_roundtrip_multiple_nets(self):
+        trees = {
+            "a": rc_ladder(3, 5.0, 1e-12),
+            "b": symmetric_fanout(3, 100.0, 20.0, 1e-12, 2e-12),
+        }
+        parsed = spef_to_trees(tree_to_spef(trees))
+        assert set(parsed) == {"a", "b"}
+        assert parsed["a"].total_capacitance == pytest.approx(3e-12)
+
+    def test_outputs_recovered_from_conn_section(self, fig7):
+        trees = spef_to_trees(tree_to_spef(fig7, segments_per_line=4))
+        assert trees["net0"].outputs == ["out"]
+
+    def test_units_respected(self):
+        text = "\n".join(
+            [
+                "*C_UNIT 1 FF",
+                "*R_UNIT 1 KOHM",
+                "*D_NET n1 3",
+                "*CONN",
+                "*I n1:DRV I",
+                "*P n1/out O",
+                "*CAP",
+                "1 n1/out 3",
+                "*RES",
+                "1 n1/in n1/out 2",
+                "*END",
+            ]
+        )
+        tree = spef_to_trees(text)["n1"]
+        assert tree.total_capacitance == pytest.approx(3e-15)
+        assert tree.total_resistance == pytest.approx(2e3)
+
+    def test_coupling_capacitor_rejected(self):
+        text = "\n".join(
+            [
+                "*D_NET n1 1",
+                "*CONN",
+                "*I n1:DRV I",
+                "*CAP",
+                "1 n1/a n1/b 1",
+                "*RES",
+                "1 n1/in n1/a 2",
+                "2 n1/a n1/b 2",
+                "*END",
+            ]
+        )
+        with pytest.raises(TopologyError):
+            spef_to_trees(text)
+
+    def test_non_tree_net_rejected(self):
+        text = "\n".join(
+            [
+                "*D_NET n1 1",
+                "*CONN",
+                "*I n1/in I",
+                "*CAP",
+                "1 n1/a 1",
+                "*RES",
+                "1 n1/in n1/a 2",
+                "2 n1/a n1/b 2",
+                "3 n1/b n1/in 2",
+                "*END",
+            ]
+        )
+        with pytest.raises(TopologyError):
+            spef_to_trees(text)
+
+    def test_read_from_file(self, tmp_path, fig7):
+        path = tmp_path / "x.spef"
+        write_spef(fig7, path, segments_per_line=4)
+        assert "net0" in read_spef(path)

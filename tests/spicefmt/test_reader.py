@@ -1,0 +1,136 @@
+"""Tests for the SPICE-subset reader."""
+
+import pytest
+
+from repro.core.exceptions import ParseError, TopologyError
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times
+from repro.spicefmt.reader import parse_spice, read_spice, spice_to_tree
+from repro.spicefmt.writer import tree_to_spice
+
+SIMPLE_DECK = """* simple tree
+R1 in a 15
+C1 a 0 2
+R2 a b 8
+C2 b 0 7
+R3 a out 3
+C3 out 0 13
+VIN in 0 PWL(0 0 1p 1)
+.tran 1 1000
+.print tran v(out)
+.end
+"""
+
+
+class TestParseSpice:
+    def test_counts(self):
+        deck = parse_spice(SIMPLE_DECK)
+        assert len(deck.resistors) == 3
+        assert len(deck.capacitors) == 3
+        assert len(deck.sources) == 1
+        assert deck.source_node == "in"
+        assert deck.title == "simple tree"
+
+    def test_engineering_suffixes(self):
+        deck = parse_spice("R1 in a 1.5k\nC1 a 0 10pF\nVIN in 0 DC 1\n.end\n")
+        assert deck.resistors[0][3] == pytest.approx(1500.0)
+        assert deck.capacitors[0][3] == pytest.approx(10e-12)
+
+    def test_continuation_lines(self):
+        deck = parse_spice("R1 in a\n+ 42\nVIN in 0 1\n.end\n")
+        assert deck.resistors[0][3] == pytest.approx(42.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        deck = parse_spice("* c\n\n* another\nR1 in a 1\nVIN in 0 1\n.end\n")
+        assert len(deck.resistors) == 1
+
+    def test_cards_after_end_ignored(self):
+        deck = parse_spice("R1 in a 1\nVIN in 0 1\n.end\nR2 a b 5\n")
+        assert len(deck.resistors) == 1
+
+    def test_unsupported_element_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spice("L1 in a 1n\n.end\n")
+
+    def test_malformed_card_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spice("R1 in a\n.end\n")
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spice("Z1 in a 5\n.end\n")
+
+    def test_orphan_continuation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spice("+ 42\n.end\n")
+
+
+class TestSpiceToTree:
+    def test_reconstructs_figure7_topology(self):
+        tree = spice_to_tree(SIMPLE_DECK)
+        # 13 = 9 (load) + 4 (line capacitance lumped into C3 when written by hand)
+        times = characteristic_times(tree, "out")
+        assert times.ree == pytest.approx(18.0)
+        assert tree.root == "in"
+
+    def test_print_cards_select_outputs(self):
+        tree = spice_to_tree(SIMPLE_DECK)
+        assert tree.outputs == ["out"]
+
+    def test_leaves_become_outputs_without_print_cards(self):
+        deck = SIMPLE_DECK.replace(".print tran v(out)\n", "")
+        tree = spice_to_tree(deck)
+        assert set(tree.outputs) == {"b", "out"}
+
+    def test_explicit_input_node(self):
+        deck = "R1 src a 10\nC1 a 0 1p\n.end\n"
+        tree = spice_to_tree(deck, input_node="src")
+        assert tree.root == "in"
+        assert tree.total_capacitance == pytest.approx(1e-12)
+
+    def test_missing_source_and_input_rejected(self):
+        with pytest.raises(ParseError):
+            spice_to_tree("R1 a b 1\nC1 b 0 1\n.end\n")
+
+    def test_loop_detected(self):
+        deck = "R1 in a 1\nR2 a b 1\nR3 b in 1\nC1 b 0 1\nVIN in 0 1\n.end\n"
+        with pytest.raises(TopologyError):
+            spice_to_tree(deck)
+
+    def test_grounded_resistor_rejected(self):
+        deck = "R1 in a 1\nR2 a 0 1\nVIN in 0 1\n.end\n"
+        with pytest.raises(TopologyError):
+            spice_to_tree(deck)
+
+    def test_coupling_capacitor_rejected(self):
+        deck = "R1 in a 1\nR2 a b 1\nC1 a b 1\nVIN in 0 1\n.end\n"
+        with pytest.raises(TopologyError):
+            spice_to_tree(deck)
+
+    def test_floating_section_rejected(self):
+        deck = "R1 in a 1\nR2 x y 1\nC1 a 0 1\nVIN in 0 1\n.end\n"
+        with pytest.raises(TopologyError):
+            spice_to_tree(deck)
+
+    def test_capacitor_on_unconnected_node_rejected(self):
+        deck = "R1 in a 1\nC1 zz 0 1\nVIN in 0 1\n.end\n"
+        with pytest.raises(TopologyError):
+            spice_to_tree(deck)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_analysis(self, fig7, fig7_times):
+        deck = tree_to_spice(fig7, segments_per_line=10)
+        rebuilt = spice_to_tree(deck)
+        times = characteristic_times(rebuilt, "out")
+        assert times.tp == pytest.approx(fig7_times.tp, rel=1e-9)
+        assert times.tde == pytest.approx(fig7_times.tde, rel=1e-9)
+        assert times.ree == pytest.approx(fig7_times.ree, rel=1e-9)
+        # T_Re differs slightly because the distributed line was discretised.
+        assert times.tre == pytest.approx(fig7_times.tre, rel=0.01)
+
+    def test_read_spice_from_file(self, tmp_path, fig7):
+        path = tmp_path / "fig7.sp"
+        path.write_text(tree_to_spice(fig7, segments_per_line=4))
+        rebuilt = read_spice(path)
+        assert "out" in rebuilt

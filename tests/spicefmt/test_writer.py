@@ -1,0 +1,55 @@
+"""Tests for the SPICE deck writer."""
+
+import pytest
+
+from repro.core.networks import figure7_tree, rc_ladder
+from repro.spicefmt.writer import tree_to_spice, write_spice
+
+
+class TestTreeToSpice:
+    def test_contains_all_elements(self):
+        deck = tree_to_spice(rc_ladder(3, 10.0, 2e-12))
+        assert deck.count("\nR") == 3
+        assert deck.count("\nC") == 3
+        assert "VIN in 0 PWL" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_distributed_lines_expanded(self):
+        deck = tree_to_spice(figure7_tree(), segments_per_line=5)
+        # 2 lumped resistors + 5 segments for the one distributed line.
+        assert deck.count("\nR") == 7
+
+    def test_capacitance_total_preserved(self):
+        tree = figure7_tree()
+        deck = tree_to_spice(tree, segments_per_line=5)
+        total = 0.0
+        for line in deck.splitlines():
+            if line.startswith("C"):
+                total += float(line.split()[-1])
+        assert total == pytest.approx(tree.total_capacitance)
+
+    def test_analysis_cards_present_by_default(self):
+        deck = tree_to_spice(figure7_tree())
+        assert ".tran" in deck
+        assert ".print tran v(out)" in deck
+
+    def test_analysis_cards_can_be_suppressed(self):
+        deck = tree_to_spice(figure7_tree(), include_analysis=False)
+        assert ".tran" not in deck
+
+    def test_stop_time_override(self):
+        deck = tree_to_spice(figure7_tree(), stop_time=1e-6)
+        assert "1e-06" in deck
+
+    def test_title_written_as_comment(self):
+        deck = tree_to_spice(figure7_tree(), title="my net")
+        assert deck.splitlines()[0] == "* my net"
+
+    def test_step_parameters(self):
+        deck = tree_to_spice(figure7_tree(), step_voltage=5.0, rise_time=1e-11)
+        assert "PWL(0 0 1e-11 5)" in deck
+
+    def test_write_spice_to_file(self, tmp_path):
+        path = tmp_path / "net.sp"
+        write_spice(figure7_tree(), path)
+        assert path.read_text().startswith("*")

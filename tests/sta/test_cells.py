@@ -1,0 +1,64 @@
+"""Tests for the miniature standard-cell library."""
+
+import pytest
+
+from repro.sta.cells import Cell, standard_cell_library
+
+
+class TestCell:
+    def test_pins(self):
+        cell = Cell("AND2_X1", ("A", "B"), "Y", 1e-15, 1e3, 1e-11)
+        assert cell.pins == ("A", "B", "Y")
+
+    def test_sequential_cell_pins_include_clock(self):
+        library = standard_cell_library()
+        dff = library["DFF_X1"]
+        assert dff.is_sequential
+        assert "CK" in dff.pins
+        assert dff.clock_pin == "CK"
+
+    def test_scaled_halves_resistance(self):
+        cell = Cell("INV_X1", ("A",), "Y", 6e-15, 6e3, 4e-11)
+        strong = cell.scaled(2.0)
+        assert strong.drive_resistance == pytest.approx(3e3)
+        assert strong.input_capacitance == pytest.approx(12e-15)
+        assert strong.intrinsic_delay == cell.intrinsic_delay
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", (), "Y", 1e-15, 1e3, 1e-11)
+        with pytest.raises(ValueError):
+            Cell("BAD", ("A",), "Y", 1e-15, 0.0, 1e-11)
+        with pytest.raises(ValueError):
+            Cell("BAD", ("A",), "Y", -1e-15, 1e3, 1e-11)
+
+
+class TestLibrary:
+    def test_expected_cells_present(self):
+        library = standard_cell_library()
+        for name in ("INV_X1", "INV_X4", "NAND2_X1", "NOR2_X2", "BUF_X2", "DFF_X1"):
+            assert name in library
+
+    def test_names_match_keys(self):
+        library = standard_cell_library()
+        for name, cell in library.items():
+            assert cell.name == name
+
+    def test_strength_scaling_within_family(self):
+        library = standard_cell_library()
+        assert library["INV_X4"].drive_resistance == pytest.approx(
+            library["INV_X1"].drive_resistance / 4.0
+        )
+        assert library["INV_X4"].input_capacitance == pytest.approx(
+            library["INV_X1"].input_capacitance * 4.0
+        )
+
+    def test_nor_weaker_than_nand(self):
+        library = standard_cell_library()
+        assert (
+            library["NOR2_X1"].drive_resistance > library["NAND2_X1"].drive_resistance
+        )
+
+    def test_combinational_cells_not_sequential(self):
+        library = standard_cell_library()
+        assert not library["NAND2_X1"].is_sequential

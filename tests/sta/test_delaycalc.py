@@ -1,0 +1,102 @@
+"""Tests for stage delay calculation."""
+
+import math
+
+import pytest
+
+from repro.core.networks import rc_ladder
+from repro.sta.cells import standard_cell_library
+from repro.sta.delaycalc import DelayModel, stage_delays
+from repro.sta.parasitics import lumped, rc_tree_parasitics
+
+
+@pytest.fixture
+def library():
+    return standard_cell_library()
+
+
+class TestLumpedStage:
+    def test_elmore_delay_is_r_times_c(self, library):
+        inv = library["INV_X1"]
+        stage = stage_delays(inv, lumped("n1", 10e-15), {"u2/A": 6e-15})
+        expected = inv.drive_resistance * 16e-15
+        assert stage.wire_delays["u2/A"] == pytest.approx(expected)
+        assert stage.gate_delay == pytest.approx(inv.intrinsic_delay)
+        assert stage.total("u2/A") == pytest.approx(inv.intrinsic_delay + expected)
+
+    def test_bound_models_give_log_form_for_single_rc(self, library):
+        inv = library["INV_X1"]
+        threshold = 0.5
+        upper = stage_delays(
+            inv, lumped("n1", 10e-15), {"u2/A": 6e-15},
+            model=DelayModel.UPPER_BOUND, threshold=threshold,
+        )
+        lower = stage_delays(
+            inv, lumped("n1", 10e-15), {"u2/A": 6e-15},
+            model=DelayModel.LOWER_BOUND, threshold=threshold,
+        )
+        exact = inv.drive_resistance * 16e-15 * math.log(2.0)
+        assert upper.wire_delays["u2/A"] == pytest.approx(exact, rel=1e-9)
+        assert lower.wire_delays["u2/A"] == pytest.approx(exact, rel=1e-9)
+
+    def test_stronger_driver_is_faster(self, library):
+        weak = stage_delays(library["INV_X1"], lumped("n", 20e-15), {"p": 6e-15})
+        strong = stage_delays(library["INV_X4"], lumped("n", 20e-15), {"p": 6e-15})
+        assert strong.wire_delays["p"] < weak.wire_delays["p"]
+
+    def test_zero_capacitance_stage(self, library):
+        stage = stage_delays(library["INV_X1"], lumped("n", 0.0), {"p": 0.0})
+        assert stage.wire_delays["p"] == 0.0
+
+    def test_ideal_port_driver(self):
+        stage = stage_delays(None, lumped("n", 10e-15), {"p": 5e-15})
+        assert stage.gate_delay == 0.0
+        # Near-zero source resistance: negligible delay.
+        assert stage.wire_delays["p"] < 1e-18
+
+
+class TestDistributedStage:
+    def test_sink_binding_affects_delay(self, library):
+        tree = rc_ladder(4, 200.0, 10e-15)
+        near = stage_delays(
+            library["INV_X1"],
+            rc_tree_parasitics("n", tree, {"p": "s1"}),
+            {"p": 5e-15},
+        )
+        far = stage_delays(
+            library["INV_X1"],
+            rc_tree_parasitics("n", tree, {"p": "out"}),
+            {"p": 5e-15},
+        )
+        assert far.wire_delays["p"] > near.wire_delays["p"]
+
+    def test_unbound_pin_defaults_to_far_leaf(self, library):
+        tree = rc_ladder(4, 200.0, 10e-15)
+        implicit = stage_delays(
+            library["INV_X1"], rc_tree_parasitics("n", tree, {}), {"p": 5e-15}
+        )
+        explicit = stage_delays(
+            library["INV_X1"], rc_tree_parasitics("n", tree, {"p": "out"}), {"p": 5e-15}
+        )
+        assert implicit.wire_delays["p"] == pytest.approx(explicit.wire_delays["p"])
+
+    def test_bounds_bracket_elmore_ordering(self, library):
+        tree = rc_ladder(4, 200.0, 10e-15)
+        parasitics = rc_tree_parasitics("n", tree, {"p": "out"})
+        loads = {"p": 5e-15}
+        lower = stage_delays(library["INV_X1"], parasitics, loads, model=DelayModel.LOWER_BOUND)
+        upper = stage_delays(library["INV_X1"], parasitics, loads, model=DelayModel.UPPER_BOUND)
+        assert lower.wire_delays["p"] <= upper.wire_delays["p"]
+
+    def test_worst_sink(self, library):
+        tree = rc_ladder(4, 200.0, 10e-15)
+        parasitics = rc_tree_parasitics("n", tree, {"near": "s1", "far": "out"})
+        stage = stage_delays(library["INV_X1"], parasitics, {"near": 5e-15, "far": 5e-15})
+        assert stage.worst_sink == "far"
+
+    def test_override_drive_resistance(self, library):
+        tree = rc_ladder(2, 100.0, 10e-15)
+        parasitics = rc_tree_parasitics("n", tree, {"p": "out"})
+        weak = stage_delays(None, parasitics, {"p": 0.0}, drive_resistance_override=10e3)
+        strong = stage_delays(None, parasitics, {"p": 0.0}, drive_resistance_override=10.0)
+        assert weak.wire_delays["p"] > strong.wire_delays["p"]

@@ -1,0 +1,88 @@
+"""Tests for the gate-level design netlist."""
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.sta.cells import standard_cell_library
+from repro.sta.netlist import Design, PinRef
+
+
+@pytest.fixture
+def library():
+    return standard_cell_library()
+
+
+def two_gate_design(library):
+    design = Design("two_gates")
+    design.add_primary_input("a")
+    design.add_primary_input("b")
+    design.add_primary_output("y")
+    design.add_instance("u1", library["NAND2_X1"], A="a", B="b", Y="n1")
+    design.add_instance("u2", library["INV_X1"], A="n1", Y="y")
+    return design
+
+
+class TestPinRef:
+    def test_port_reference(self):
+        ref = PinRef(None, "a")
+        assert ref.is_port
+        assert str(ref) == "a"
+
+    def test_instance_reference(self):
+        ref = PinRef("u1", "A")
+        assert not ref.is_port
+        assert str(ref) == "u1/A"
+
+
+class TestDesign:
+    def test_instances_registered(self, library):
+        design = two_gate_design(library)
+        assert set(design.instances) == {"u1", "u2"}
+        assert design.instances["u1"].net_of("Y") == "n1"
+
+    def test_duplicate_instance_rejected(self, library):
+        design = two_gate_design(library)
+        with pytest.raises(TopologyError):
+            design.add_instance("u1", library["INV_X1"], A="a", Y="z")
+
+    def test_unconnected_pin_rejected(self, library):
+        design = Design("d")
+        with pytest.raises(TopologyError):
+            design.add_instance("u1", library["NAND2_X1"], A="a", Y="y")
+
+    def test_unknown_pin_rejected(self, library):
+        design = Design("d")
+        with pytest.raises(TopologyError):
+            design.add_instance("u1", library["INV_X1"], A="a", Y="y", Z="zz")
+
+    def test_primary_io_lists(self, library):
+        design = two_gate_design(library)
+        assert design.primary_inputs == ["a", "b"]
+        assert design.primary_outputs == ["y"]
+
+    def test_clock_is_also_primary_input(self, library):
+        design = two_gate_design(library)
+        design.add_clock("clk")
+        assert "clk" in design.clocks
+        assert "clk" in design.primary_inputs
+
+    def test_connectivity_drivers_and_loads(self, library):
+        design = two_gate_design(library)
+        nets = design.connectivity()
+        assert str(nets["n1"].driver) == "u1/Y"
+        assert [str(load) for load in nets["n1"].loads] == ["u2/A"]
+        assert str(nets["a"].driver) == "a"
+        assert [str(load) for load in nets["y"].loads] == ["y"]
+
+    def test_multiply_driven_net_rejected(self, library):
+        design = two_gate_design(library)
+        design.add_instance("u3", library["INV_X1"], A="a", Y="n1")
+        with pytest.raises(TopologyError):
+            design.connectivity()
+
+    def test_undriven_net_rejected(self, library):
+        design = Design("d")
+        design.add_instance("u1", library["INV_X1"], A="floating", Y="y")
+        design.add_primary_output("y")
+        with pytest.raises(TopologyError):
+            design.validate()

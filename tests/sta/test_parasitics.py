@@ -1,0 +1,34 @@
+"""Tests for the per-net parasitics descriptions."""
+
+import pytest
+
+from repro.core.exceptions import UnknownNodeError
+from repro.core.networks import rc_ladder
+from repro.sta.parasitics import NetParasitics, lumped, rc_tree_parasitics
+
+
+class TestLumped:
+    def test_basic(self):
+        parasitics = lumped("n1", 25e-15)
+        assert not parasitics.is_distributed
+        assert parasitics.wire_capacitance() == pytest.approx(25e-15)
+        assert parasitics.node_for_pin("u1/A") is None
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            lumped("n1", -1e-15)
+
+
+class TestRCTreeParasitics:
+    def test_basic(self):
+        tree = rc_ladder(3, 100.0, 5e-15)
+        parasitics = rc_tree_parasitics("n1", tree, {"u1/A": "out", "u2/A": "s1"})
+        assert parasitics.is_distributed
+        assert parasitics.wire_capacitance() == pytest.approx(15e-15)
+        assert parasitics.node_for_pin("u1/A") == "out"
+        assert parasitics.node_for_pin("unbound") is None
+
+    def test_unknown_node_binding_rejected(self):
+        tree = rc_ladder(3, 100.0, 5e-15)
+        with pytest.raises(UnknownNodeError):
+            rc_tree_parasitics("n1", tree, {"u1/A": "nonexistent"})

@@ -1,0 +1,94 @@
+"""Tests for the rctree-bounds command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.networks import figure7_tree
+from repro.spicefmt.writer import write_spice
+
+FIG7_EXPRESSION = (
+    "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9"
+)
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for args in (
+            ["analyze", "deck.sp"],
+            ["expression", "URC 1 2"],
+            ["experiments"],
+            ["pla", "100"],
+        ):
+            namespace = parser.parse_args(args)
+            assert namespace.command == args[0]
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExpressionCommand:
+    def test_prints_twoport_and_bounds(self, capsys):
+        status = main(["expression", FIG7_EXPRESSION])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "TD2=363" in captured
+        assert "delay to 0.5" in captured
+
+    def test_custom_thresholds(self, capsys):
+        status = main(["expression", FIG7_EXPRESSION, "--threshold", "0.7"])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "delay to 0.7" in captured
+        assert "delay to 0.5" not in captured
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def deck_path(self, tmp_path):
+        path = tmp_path / "fig7.sp"
+        write_spice(figure7_tree(), path, segments_per_line=6)
+        return str(path)
+
+    def test_reports_characteristic_times(self, capsys, deck_path):
+        status = main(["analyze", deck_path])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "T_De" in captured
+        assert "out" in captured
+
+    def test_certification_pass(self, capsys, deck_path):
+        status = main(["analyze", deck_path, "--threshold", "0.5", "--deadline", "400"])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "PASS" in captured
+
+    def test_certification_fail_sets_exit_code(self, capsys, deck_path):
+        status = main(["analyze", deck_path, "--threshold", "0.9", "--deadline", "10"])
+        captured = capsys.readouterr().out
+        assert status == 1
+        assert "FAIL" in captured
+
+    def test_output_restriction(self, capsys, deck_path):
+        main(["analyze", deck_path, "--output", "out"])
+        captured = capsys.readouterr().out
+        assert "output out" in captured
+
+
+class TestPlaCommand:
+    def test_pla_delay_report(self, capsys):
+        status = main(["pla", "100"])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "100 minterms" in captured
+        assert "ns" in captured
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        status = main(["experiments", "figure10"])
+        captured = capsys.readouterr().out
+        assert status == 0
+        assert "figure10" in captured
+        assert "PASS" in captured

@@ -1,0 +1,67 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.utils.checks import (
+    require_finite,
+    require_in_unit_interval,
+    require_non_negative,
+    require_positive,
+    require_sorted,
+)
+
+
+class TestRequireFinite:
+    def test_accepts_numbers(self):
+        assert require_finite("x", 3) == 3.0
+        assert require_finite("x", -2.5) == -2.5
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="x"):
+            require_finite("x", float("nan"))
+        with pytest.raises(ValueError):
+            require_finite("x", float("inf"))
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative("x", -1e-30)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 1e-30) == 1e-30
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive("x", 0.0)
+
+
+class TestRequireInUnitInterval:
+    def test_closed_interval(self):
+        assert require_in_unit_interval("v", 0.0) == 0.0
+        assert require_in_unit_interval("v", 1.0) == 1.0
+
+    def test_open_interval(self):
+        with pytest.raises(ValueError):
+            require_in_unit_interval("v", 0.0, open_ends=True)
+        with pytest.raises(ValueError):
+            require_in_unit_interval("v", 1.0, open_ends=True)
+        assert require_in_unit_interval("v", 0.5, open_ends=True) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_in_unit_interval("v", 1.1)
+
+
+class TestRequireSorted:
+    def test_accepts_sorted(self):
+        assert require_sorted("xs", [1.0, 1.0, 2.0]) == [1.0, 1.0, 2.0]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            require_sorted("xs", [1.0, 0.5])

@@ -1,0 +1,54 @@
+"""Tests for the plain-text table formatter."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(headers=["a", "b"])
+        table.add_row([1, 2.5])
+        table.add_row([10, 0.125])
+        text = table.render()
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title_is_first_line(self):
+        table = Table(headers=["x"], title="My table")
+        assert table.render().splitlines()[0] == "My table"
+
+    def test_row_length_checked(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_precision_applied_to_floats(self):
+        table = Table(headers=["x"], precision=3)
+        table.add_row([3.14159265])
+        assert "3.14" in table.render()
+        assert "3.1415" not in table.render()
+
+    def test_columns_are_aligned(self):
+        table = Table(headers=["name", "v"])
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 100])
+        lines = table.render().splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_table_renders_header_only(self):
+        text = Table(headers=["a", "b"]).render()
+        assert len(text.splitlines()) == 2
+
+    def test_str_matches_render(self):
+        table = Table(headers=["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+
+class TestFormatTable:
+    def test_one_shot_helper(self):
+        text = format_table(["n", "delay"], [(1, 0.5), (2, 1.25)], title="sweep")
+        assert text.splitlines()[0] == "sweep"
+        assert "1.25" in text

@@ -1,0 +1,94 @@
+"""Tests for engineering-unit formatting and parsing."""
+
+import math
+
+import pytest
+
+from repro.utils.units import (
+    format_engineering,
+    ns_to_seconds,
+    parse_engineering,
+    seconds_to_ns,
+)
+
+
+class TestFormatEngineering:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (1.8e-10, "s", "180 ps"),
+            (380.0, "ohm", "380 ohm"),
+            (0.04e-12, "F", "40 fF"),
+            (1.5e3, "Hz", "1.5 kHz"),
+            (2.5e6, "Hz", "2.5 MHz"),
+            (0.0, "F", "0 F"),
+        ],
+    )
+    def test_examples(self, value, unit, expected):
+        assert format_engineering(value, unit) == expected
+
+    def test_negative_values(self):
+        assert format_engineering(-2e-9, "s").startswith("-2 n")
+
+    def test_no_unit_still_uses_prefix(self):
+        assert format_engineering(1234.0) == "1.234 k"
+        assert format_engineering(12.0) == "12"
+
+    def test_nan_and_inf(self):
+        assert "nan" in format_engineering(float("nan"), "s")
+        assert "inf" in format_engineering(float("inf"), "s")
+        assert format_engineering(float("-inf"), "s").startswith("-inf")
+
+    def test_tiny_value_uses_smallest_prefix(self):
+        assert "a" in format_engineering(5e-19, "F")
+
+
+class TestParseEngineering:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.5k", 1500.0),
+            ("10p", 1e-11),
+            ("10pF", 1e-11),
+            ("3meg", 3e6),
+            ("3MEG", 3e6),
+            ("100", 100.0),
+            ("1e-12", 1e-12),
+            ("2.5E3", 2500.0),
+            ("30ohm", 30.0),
+            ("0.04pF", 0.04e-12),
+            ("-5n", -5e-9),
+            ("7u", 7e-6),
+            ("2m", 2e-3),
+            ("4G", 4e9),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_engineering(text) == pytest.approx(expected)
+
+    def test_whitespace_tolerated(self):
+        assert parse_engineering("  42k ") == pytest.approx(42000.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_engineering("")
+
+    def test_no_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_engineering("ohm")
+
+    def test_roundtrip_with_format(self):
+        for value in (1.8e-10, 47.0, 3.3e-15, 9.1e6):
+            text = format_engineering(value)
+            assert parse_engineering(text) == pytest.approx(value, rel=1e-3)
+
+
+class TestTimeHelpers:
+    def test_seconds_to_ns(self):
+        assert seconds_to_ns(1e-9) == pytest.approx(1.0)
+
+    def test_ns_to_seconds(self):
+        assert ns_to_seconds(2.5) == pytest.approx(2.5e-9)
+
+    def test_inverse(self):
+        assert ns_to_seconds(seconds_to_ns(3.7e-8)) == pytest.approx(3.7e-8)
