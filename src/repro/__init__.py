@@ -23,8 +23,16 @@ Quick start::
     times = characteristic_times(tree, "out")
     print(delay_bounds(times, threshold=0.5))
 
-See ``examples/`` for complete scenarios and ``DESIGN.md`` for the system
-inventory.
+For batch workloads (all outputs, all thresholds, many trees at once) use
+the vectorized flat engine::
+
+    from repro import FlatTree
+
+    flat = FlatTree.from_tree(tree)
+    names, lower, upper = flat.delay_bounds_batch([0.5, 0.9])
+
+See ``examples/`` for complete scenarios, ``README.md`` for the architecture
+map, and ``docs/`` for the paper-to-code map and performance notes.
 """
 
 from repro.core import (
@@ -74,6 +82,13 @@ from repro.algebra import (
     wb,
     wc,
 )
+from repro.flat import (
+    FlatForest,
+    FlatTimes,
+    FlatTree,
+    delay_bounds_batch,
+    voltage_bounds_batch,
+)
 from repro.simulate import (
     Waveform,
     exact_step_response,
@@ -110,6 +125,12 @@ __all__ = [
     "Verdict",
     "certify",
     "certify_tree",
+    # vectorized flat engine
+    "FlatTree",
+    "FlatTimes",
+    "FlatForest",
+    "delay_bounds_batch",
+    "voltage_bounds_batch",
     # algebra
     "TwoPort",
     "urc",

@@ -15,7 +15,13 @@ from repro.apps.pla import (
     pla_line_from_technology,
 )
 from repro.apps.clocktree import h_tree, clock_skew_report
-from repro.apps.nets import daisy_chain_net, star_net, comb_bus_net
+from repro.apps.nets import (
+    NetSummary,
+    comb_bus_net,
+    compare_nets,
+    daisy_chain_net,
+    star_net,
+)
 
 __all__ = [
     "PLA_SECTION",
@@ -28,4 +34,6 @@ __all__ = [
     "daisy_chain_net",
     "star_net",
     "comb_bus_net",
+    "compare_nets",
+    "NetSummary",
 ]

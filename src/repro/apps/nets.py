@@ -10,12 +10,14 @@ the last receiver sit?
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.tree import RCTree
 from repro.extraction.technology import GENERIC_1UM_CMOS, Layer, Technology
+from repro.flat import FlatForest
 from repro.mos.drivers import DriverModel
-from repro.utils.checks import require_positive
+from repro.utils.checks import require_in_unit_interval, require_positive
 
 
 def _start_tree(driver: Optional[DriverModel]) -> tuple:
@@ -122,3 +124,58 @@ def comb_bus_net(
         tree.mark_output(drop)
         previous = tap
     return tree
+
+
+@dataclass(frozen=True)
+class NetSummary:
+    """Worst-output delay summary of one candidate net topology."""
+
+    name: str
+    #: Largest Elmore delay over the net's outputs (seconds).
+    worst_elmore: float
+    #: Largest guaranteed (upper-bound) delay over the net's outputs (seconds).
+    worst_latest: float
+    #: Smallest guaranteed-earliest delay over the net's outputs (seconds).
+    best_earliest: float
+    #: Output with the largest guaranteed delay.
+    critical_output: str
+
+
+def compare_nets(
+    nets: Mapping[str, RCTree], threshold: float = 0.5
+) -> Dict[str, NetSummary]:
+    """Score candidate net topologies side by side in one batched analysis.
+
+    All candidate trees are compiled into a single
+    :class:`~repro.flat.FlatForest`, every output of every candidate is solved
+    together, and both delay bounds come from one batched evaluation of
+    eqs. (13)-(17).  This is the "should this fanout be a chain, a star or a
+    bus?" question the module docstring motivates, asked at sweep scale.
+    """
+    if not nets:
+        raise ValueError("at least one candidate net is required")
+    require_in_unit_interval("threshold", threshold, open_ends=True)
+    labels = list(nets)
+    forest = FlatForest.from_rctrees(nets.values())
+    times = forest.solve()
+    pairs, lower, upper = forest.delay_bounds_batch([threshold])
+    rows_by_net: Dict[int, list] = {}
+    for k, (tree_index, _) in enumerate(pairs):
+        rows_by_net.setdefault(tree_index, []).append(k)
+    summaries: Dict[str, NetSummary] = {}
+    for index, label in enumerate(labels):
+        rows = rows_by_net.get(index)
+        if not rows:
+            raise ValueError(f"net {label!r} has no marked outputs")
+        tde = {pairs[k][1]: float(times.tde[forest.global_index(index, pairs[k][1])]) for k in rows}
+        uppers = {pairs[k][1]: float(upper[k, 0]) for k in rows}
+        lowers = {pairs[k][1]: float(lower[k, 0]) for k in rows}
+        critical = max(uppers, key=uppers.get)
+        summaries[label] = NetSummary(
+            name=label,
+            worst_elmore=max(tde.values()),
+            worst_latest=uppers[critical],
+            best_earliest=min(lowers.values()),
+            critical_output=critical,
+        )
+    return summaries

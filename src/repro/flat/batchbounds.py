@@ -1,0 +1,231 @@
+"""Vectorized Penfield-Rubinstein bounds over (sinks x thresholds) matrices.
+
+:mod:`repro.core.bounds` evaluates eqs. (8)-(17) for *one* output's
+characteristic times at a time (its time/threshold argument may be an array,
+but the times are scalars).  The functions here take **arrays of
+characteristic times** -- ``tde``/``tre`` with one entry per sink, ``tp``
+a scalar or a per-sink array -- and broadcast them against an array of
+thresholds (or sample times), producing the full ``(sinks, thresholds)``
+bound matrix in a single numpy evaluation.  This is what lets a clock-skew
+report or an STA run bound every endpoint at every threshold without a
+Python-level loop.
+
+The formulas, clamping and degenerate-case handling mirror
+:mod:`repro.core.bounds` exactly (the batch unit tests pin elementwise
+equality against the scalar implementation):
+
+* a sink with ``T_De <= 0`` is resistively isolated from every capacitor and
+  responds instantaneously -- voltage bounds 1, delay bounds 0;
+* eq. (12) applies only for ``t >= T_P - T_Re``; eq. (17) only when
+  ``v >= 1 - T_De / T_P`` (non-negative log term);
+* thresholds must lie in ``[0, 1)`` and times must be non-negative, exactly
+  as the paper's APL listings require.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError, DegenerateNetworkError
+
+__all__ = [
+    "delay_lower_bound_batch",
+    "delay_upper_bound_batch",
+    "delay_bounds_batch",
+    "voltage_lower_bound_batch",
+    "voltage_upper_bound_batch",
+    "voltage_bounds_batch",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _as_column(values: ArrayLike, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim > 1:
+        raise AnalysisError(f"{name} must be scalar or one-dimensional")
+    return np.atleast_1d(array)[:, np.newaxis]
+
+
+def _check_times(tp: np.ndarray, total_capacitance: ArrayLike) -> None:
+    if np.any(np.asarray(total_capacitance) <= 0.0):
+        raise DegenerateNetworkError(
+            "the network has no capacitance; the step response is instantaneous "
+            "and the bound formulas are undefined"
+        )
+    if np.any(tp <= 0.0):
+        raise DegenerateNetworkError(
+            "T_P is zero (no capacitance sees any resistance); the bound formulas are undefined"
+        )
+
+
+def _check_thresholds(thresholds: ArrayLike) -> np.ndarray:
+    array = np.atleast_1d(np.asarray(thresholds, dtype=float))
+    if np.any(~np.isfinite(array)):
+        raise AnalysisError("voltage thresholds must be finite")
+    if np.any(array < 0.0) or np.any(array >= 1.0):
+        raise AnalysisError(
+            "voltage thresholds must lie in [0, 1); the response only reaches 1 asymptotically"
+        )
+    return array[np.newaxis, :]
+
+
+def _check_sample_times(times: ArrayLike) -> np.ndarray:
+    array = np.atleast_1d(np.asarray(times, dtype=float))
+    if np.any(~np.isfinite(array)):
+        raise AnalysisError("times must be finite")
+    if np.any(array < 0.0):
+        raise AnalysisError("times must be non-negative (the step is applied at t = 0)")
+    return array[np.newaxis, :]
+
+
+def _prepare(
+    tp: ArrayLike, tde: ArrayLike, tre: ArrayLike, total_capacitance: ArrayLike
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    tde_col = _as_column(tde, "tde")
+    tre_col = _as_column(tre, "tre")
+    tp_col = _as_column(tp, "tp")
+    _check_times(tp_col, total_capacitance)
+    tp_col, tde_col, tre_col = np.broadcast_arrays(
+        tp_col, tde_col, tre_col, subok=False
+    )
+    live = tde_col > 0.0  # instantaneous sinks handled separately
+    return tp_col, tde_col, tre_col, live
+
+
+def _safe_log_term(
+    tp: np.ndarray, tde: np.ndarray, threshold: np.ndarray, live: np.ndarray
+) -> np.ndarray:
+    """``ln(T_De / (T_P (1 - v)))`` with dead sinks masked to a harmless 1."""
+    ratio = np.where(live, tde, tp) / (tp * (1.0 - threshold))
+    return np.log(ratio)
+
+
+# ----------------------------------------------------------------------
+# Delay bounds, eqs. (13)-(17)
+# ----------------------------------------------------------------------
+def delay_lower_bound_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    thresholds: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> np.ndarray:
+    """Lower delay bound -- max of eqs. (13), (14), (15) -- shape (sinks, thresholds)."""
+    tp, tde, tre, live = _prepare(tp, tde, tre, total_capacitance)
+    v = _check_thresholds(thresholds)
+    linear = tde - tp * (1.0 - v)  # eq. (14)
+    logarithmic = tre * _safe_log_term(tp, tde, v, live)  # eq. (15)
+    result = np.maximum.reduce([np.zeros(np.broadcast(linear, logarithmic).shape), linear, logarithmic])
+    return np.where(live, result, 0.0)
+
+
+def delay_upper_bound_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    thresholds: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> np.ndarray:
+    """Upper delay bound -- min of eqs. (16), (17) -- shape (sinks, thresholds)."""
+    tp, tde, tre, live = _prepare(tp, tde, tre, total_capacitance)
+    v = _check_thresholds(thresholds)
+    hyperbolic = tde / (1.0 - v) - tre  # eq. (16)
+    log_term = _safe_log_term(tp, tde, v, live)
+    # eq. (17) applies only when v >= 1 - T_De/T_P, i.e. when log_term >= 0.
+    exponential = tp - tre + tp * np.maximum(log_term, 0.0)
+    result = np.minimum(hyperbolic, exponential)
+    result = np.maximum(result, 0.0)
+    return np.where(live, result, 0.0)
+
+
+def delay_bounds_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    thresholds: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both delay bound matrices, ``(lower, upper)``, each (sinks, thresholds)."""
+    lower = delay_lower_bound_batch(
+        tp, tde, tre, thresholds, total_capacitance=total_capacitance
+    )
+    upper = delay_upper_bound_batch(
+        tp, tde, tre, thresholds, total_capacitance=total_capacitance
+    )
+    return lower, upper
+
+
+# ----------------------------------------------------------------------
+# Voltage bounds, eqs. (8)-(12)
+# ----------------------------------------------------------------------
+def voltage_upper_bound_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    sample_times: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> np.ndarray:
+    """Upper voltage bound -- min of eqs. (8), (9) -- shape (sinks, times)."""
+    tp, tde, tre, live = _prepare(tp, tde, tre, total_capacitance)
+    t = _check_sample_times(sample_times)
+    linear = 1.0 - (tde - t) / tp  # eq. (8)
+    # eq. (9); T_Re = 0 only when the output sits at the input, where the
+    # exponential degenerates to the exact instantaneous response for t > 0.
+    with np.errstate(divide="ignore"):
+        decay = np.exp(-t / np.where(tre > 0.0, tre, np.inf))
+    exponential = np.where(
+        tre > 0.0,
+        1.0 - (tde / tp) * decay,
+        np.where(t > 0.0, 1.0, 1.0 - tde / tp),
+    )
+    result = np.clip(np.minimum(linear, exponential), 0.0, 1.0)
+    return np.where(live, result, 1.0)
+
+
+def voltage_lower_bound_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    sample_times: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> np.ndarray:
+    """Lower voltage bound -- max of eqs. (10), (11), (12) -- shape (sinks, times)."""
+    tp, tde, tre, live = _prepare(tp, tde, tre, total_capacitance)
+    t = _check_sample_times(sample_times)
+    # invalid covers the dead-sink 0/0 case, masked to 1.0 at the end.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hyperbolic = 1.0 - tde / (t + tre)  # eq. (11); eq. (10) via the clamp below
+    threshold_time = tp - tre
+    with np.errstate(over="ignore"):
+        exponential = 1.0 - (tde / tp) * np.exp(-(t - threshold_time) / tp)  # eq. (12)
+    exponential = np.where(t >= threshold_time, exponential, 0.0)
+    shape = np.broadcast(hyperbolic, exponential).shape
+    result = np.maximum.reduce([np.zeros(shape), hyperbolic, exponential])
+    result = np.clip(result, 0.0, 1.0)
+    return np.where(live, result, 1.0)
+
+
+def voltage_bounds_batch(
+    tp: ArrayLike,
+    tde: ArrayLike,
+    tre: ArrayLike,
+    sample_times: ArrayLike,
+    *,
+    total_capacitance: ArrayLike = np.inf,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both voltage bound matrices, ``(vmin, vmax)``, each (sinks, times)."""
+    vmin = voltage_lower_bound_batch(
+        tp, tde, tre, sample_times, total_capacitance=total_capacitance
+    )
+    vmax = voltage_upper_bound_batch(
+        tp, tde, tre, sample_times, total_capacitance=total_capacitance
+    )
+    return vmin, vmax

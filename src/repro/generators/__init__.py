@@ -1,4 +1,22 @@
-"""Synthetic RC-tree generators for tests and benchmarks."""
+"""Synthetic RC-tree generators for tests and benchmarks.
+
+Property-based tests, scaling studies and the flat-engine benchmarks all
+need a controllable supply of RC trees: size, shape (chain-like versus
+bushy, via ``branching_bias``), element-value ranges, and the fraction of
+distributed URC edges are the knobs of :class:`RandomTreeConfig`.  Every
+generator is driven by an explicit seed so failures reproduce exactly.
+
+Two output forms are offered:
+
+* :func:`random_tree` / :func:`random_trees` / :func:`random_chain` /
+  :func:`random_balanced_tree` build dict-based
+  :class:`~repro.core.tree.RCTree` objects -- the reference representation
+  every analysis accepts;
+* :func:`random_flat_tree` / :func:`random_forest` build the *same networks*
+  (same seed, same values) directly as compiled
+  :class:`~repro.flat.FlatTree` / :class:`~repro.flat.FlatForest` arrays,
+  skipping dict construction -- the fast path for 10k-node-plus workloads.
+"""
 
 from repro.generators.random_trees import (
     RandomTreeConfig,
@@ -6,6 +24,8 @@ from repro.generators.random_trees import (
     random_trees,
     random_chain,
     random_balanced_tree,
+    random_flat_tree,
+    random_forest,
 )
 
 __all__ = [
@@ -14,4 +34,6 @@ __all__ = [
     "random_trees",
     "random_chain",
     "random_balanced_tree",
+    "random_flat_tree",
+    "random_forest",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.core.tree import RCTree
+from repro.flat import FlatForest, FlatTree
 from repro.utils.checks import require_non_negative, require_positive
 
 
@@ -107,6 +108,70 @@ def random_chain(nodes: int, seed: int = 0) -> RCTree:
     """A random RC chain (no branching) of ``nodes`` sections."""
     config = RandomTreeConfig(nodes=nodes, branching_bias=0.0)
     return random_tree(seed, config)
+
+
+def random_flat_tree(seed: int = 0, config: Optional[RandomTreeConfig] = None) -> FlatTree:
+    """Generate one random tree directly as a compiled :class:`~repro.flat.FlatTree`.
+
+    Array-native fast path for large benchmark workloads: the same
+    distribution as :func:`random_tree` (same seed gives the *same network*)
+    but built straight into parent-index arrays, skipping the dict-based
+    :class:`~repro.core.tree.RCTree` construction entirely.
+    """
+    config = config or RandomTreeConfig()
+    rng = random.Random(seed)
+    n = config.nodes + 1
+    parent: List[int] = [-1]
+    edge_r: List[float] = [0.0]
+    edge_c: List[float] = [0.0]
+    node_c: List[float] = [0.0]
+    r_lo, r_hi = config.resistance_range
+    c_lo, c_hi = config.capacitance_range
+    for index in range(1, n):
+        if rng.random() < config.branching_bias:
+            # rng.choice over the attachable list == randrange over [0, index).
+            parent.append(rng.randrange(index))
+        else:
+            parent.append(index - 1)
+        edge_r.append(rng.uniform(r_lo, r_hi))
+        if rng.random() < config.distributed_fraction:
+            edge_c.append(rng.uniform(c_lo, c_hi))
+        else:
+            edge_c.append(0.0)
+        if rng.random() < config.capacitor_fraction:
+            node_c.append(rng.uniform(c_lo, c_hi))
+        else:
+            node_c.append(0.0)
+    if sum(node_c) + sum(edge_c) <= 0.0:
+        node_c[-1] = rng.uniform(c_lo, c_hi)
+    outputs = None  # leaves, matching mark_leaves_as_outputs=True
+    if not config.mark_leaves_as_outputs:
+        outputs = [n - 1]
+    return FlatTree.from_arrays(
+        parent,
+        edge_r,
+        edge_c,
+        node_c,
+        names=["in"] + [f"n{i}" for i in range(1, n)],
+        outputs=outputs,
+    )
+
+
+def random_forest(
+    count: int, seed: int = 0, config: Optional[RandomTreeConfig] = None
+) -> FlatForest:
+    """A batch of random trees compiled into one :class:`~repro.flat.FlatForest`.
+
+    The member trees are exactly ``random_tree(seed) .. random_tree(seed +
+    count - 1)``; the forest solves all of their outputs with one set of
+    vectorized passes, which is the intended supply for sweep-style
+    benchmarks and property tests.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return FlatForest(
+        [random_flat_tree(seed + offset, config) for offset in range(count)]
+    )
 
 
 def random_balanced_tree(depth: int, seed: int = 0, *, fanout: int = 2) -> RCTree:

@@ -12,6 +12,11 @@ repeater's input capacitance, and its delay is taken from the
 Penfield-Rubinstein upper bound (or the Elmore delay, selectable).  Summing
 per-stage threshold delays assumes each repeater regenerates a clean edge --
 the standard repeater-insertion approximation.
+
+Every stage of every candidate shares one topology (driver resistance, one
+line segment, one load), so the sweep compiles a single
+:class:`~repro.flat.FlatTree` *template* and evaluates each candidate by
+incrementally updating its four element values -- no tree is ever rebuilt.
 """
 
 from __future__ import annotations
@@ -20,8 +25,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.bounds import delay_bounds
-from repro.core.timeconstants import characteristic_times
 from repro.core.tree import RCTree
+from repro.flat import FlatTree
 from repro.mos.drivers import DriverModel
 from repro.utils.checks import require_in_unit_interval, require_non_negative, require_positive
 
@@ -51,6 +56,47 @@ class Repeater:
         )
 
 
+class _StageTemplate:
+    """One compiled driver + segment + load stage, re-valued per candidate.
+
+    The topology (``src -R-> drv -URC-> sink``) never changes across a
+    repeater sweep; only the four element values do.  Compiling it once and
+    using the flat engine's O(depth) incremental updates and single-output
+    query makes each candidate evaluation a handful of scalar operations.
+    """
+
+    def __init__(self):
+        tree = RCTree("src")
+        tree.add_resistor("src", "drv", 1.0)
+        tree.add_line("drv", "sink", 1.0, 1.0)
+        self._flat = FlatTree.from_tree(tree)
+        self._drv = self._flat.index("drv")
+        self._sink = self._flat.index("sink")
+
+    def delay(
+        self,
+        drive_resistance: float,
+        segment_resistance: float,
+        segment_capacitance: float,
+        load_capacitance: float,
+        threshold: float,
+        use_bounds: bool,
+        driver_output_capacitance: float = 0.0,
+    ) -> float:
+        """Threshold delay of one stage: driver R + one line segment + one load."""
+        flat = self._flat
+        flat.update_resistance(self._drv, drive_resistance)
+        flat.update_capacitance(self._drv, driver_output_capacitance)
+        flat.update_line(self._sink, segment_resistance, segment_capacitance)
+        flat.update_capacitance(self._sink, load_capacitance)
+        times = flat.characteristic_times(self._sink)
+        if times.tde <= 0.0:
+            return 0.0
+        if use_bounds:
+            return delay_bounds(times, threshold).upper
+        return times.tde
+
+
 def _stage_delay(
     drive_resistance: float,
     segment_resistance: float,
@@ -60,20 +106,16 @@ def _stage_delay(
     use_bounds: bool,
     driver_output_capacitance: float = 0.0,
 ) -> float:
-    """Threshold delay of one stage: driver R + one line segment + one load."""
-    tree = RCTree("src")
-    tree.add_resistor("src", "drv", drive_resistance)
-    if driver_output_capacitance:
-        tree.add_capacitor("drv", driver_output_capacitance)
-    tree.add_line("drv", "sink", segment_resistance, segment_capacitance)
-    if load_capacitance:
-        tree.add_capacitor("sink", load_capacitance)
-    times = characteristic_times(tree, "sink")
-    if times.tde <= 0.0:
-        return 0.0
-    if use_bounds:
-        return delay_bounds(times, threshold).upper
-    return times.tde
+    """One-shot stage delay (sweeps share a :class:`_StageTemplate` instead)."""
+    return _StageTemplate().delay(
+        drive_resistance,
+        segment_resistance,
+        segment_capacitance,
+        load_capacitance,
+        threshold,
+        use_bounds,
+        driver_output_capacitance,
+    )
 
 
 @dataclass(frozen=True)
@@ -102,6 +144,7 @@ def buffered_line_delay(
     *,
     threshold: float = 0.5,
     use_bounds: bool = True,
+    _template: Optional[_StageTemplate] = None,
 ) -> BufferingPlan:
     """Evaluate one repeater plan: ``repeater_count`` repeaters, equal segments."""
     if repeater_count < 0:
@@ -114,6 +157,7 @@ def buffered_line_delay(
     stages = repeater_count + 1
     segment_r = line_resistance / stages
     segment_c = line_capacitance / stages
+    template = _template or _StageTemplate()
 
     delays = []
     for stage in range(stages):
@@ -122,7 +166,7 @@ def buffered_line_delay(
         load = load_capacitance if is_last else repeater.input_capacitance
         self_loading = driver.output_capacitance if stage == 0 else 0.0
         delays.append(
-            _stage_delay(
+            template.delay(
                 drive,
                 segment_r,
                 segment_c,
@@ -154,10 +198,12 @@ def optimal_buffer_count(
     """Sweep the repeater count and return the plan with the smallest delay.
 
     The delay is unimodal in the repeater count, so the sweep stops once two
-    consecutive counts make things worse.
+    consecutive counts make things worse.  One compiled stage template is
+    shared by every candidate, so the whole sweep allocates no trees.
     """
     best: Optional[BufferingPlan] = None
     worse_in_a_row = 0
+    template = _StageTemplate()
     for count in range(0, max_repeaters + 1):
         plan = buffered_line_delay(
             count,
@@ -168,6 +214,7 @@ def optimal_buffer_count(
             load_capacitance,
             threshold=threshold,
             use_bounds=use_bounds,
+            _template=template,
         )
         if best is None or plan.total_delay < best.total_delay:
             best = plan

@@ -12,6 +12,15 @@ region where the guaranteed (upper-bound) delay meets the deadline, and then
 bisects for the smallest such size -- i.e. it answers "what is the cheapest
 driver that is *provably* fast enough", which is exactly the certification
 question (use 3 in the paper's abstract) turned into a design knob.
+
+The search never rebuilds the net per candidate: an evaluator probes the
+``NetFactory`` with a few driver sizes, verifies that the topology is
+driver-independent and that the driver enters the tree only through its
+resistance and output capacitance (the universal case -- every factory in
+this repository does exactly that), then compiles the net *once* into a
+:class:`~repro.flat.FlatTree` and evaluates each candidate by incrementally
+updating the driver's element values.  Factories that fail the probe fall
+back to a compile per candidate, still through the flat engine.
 """
 
 from __future__ import annotations
@@ -20,15 +29,17 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.bounds import delay_bounds
-from repro.core.exceptions import AnalysisError
-from repro.core.timeconstants import characteristic_times
 from repro.core.tree import RCTree
+from repro.flat import FlatTree
 from repro.mos.drivers import DriverModel
 from repro.utils.checks import require_in_unit_interval, require_positive
 
 #: A callable that builds the driven net for a given driver model.  The
 #: returned tree must mark (or the caller must name) the output of interest.
 NetFactory = Callable[[DriverModel], RCTree]
+
+#: Relative tolerance used when probing a factory for topology stability.
+_PROBE_RTOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -50,10 +61,125 @@ class SizingResult:
         return min(delay for _, delay in self.sweep)
 
 
+def _resolve_target(tree: RCTree, output: Optional[str]) -> str:
+    return output or (tree.outputs[0] if tree.outputs else tree.leaves()[-1])
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _PROBE_RTOL * max(abs(a), abs(b), 1e-300)
+
+
+class _DelayEvaluator:
+    """Guaranteed delay of the driven net as a function of the driver.
+
+    On construction the factory is probed with three driver sizes.  When the
+    probes show a fixed topology whose only driver-dependent values follow
+    the additive model ``r(d) = r0 + (R(d) - R(d0))`` on edges and
+    ``c(d) = c0 + (C(d) - C(d0))`` on node capacitances (i.e. the driver
+    contributes its effective resistance in series and its output capacitance
+    in shunt, possibly combined with fixed wire parasitics), the net is
+    compiled once and every candidate is evaluated through incremental
+    updates.  Otherwise each candidate compiles its own flat tree.
+    """
+
+    def __init__(self, net_factory: NetFactory, base_driver: DriverModel, output: Optional[str], threshold: float):
+        self._factory = net_factory
+        self._threshold = threshold
+        self._output = output
+        self._template: Optional[FlatTree] = None
+        self._base = base_driver
+        self._probe(base_driver)
+
+    # ------------------------------------------------------------------
+    def _probe(self, base: DriverModel) -> None:
+        reference = self._factory(base)
+        self._target = _resolve_target(reference, self._output)
+        drivers = [base.scaled(2.0), base.scaled(0.5)]
+        try:
+            probes = [self._factory(driver) for driver in drivers]
+        except Exception:
+            # A factory may legitimately reject sizes it was never asked to
+            # build (range validation, lookup tables); fall back to compiling
+            # per candidate rather than surfacing the probe.
+            return
+        if any(probe.nodes != reference.nodes for probe in probes):
+            return
+        r_edges: List[Tuple[str, float]] = []  # (child node, base resistance)
+        c_nodes: List[Tuple[str, float]] = []  # (node, base capacitance)
+        for name in reference.nodes:
+            edge = reference.parent_edge(name)
+            candidates = [probe.parent_edge(name) for probe in probes]
+            if edge is None:
+                if any(c is not None for c in candidates):
+                    return
+            else:
+                if any(
+                    c is None
+                    or c.parent != edge.parent
+                    or c.is_distributed != edge.is_distributed
+                    for c in candidates
+                ):
+                    return
+                # Distributed line capacitance must not depend on the driver.
+                if any(not _close(c.capacitance, edge.capacitance) for c in candidates):
+                    return
+                if all(_close(c.resistance, edge.resistance) for c in candidates):
+                    pass
+                else:
+                    expected = [
+                        edge.resistance + (d.effective_resistance - base.effective_resistance)
+                        for d in drivers
+                    ]
+                    if not all(
+                        _close(c.resistance, e) for c, e in zip(candidates, expected)
+                    ):
+                        return
+                    r_edges.append((name, edge.resistance))
+            cap = reference.node_capacitance(name)
+            probe_caps = [probe.node_capacitance(name) for probe in probes]
+            if all(_close(p, cap) for p in probe_caps):
+                continue
+            expected = [
+                cap + (d.output_capacitance - base.output_capacitance) for d in drivers
+            ]
+            if not all(_close(p, e) for p, e in zip(probe_caps, expected)):
+                return
+            c_nodes.append((name, cap))
+        if not r_edges and not c_nodes:
+            # The driver does not enter the tree at all; nothing to update,
+            # but the fixed topology still lets us compile once.
+            pass
+        self._template = FlatTree.from_tree(reference)
+        self._r_edges = r_edges
+        self._c_nodes = c_nodes
+
+    # ------------------------------------------------------------------
+    def delay(self, driver: DriverModel) -> float:
+        template = self._template
+        if template is not None:
+            dr = driver.effective_resistance - self._base.effective_resistance
+            dc = driver.output_capacitance - self._base.output_capacitance
+            values = [(node, base + dr) for node, base in self._r_edges]
+            if all(value > 0.0 for _, value in values) and all(
+                base + dc >= 0.0 for _, base in self._c_nodes
+            ):
+                for node, value in values:
+                    template.update_resistance(node, value)
+                for node, base in self._c_nodes:
+                    template.update_capacitance(node, base + dc)
+                times = template.characteristic_times(self._target)
+                return delay_bounds(times, self._threshold).upper
+        # Fallback: rebuild through the factory, still analysed flat.
+        tree = self._factory(driver)
+        flat = FlatTree.from_tree(tree)
+        times = flat.characteristic_times(_resolve_target(tree, self._output))
+        return delay_bounds(times, self._threshold).upper
+
+
 def _guaranteed_delay(net_factory: NetFactory, driver: DriverModel, output: Optional[str], threshold: float) -> float:
     tree = net_factory(driver)
-    target = output or (tree.outputs[0] if tree.outputs else tree.leaves()[-1])
-    times = characteristic_times(tree, target)
+    flat = FlatTree.from_tree(tree)
+    times = flat.characteristic_times(_resolve_target(tree, output))
     return delay_bounds(times, threshold).upper
 
 
@@ -64,16 +190,17 @@ def sweep_driver_sizes(
     output: Optional[str] = None,
     threshold: float = 0.5,
     scales: Optional[List[float]] = None,
+    _evaluator: Optional[_DelayEvaluator] = None,
 ) -> List[Tuple[float, float]]:
     """Guaranteed delay versus drive strength over a geometric size grid."""
     require_in_unit_interval("threshold", threshold, open_ends=True)
     if scales is None:
         scales = [0.25 * (2.0 ** (i / 2.0)) for i in range(17)]  # 0.25x .. 64x
+    evaluator = _evaluator or _DelayEvaluator(net_factory, base_driver, output, threshold)
     results = []
     for scale in scales:
         require_positive("scale", scale)
-        delay = _guaranteed_delay(net_factory, base_driver.scaled(scale), output, threshold)
-        results.append((scale, delay))
+        results.append((scale, evaluator.delay(base_driver.scaled(scale))))
     return results
 
 
@@ -94,8 +221,15 @@ def size_driver_for_deadline(
     too slow and needs restructuring (see :mod:`repro.opt.buffering`).
     """
     require_positive("deadline", deadline)
+    require_in_unit_interval("threshold", threshold, open_ends=True)
+    evaluator = _DelayEvaluator(net_factory, base_driver, output, threshold)
     sweep = sweep_driver_sizes(
-        net_factory, base_driver, output=output, threshold=threshold, scales=scales
+        net_factory,
+        base_driver,
+        output=output,
+        threshold=threshold,
+        scales=scales,
+        _evaluator=evaluator,
     )
     meeting = [(scale, delay) for scale, delay in sweep if delay <= deadline]
     if not meeting:
@@ -117,7 +251,7 @@ def size_driver_for_deadline(
     hi = smallest_meeting_scale
     for _ in range(refinement_steps):
         mid = 0.5 * (lo + hi)
-        if _guaranteed_delay(net_factory, base_driver.scaled(mid), output, threshold) <= deadline:
+        if evaluator.delay(base_driver.scaled(mid)) <= deadline:
             hi = mid
         else:
             lo = mid
@@ -129,7 +263,7 @@ def size_driver_for_deadline(
         feasible=True,
         scale=hi,
         driver=chosen,
-        guaranteed_delay=_guaranteed_delay(net_factory, chosen, output, threshold),
+        guaranteed_delay=evaluator.delay(chosen),
         deadline=deadline,
         threshold=threshold,
         sweep=sweep,

@@ -29,9 +29,10 @@ import networkx as nx
 
 from repro.core.certify import Verdict
 from repro.core.exceptions import AnalysisError
-from repro.sta.delaycalc import DelayModel, stage_delays
+from repro.sta.delaycalc import DelayModel, StageTimes, stage_characteristic_times
 from repro.sta.netlist import Design, Net, PinRef
 from repro.sta.parasitics import NetParasitics, lumped
+from repro.utils.checks import require_in_unit_interval
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,7 @@ class TimingAnalyzer:
     ):
         if clock_period <= 0:
             raise AnalysisError("clock_period must be positive")
+        require_in_unit_interval("threshold", threshold)
         self._design = design
         self._parasitics = dict(parasitics or {})
         self._clock_period = clock_period
@@ -113,6 +115,10 @@ class TimingAnalyzer:
         self._input_drive_resistance = input_drive_resistance
         self._default_wire_capacitance = default_wire_capacitance
         self._nets: Dict[str, Net] = design.connectivity()
+        # Model-independent per-net interconnect analysis, computed once and
+        # shared by every delay model (Elmore + both bounds): the flat-engine
+        # solve of a net's RC tree does not depend on which number is read out.
+        self._stage_cache: Dict[str, StageTimes] = {}
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -124,6 +130,25 @@ class TimingAnalyzer:
         if net in self._parasitics:
             return self._parasitics[net]
         return lumped(net, self._default_wire_capacitance)
+
+    def _stage_times(self, net: Net) -> StageTimes:
+        """Cached model-independent stage analysis of one net."""
+        cached = self._stage_cache.get(net.name)
+        if cached is None:
+            driver_cell = None
+            override = None
+            if net.driver.is_port:
+                override = self._input_drive_resistance
+            else:
+                driver_cell = self._design.instances[net.driver.instance].cell
+            cached = stage_characteristic_times(
+                driver_cell,
+                self._net_parasitics(net.name),
+                self._sink_capacitances(net),
+                drive_resistance_override=override,
+            )
+            self._stage_cache[net.name] = cached
+        return cached
 
     def _sink_capacitances(self, net: Net) -> Dict[str, float]:
         instances = self._design.instances
@@ -155,26 +180,13 @@ class TimingAnalyzer:
                         arc=f"clock net {net.name}",
                     )
                 continue
-            driver_cell = None
-            override = None
-            if net.driver.is_port:
-                override = self._input_drive_resistance
-            else:
-                driver_cell = instances[net.driver.instance].cell
-            sinks = self._sink_capacitances(net)
-            stage = stage_delays(
-                driver_cell,
-                self._net_parasitics(net.name),
-                sinks,
-                model=model,
-                threshold=self._threshold,
-                drive_resistance_override=override,
-            )
+            stage = self._stage_times(net)
+            wire_delays = stage.delays(model, self._threshold)
             for load in net.loads:
                 graph.add_edge(
                     self._vertex(net.driver),
                     self._vertex(load),
-                    delay=stage.wire_delays[str(load)],
+                    delay=wire_delays.get(str(load), 0.0),
                     arc=f"net {net.name}",
                 )
 

@@ -21,17 +21,24 @@ its abstract:
   (eq. 16/17), what a sign-off check must use;
 * ``DelayModel.LOWER_BOUND`` -- the guaranteed-earliest crossing (eq. 14/15),
   what hold-style "certainly too slow" conclusions use.
+
+The interconnect analysis itself is model-independent, so it is performed
+once per stage -- through the vectorized :mod:`repro.flat` engine -- and the
+three models merely extract different numbers from the same
+:class:`StageTimes` (see :func:`stage_characteristic_times`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
-from repro.core.bounds import delay_lower_bound, delay_upper_bound
-from repro.core.timeconstants import characteristic_times_all
+import numpy as np
+
+from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
+from repro.flat import FlatTree, delay_lower_bound_batch, delay_upper_bound_batch
 from repro.sta.cells import Cell
 from repro.sta.parasitics import NetParasitics
 from repro.utils.checks import require_in_unit_interval, require_non_negative
@@ -116,6 +123,92 @@ def _stage_tree(
     return tree
 
 
+@dataclass(frozen=True)
+class StageTimes:
+    """Model-independent analysis of one stage (one driver, one net).
+
+    The characteristic times of a stage do not depend on the delay model --
+    only the number finally *extracted* from them does -- so one compiled
+    :class:`~repro.flat.FlatTree` solve serves the Elmore run and both bound
+    runs.  :class:`~repro.sta.analysis.TimingAnalyzer` caches one of these per
+    net, which is what makes ``certify()`` (three delay models) cost one
+    interconnect analysis instead of three.
+    """
+
+    net: str
+    gate_delay: float
+    #: Characteristic times per sink pin; empty when the net has no capacitance.
+    pin_times: Dict[str, CharacteristicTimes] = field(default_factory=dict)
+
+    def delays(self, model: DelayModel, threshold: float) -> Dict[str, float]:
+        """Extract the wire delay per sink pin for one delay model."""
+        if not self.pin_times:
+            return {}
+        if model is DelayModel.ELMORE:
+            return {pin: times.tde for pin, times in self.pin_times.items()}
+        pins = list(self.pin_times)
+        records = [self.pin_times[pin] for pin in pins]
+        bound = (
+            delay_upper_bound_batch
+            if model is DelayModel.UPPER_BOUND
+            else delay_lower_bound_batch
+        )
+        values = bound(
+            np.asarray([t.tp for t in records]),
+            np.asarray([t.tde for t in records]),
+            np.asarray([t.tre for t in records]),
+            [threshold],
+        )[:, 0]
+        return dict(zip(pins, values.tolist()))
+
+
+def stage_characteristic_times(
+    driver_cell: Optional[Cell],
+    parasitics: NetParasitics,
+    sink_capacitance: Mapping[str, float],
+    *,
+    drive_resistance_override: Optional[float] = None,
+) -> StageTimes:
+    """Analyse one stage once, for every delay model.
+
+    Builds the stage's RC tree, compiles it to a
+    :class:`~repro.flat.FlatTree`, and returns the characteristic times of
+    every sink pin.  A stage with no capacitance anywhere settles
+    instantaneously in the linear model and yields an empty ``pin_times``.
+    """
+    if drive_resistance_override is not None:
+        require_non_negative("drive_resistance_override", drive_resistance_override)
+        resistance = drive_resistance_override
+    elif driver_cell is not None:
+        resistance = driver_cell.drive_resistance
+    else:
+        resistance = 0.0
+    intrinsic = driver_cell.intrinsic_delay if driver_cell is not None else 0.0
+
+    tree = _stage_tree(resistance, parasitics, sink_capacitance)
+    if tree.total_capacitance <= 0.0:
+        # Nothing to charge: the net settles instantaneously in the linear
+        # model, whichever bound is requested.
+        return StageTimes(net=parasitics.net, gate_delay=intrinsic)
+
+    # Map sink pins back to tree nodes for the delay query.
+    pin_to_node: Dict[str, str] = {}
+    for pin in sink_capacitance:
+        node = parasitics.node_for_pin(pin)
+        if parasitics.tree is None:
+            pin_to_node[pin] = "net"
+        elif node is None:
+            pin_to_node[pin] = parasitics.tree.leaves()[-1]
+        else:
+            pin_to_node[pin] = node if node != parasitics.tree.root else "drv"
+
+    flat = FlatTree.from_tree(tree)
+    query_nodes = sorted(set(pin_to_node.values())) or flat.outputs
+    times = flat.characteristic_times_all(query_nodes)
+    pin_times = {pin: times[pin_to_node[pin]] for pin in sink_capacitance}
+    return StageTimes(net=parasitics.net, gate_delay=intrinsic, pin_times=pin_times)
+
+
 def stage_delays(
     driver_cell: Optional[Cell],
     parasitics: NetParasitics,
@@ -142,50 +235,25 @@ def stage_delays(
         Voltage threshold used by the bound models (ignored for Elmore).
     drive_resistance_override:
         Use this resistance instead of the cell's (for input-port drivers).
+
+    Callers that need several delay models of the same stage should use
+    :func:`stage_characteristic_times` once and extract per model.
     """
     threshold = require_in_unit_interval("threshold", threshold)
-    if drive_resistance_override is not None:
-        require_non_negative("drive_resistance_override", drive_resistance_override)
-        resistance = drive_resistance_override
-    elif driver_cell is not None:
-        resistance = driver_cell.drive_resistance
-    else:
-        resistance = 0.0
-    intrinsic = driver_cell.intrinsic_delay if driver_cell is not None else 0.0
-
-    tree = _stage_tree(resistance, parasitics, sink_capacitance)
-    if tree.total_capacitance <= 0.0:
-        # Nothing to charge: the net settles instantaneously in the linear
-        # model, whichever bound is requested.
+    stage = stage_characteristic_times(
+        driver_cell,
+        parasitics,
+        sink_capacitance,
+        drive_resistance_override=drive_resistance_override,
+    )
+    if not stage.pin_times:
         return StageDelay(
             net=parasitics.net,
-            gate_delay=intrinsic,
+            gate_delay=stage.gate_delay,
             wire_delays={pin: 0.0 for pin in sink_capacitance},
         )
-
-    # Map sink pins back to tree nodes for the delay query.
-    pin_to_node: Dict[str, str] = {}
-    for pin in sink_capacitance:
-        node = parasitics.node_for_pin(pin)
-        if parasitics.tree is None:
-            pin_to_node[pin] = "net"
-        elif node is None:
-            pin_to_node[pin] = parasitics.tree.leaves()[-1]
-        else:
-            pin_to_node[pin] = node if node != parasitics.tree.root else "drv"
-
-    query_nodes = sorted(set(pin_to_node.values())) or tree.outputs
-    times = characteristic_times_all(tree, query_nodes)
-
-    wire_delays: Dict[str, float] = {}
-    for pin in sink_capacitance:
-        node_times = times[pin_to_node[pin]]
-        if model is DelayModel.ELMORE:
-            delay = node_times.tde
-        elif model is DelayModel.UPPER_BOUND:
-            delay = float(delay_upper_bound(node_times, threshold))
-        else:
-            delay = float(delay_lower_bound(node_times, threshold))
-        wire_delays[pin] = delay
-
-    return StageDelay(net=parasitics.net, gate_delay=intrinsic, wire_delays=wire_delays)
+    return StageDelay(
+        net=parasitics.net,
+        gate_delay=stage.gate_delay,
+        wire_delays=stage.delays(model, threshold),
+    )

@@ -1,0 +1,37 @@
+"""The docs link-check, exposed to the tier-1 suite.
+
+``tools/check_docs.py`` verifies that every module named in ``README.md`` and
+``docs/*.md`` imports, that every ``path:line`` anchor points into an
+existing file, and that every relative markdown link resolves.  CI runs the
+tool standalone; this test runs the same checks under pytest so a stale doc
+reference fails the ordinary test run too.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_references_resolve():
+    tool = _load_tool()
+    failures = tool.collect_failures()
+    assert not failures, "\n".join(f"{doc.name}: {problem}" for doc, problem in failures)
+
+
+def test_docs_exist():
+    tool = _load_tool()
+    names = {path.name for path in tool.doc_files()}
+    assert "README.md" in names
+    assert "paper_map.md" in names
+    assert "performance.md" in names

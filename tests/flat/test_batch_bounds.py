@@ -1,0 +1,137 @@
+"""Batched eqs. (8)-(17) must match the scalar reference elementwise."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    delay_lower_bound,
+    delay_upper_bound,
+    voltage_lower_bound,
+    voltage_upper_bound,
+)
+from repro.core.exceptions import AnalysisError, DegenerateNetworkError
+from repro.core.timeconstants import CharacteristicTimes
+from repro.flat import FlatTree
+from repro.flat.batchbounds import (
+    delay_bounds_batch,
+    delay_lower_bound_batch,
+    delay_upper_bound_batch,
+    voltage_bounds_batch,
+    voltage_lower_bound_batch,
+    voltage_upper_bound_batch,
+)
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+THRESHOLDS = np.linspace(0.01, 0.99, 23)
+SAMPLE_TIMES = np.linspace(0.0, 5e-9, 17)
+
+
+def all_times(seed):
+    tree = random_tree(seed, RandomTreeConfig(nodes=50, distributed_fraction=0.4))
+    flat = FlatTree.from_tree(tree)
+    return flat, list(flat.characteristic_times_all(flat.names[1:]).values())
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestAgainstScalarReference:
+    def test_delay_bounds(self, seed):
+        _, records = all_times(seed)
+        tp = np.asarray([t.tp for t in records])
+        tde = np.asarray([t.tde for t in records])
+        tre = np.asarray([t.tre for t in records])
+        lower, upper = delay_bounds_batch(tp, tde, tre, THRESHOLDS)
+        assert lower.shape == upper.shape == (len(records), len(THRESHOLDS))
+        for k, record in enumerate(records):
+            np.testing.assert_array_equal(
+                lower[k], np.atleast_1d(delay_lower_bound(record, THRESHOLDS))
+            )
+            np.testing.assert_array_equal(
+                upper[k], np.atleast_1d(delay_upper_bound(record, THRESHOLDS))
+            )
+
+    def test_voltage_bounds(self, seed):
+        _, records = all_times(seed)
+        tp = np.asarray([t.tp for t in records])
+        tde = np.asarray([t.tde for t in records])
+        tre = np.asarray([t.tre for t in records])
+        vmin, vmax = voltage_bounds_batch(tp, tde, tre, SAMPLE_TIMES)
+        for k, record in enumerate(records):
+            np.testing.assert_array_equal(
+                vmin[k], np.atleast_1d(voltage_lower_bound(record, SAMPLE_TIMES))
+            )
+            np.testing.assert_array_equal(
+                vmax[k], np.atleast_1d(voltage_upper_bound(record, SAMPLE_TIMES))
+            )
+
+
+class TestDegenerateSinks:
+    def test_isolated_output_is_instantaneous(self):
+        # tde == 0: the batch must report delay 0 and voltage 1, matching the
+        # scalar implementation's special case.
+        record = CharacteristicTimes(
+            output="x", tp=1.0, tde=0.0, tre=0.0, ree=0.0, total_capacitance=1.0
+        )
+        lower = delay_lower_bound_batch([1.0], [0.0], [0.0], THRESHOLDS)
+        upper = delay_upper_bound_batch([1.0], [0.0], [0.0], THRESHOLDS)
+        np.testing.assert_array_equal(lower[0], np.atleast_1d(delay_lower_bound(record, THRESHOLDS)))
+        np.testing.assert_array_equal(upper[0], np.atleast_1d(delay_upper_bound(record, THRESHOLDS)))
+        vmin = voltage_lower_bound_batch([1.0], [0.0], [0.0], SAMPLE_TIMES)
+        vmax = voltage_upper_bound_batch([1.0], [0.0], [0.0], SAMPLE_TIMES)
+        assert np.all(vmin == 1.0) and np.all(vmax == 1.0)
+
+    def test_zero_tre_output_at_input(self):
+        record = CharacteristicTimes(
+            output="x", tp=2.0, tde=1.0, tre=0.0, ree=0.0, total_capacitance=1.0
+        )
+        vmax = voltage_upper_bound_batch([2.0], [1.0], [0.0], SAMPLE_TIMES)
+        np.testing.assert_array_equal(
+            vmax[0], np.atleast_1d(voltage_upper_bound(record, SAMPLE_TIMES))
+        )
+
+    def test_degenerate_network_rejected(self):
+        with pytest.raises(DegenerateNetworkError):
+            delay_lower_bound_batch([0.0], [0.0], [0.0], [0.5], total_capacitance=1.0)
+        with pytest.raises(DegenerateNetworkError):
+            delay_lower_bound_batch([1.0], [0.5], [0.1], [0.5], total_capacitance=0.0)
+
+
+class TestValidation:
+    def test_threshold_domain(self):
+        for bad in ([1.0], [-0.1], [float("nan")]):
+            with pytest.raises(AnalysisError):
+                delay_upper_bound_batch([1.0], [0.5], [0.1], bad)
+
+    def test_time_domain(self):
+        with pytest.raises(AnalysisError):
+            voltage_upper_bound_batch([1.0], [0.5], [0.1], [-1.0])
+        with pytest.raises(AnalysisError):
+            voltage_lower_bound_batch([1.0], [0.5], [0.1], [float("inf")])
+
+    def test_two_dimensional_times_rejected(self):
+        with pytest.raises(AnalysisError):
+            delay_upper_bound_batch([[1.0]], [[0.5]], [[0.1]], [0.5])
+
+
+class TestFlatTreeFacade:
+    def test_delay_bounds_batch_on_tree(self):
+        tree = random_tree(1, RandomTreeConfig(nodes=30))
+        flat = FlatTree.from_tree(tree)
+        names, lower, upper = flat.delay_bounds_batch(THRESHOLDS)
+        assert names == flat.outputs
+        assert lower.shape == (len(names), len(THRESHOLDS))
+        assert np.all(lower <= upper)
+
+    def test_voltage_bounds_batch_on_tree(self):
+        tree = random_tree(2, RandomTreeConfig(nodes=30))
+        flat = FlatTree.from_tree(tree)
+        names, vmin, vmax = flat.voltage_bounds_batch(SAMPLE_TIMES)
+        assert np.all(vmin <= vmax)
+        assert np.all((0.0 <= vmin) & (vmax <= 1.0))
+
+    def test_explicit_output_selection_preserves_order(self):
+        tree = random_tree(3, RandomTreeConfig(nodes=30))
+        flat = FlatTree.from_tree(tree)
+        wanted = list(reversed(flat.outputs))
+        names, lower, _ = flat.delay_bounds_batch([0.5], wanted)
+        assert names == wanted
+        assert lower.shape == (len(wanted), 1)

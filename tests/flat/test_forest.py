@@ -1,0 +1,124 @@
+"""FlatForest batching must agree with per-tree analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DegenerateNetworkError
+from repro.core.timeconstants import characteristic_times_all
+from repro.core.tree import RCTree
+from repro.flat import FlatForest, FlatTree
+from repro.generators.random_trees import (
+    RandomTreeConfig,
+    random_forest,
+    random_tree,
+)
+
+CONFIG = RandomTreeConfig(nodes=35, distributed_fraction=0.4)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    trees = [random_tree(seed, CONFIG) for seed in range(8)]
+    return trees, FlatForest.from_rctrees(trees)
+
+
+class TestSolve:
+    def test_matches_dict_engine_per_tree(self, batch):
+        trees, forest = batch
+        for index, tree in enumerate(trees):
+            reference = characteristic_times_all(tree, tree.nodes)
+            for name, want in reference.items():
+                got = forest.characteristic_times(index, name)
+                assert got.tde == want.tde
+                assert got.tre == want.tre
+                assert got.ree == want.ree
+                assert got.tp == pytest.approx(want.tp, rel=1e-12)
+                assert got.total_capacitance == pytest.approx(
+                    want.total_capacitance, rel=1e-12
+                )
+
+    def test_matches_single_flat_tree_solve(self, batch):
+        trees, forest = batch
+        for index, tree in enumerate(trees):
+            single = FlatTree.from_tree(tree).solve()
+            view = forest.times_for(index)
+            np.testing.assert_array_equal(view.tde, single.tde)
+            np.testing.assert_array_equal(view.tre, single.tre)
+            np.testing.assert_array_equal(view.ree, single.ree)
+            assert view.tp == pytest.approx(single.tp, rel=1e-12)
+
+    def test_counts(self, batch):
+        trees, forest = batch
+        assert len(forest) == len(trees)
+        assert forest.node_count == sum(len(t) + 0 for t in trees)
+        assert len(forest.output_indices) == sum(len(t.outputs) for t in trees)
+
+    def test_output_labels_cover_every_tree(self, batch):
+        trees, forest = batch
+        labels = forest.output_labels()
+        for index, tree in enumerate(trees):
+            assert {name for t, name in labels if t == index} == set(tree.outputs)
+
+
+class TestBatchedBounds:
+    def test_bounds_match_member_trees(self, batch):
+        trees, forest = batch
+        thresholds = [0.1, 0.5, 0.9]
+        labels, lower, upper = forest.delay_bounds_batch(thresholds)
+        for k, (index, name) in enumerate(labels):
+            single = FlatTree.from_tree(trees[index])
+            _, slo, shi = single.delay_bounds_batch(thresholds, [name])
+            np.testing.assert_allclose(lower[k], slo[0], rtol=1e-12)
+            np.testing.assert_allclose(upper[k], shi[0], rtol=1e-12)
+
+    def test_voltage_bounds_shapes(self, batch):
+        _, forest = batch
+        times = np.linspace(0.0, 1e-9, 5)
+        labels, vmin, vmax = forest.voltage_bounds_batch(times)
+        assert vmin.shape == vmax.shape == (len(labels), 5)
+        assert np.all(vmin <= vmax)
+
+    def test_elmore_delays_keyed_by_tree_and_name(self, batch):
+        trees, forest = batch
+        delays = forest.elmore_delays()
+        for index, tree in enumerate(trees):
+            reference = characteristic_times_all(tree)
+            for name, want in reference.items():
+                assert delays[(index, name)] == want.tde
+
+
+class TestDegenerateMembers:
+    def test_degenerate_tree_does_not_poison_healthy_queries(self):
+        healthy = random_tree(0, CONFIG)
+        dead = RCTree("in")
+        dead.add_resistor("in", "a", 1.0)
+        dead.mark_output("a")
+        forest = FlatForest.from_rctrees([healthy, dead])
+        healthy_indices = np.asarray(
+            [forest.global_index(0, name) for name in healthy.outputs]
+        )
+        labels, lower, upper = forest.delay_bounds_batch([0.5], healthy_indices)
+        assert all(tree_index == 0 for tree_index, _ in labels)
+        assert np.all(lower <= upper)
+        # Querying the capacitance-free member itself must still raise.
+        with pytest.raises(DegenerateNetworkError):
+            forest.delay_bounds_batch(
+                [0.5], np.asarray([forest.global_index(1, "a")])
+            )
+
+
+class TestGenerators:
+    def test_random_forest_members_match_random_tree(self):
+        forest = random_forest(4, seed=11, config=CONFIG)
+        for offset in range(4):
+            tree = random_tree(11 + offset, CONFIG)
+            reference = characteristic_times_all(tree, tree.nodes)
+            for name, want in reference.items():
+                got = forest.characteristic_times(offset, name)
+                assert got.tde == want.tde
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            FlatForest([])
+        with pytest.raises(ValueError):
+            random_forest(0)

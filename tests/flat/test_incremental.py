@@ -1,0 +1,171 @@
+"""Incremental updates must agree with a full recompile/recompute."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ElementValueError, TopologyError
+from repro.core.networks import figure7_tree
+from repro.core.timeconstants import characteristic_times_all
+from repro.core.tree import RCTree
+from repro.flat import FlatTree
+from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+RTOL = 1e-12
+
+
+def assert_matches_fresh(flat: FlatTree, tree: RCTree):
+    """Every output of ``flat`` equals a from-scratch dict-engine analysis."""
+    reference = characteristic_times_all(tree, tree.nodes)
+    # Path-walk queries (before any full solve)...
+    for name in tree.nodes:
+        got = flat.characteristic_times(name)
+        want = reference[name]
+        assert got.tde == pytest.approx(want.tde, rel=RTOL, abs=1e-30)
+        assert got.tre == pytest.approx(want.tre, rel=RTOL, abs=1e-30)
+        assert got.tp == pytest.approx(want.tp, rel=RTOL, abs=1e-30)
+        assert got.ree == pytest.approx(want.ree, rel=RTOL, abs=1e-30)
+    # ...and the vectorized full solve.
+    solved = flat.characteristic_times_all(tree.nodes)
+    for name, want in reference.items():
+        assert solved[name].tde == pytest.approx(want.tde, rel=RTOL, abs=1e-30)
+        assert solved[name].tre == pytest.approx(want.tre, rel=RTOL, abs=1e-30)
+
+
+class TestSingleEdits:
+    def test_node_capacitance_update(self):
+        tree = figure7_tree()
+        flat = FlatTree.from_tree(tree)
+        flat.solve()
+        flat.update_capacitance("b", 70.0)
+        tree.set_capacitance("b", 70.0)
+        assert_matches_fresh(flat, tree)
+
+    def test_edge_resistance_update(self):
+        tree = figure7_tree()
+        flat = FlatTree.from_tree(tree)
+        flat.update_resistance("a", 150.0)
+        assert flat.path_resistance("out") == pytest.approx(153.0)
+        assert flat.path_resistance("b") == pytest.approx(158.0)
+        # The dict reference cannot edit in place; rebuild the same network.
+        rebuilt = RCTree("in")
+        rebuilt.add_resistor("in", "a", 150.0)
+        rebuilt.add_capacitor("a", 2.0)
+        rebuilt.add_resistor("a", "b", 8.0)
+        rebuilt.add_capacitor("b", 7.0)
+        rebuilt.add_line("a", "out", resistance=3.0, capacitance=4.0)
+        rebuilt.add_capacitor("out", 9.0)
+        rebuilt.mark_output("out")
+        assert_matches_fresh(flat, rebuilt)
+
+    def test_line_update_moves_distributed_capacitance(self):
+        tree = figure7_tree()
+        flat = FlatTree.from_tree(tree)
+        flat.update_line("out", 30.0, 40.0)
+        rebuilt = RCTree("in")
+        rebuilt.add_resistor("in", "a", 15.0)
+        rebuilt.add_capacitor("a", 2.0)
+        rebuilt.add_resistor("a", "b", 8.0)
+        rebuilt.add_capacitor("b", 7.0)
+        rebuilt.add_line("a", "out", resistance=30.0, capacitance=40.0)
+        rebuilt.add_capacitor("out", 9.0)
+        rebuilt.mark_output("out")
+        assert_matches_fresh(flat, rebuilt)
+
+    def test_total_capacitance_tracks_edits(self):
+        flat = FlatTree.from_tree(figure7_tree())
+        before = flat.total_capacitance
+        flat.update_capacitance("b", 7.0 + 1.0)
+        assert flat.total_capacitance == pytest.approx(before + 1.0)
+        flat.update_line("out", 3.0, 4.0 + 2.0)
+        assert flat.total_capacitance == pytest.approx(before + 3.0)
+
+    def test_invalid_updates_rejected(self):
+        flat = FlatTree.from_tree(figure7_tree())
+        with pytest.raises(ElementValueError):
+            flat.update_capacitance("b", -1.0)
+        with pytest.raises(ElementValueError):
+            flat.update_resistance("a", float("nan"))
+        with pytest.raises(TopologyError):
+            flat.update_resistance("in", 1.0)
+
+
+def random_edit_sequence(seed: int, edits: int, tree: RCTree, flat: FlatTree):
+    """Apply the same random edits to the flat tree and to a rebuilt RCTree."""
+    rng = random.Random(seed)
+    nodes = [n for n in tree.nodes if n != tree.root]
+    # Current (resistance, line capacitance) per edge, updated as we edit.
+    state = {
+        name: (tree.parent_edge(name).resistance, tree.parent_edge(name).capacitance)
+        for name in nodes
+    }
+    edited = {}
+    for _ in range(edits):
+        name = rng.choice(nodes)
+        kind = rng.choice(["cap", "res", "line"])
+        if kind == "cap":
+            value = rng.uniform(1e-15, 1e-12)
+            flat.update_capacitance(name, value)
+            tree.set_capacitance(name, value)
+        elif kind == "res":
+            value = rng.uniform(1.0, 1000.0)
+            flat.update_resistance(name, value)
+            state[name] = (value, state[name][1])
+            edited[name] = ("edge",) + state[name]
+        else:
+            r = rng.uniform(1.0, 1000.0)
+            c = rng.uniform(1e-15, 1e-12)
+            flat.update_line(name, r, c)
+            state[name] = (r, c)
+            edited[name] = ("edge",) + state[name]
+    return edited
+
+
+def rebuild_with_edits(tree: RCTree, edited: dict) -> RCTree:
+    """Rebuild the RCTree with the edited edge values applied."""
+    clone = RCTree(tree.root)
+    for name in tree.nodes:
+        if name == tree.root:
+            clone.node(tree.root).capacitance = tree.node_capacitance(tree.root)
+            continue
+        edge = tree.parent_edge(name)
+        if name in edited:
+            _, r, c = edited[name]
+            if c > 0.0:
+                clone.add_line(edge.parent, name, r, c)
+            else:
+                clone.add_resistor(edge.parent, name, r)
+        else:
+            clone.add_element(edge.parent, name, edge.element)
+        clone.set_capacitance(name, tree.node_capacitance(name))
+        if tree.node(name).is_output:
+            clone.mark_output(name)
+    return clone
+
+
+class TestRandomEditSequences:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_equals_full_recompute(self, seed):
+        config = RandomTreeConfig(nodes=40, distributed_fraction=0.5)
+        tree = random_tree(seed, config)
+        flat = FlatTree.from_tree(tree)
+        flat.solve()  # start from a solved state so caching is exercised
+        edited = random_edit_sequence(seed * 101 + 7, 30, tree, flat)
+        reference_tree = rebuild_with_edits(tree, edited)
+        assert_matches_fresh(flat, reference_tree)
+        # And against a freshly compiled flat tree of the edited network.
+        fresh = FlatTree.from_tree(reference_tree)
+        got = flat.solve()
+        want = fresh.solve()
+        assert got.tde == pytest.approx(want.tde, rel=RTOL, abs=1e-30)
+        assert got.tre == pytest.approx(want.tre, rel=RTOL, abs=1e-30)
+        assert got.tp == pytest.approx(want.tp, rel=RTOL)
+
+    def test_refresh_rebaselines_caches(self):
+        tree = random_tree(3, RandomTreeConfig(nodes=30))
+        flat = FlatTree.from_tree(tree)
+        random_edit_sequence(11, 50, tree.copy(), flat)
+        before = flat.solve().tde.copy()
+        flat.refresh()
+        after = flat.solve().tde
+        assert after == pytest.approx(before, rel=1e-12, abs=1e-30)

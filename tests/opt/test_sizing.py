@@ -76,3 +76,36 @@ class TestSizing:
     def test_deadline_validation(self):
         with pytest.raises(ValueError):
             size_driver_for_deadline(pla_factory(10), PAPER_SUPERBUFFER, deadline=0.0)
+
+
+class TestSizeValidatingFactories:
+    def test_factory_that_rejects_unprobed_sizes_still_sweeps(self):
+        """The evaluator probes extra driver sizes; a factory that validates
+        its driver must not make a previously-valid sweep crash -- the
+        evaluator falls back to per-candidate compilation instead."""
+
+        def picky_factory(driver):
+            if driver.effective_resistance > 400.0:  # rejects the 0.5x probe
+                raise ValueError("driver too weak for this net")
+            return pla_line_from_technology(10, driver=driver)
+
+        sweep = sweep_driver_sizes(
+            picky_factory, PAPER_SUPERBUFFER, threshold=0.7, scales=[1.0, 2.0, 4.0]
+        )
+        assert len(sweep) == 3
+        assert all(delay > 0 for _, delay in sweep)
+
+    def test_topology_varying_factory_falls_back(self):
+        """A factory whose topology depends on the driver must be detected by
+        the probe and evaluated without the incremental template."""
+
+        def varying_factory(driver):
+            return pla_line_from_technology(
+                4 if driver.effective_resistance < 200.0 else 8, driver=driver
+            )
+
+        sweep = sweep_driver_sizes(
+            varying_factory, PAPER_SUPERBUFFER, threshold=0.7, scales=[1.0, 4.0]
+        )
+        assert len(sweep) == 2
+        assert all(delay > 0 for _, delay in sweep)

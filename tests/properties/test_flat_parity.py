@@ -1,0 +1,105 @@
+"""Property tests: the flat engine is a faithful twin of the dict engine.
+
+The dict-based :func:`repro.core.timeconstants.characteristic_times_all` is
+the reference oracle; the vectorized :class:`repro.flat.FlatTree` must agree
+with it to a relative tolerance of 1e-12 on randomized trees containing both
+lumped resistors and distributed URC lines, and incremental updates must
+agree with a full recompute after arbitrary edit sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.timeconstants import characteristic_times_all
+from repro.core.tree import RCTree
+from repro.flat import FlatTree
+
+from tests.properties.strategies import capacitances, rc_trees, resistances
+
+RTOL = 1e-12
+
+
+def _assert_parity(tree: RCTree, flat: FlatTree, solve_full: bool):
+    reference = characteristic_times_all(tree, tree.nodes)
+    if solve_full:
+        flat.solve()
+    for name, want in reference.items():
+        got = flat.characteristic_times(name)
+        assert np.isclose(got.tp, want.tp, rtol=RTOL, atol=0.0)
+        assert np.isclose(got.tde, want.tde, rtol=RTOL, atol=1e-300)
+        assert np.isclose(got.tre, want.tre, rtol=RTOL, atol=1e-300)
+        assert np.isclose(got.ree, want.ree, rtol=RTOL, atol=0.0)
+        assert np.isclose(
+            got.total_capacitance, want.total_capacitance, rtol=RTOL, atol=0.0
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=rc_trees(max_nodes=60, allow_distributed=True))
+def test_flat_matches_dict_engine(tree):
+    """Compile-and-solve parity on mixed lumped/distributed trees."""
+    _assert_parity(tree, FlatTree.from_tree(tree), solve_full=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=rc_trees(max_nodes=40, allow_distributed=True))
+def test_flat_path_queries_match_dict_engine(tree):
+    """The O(depth) single-output query path agrees with the oracle too."""
+    _assert_parity(tree, FlatTree.from_tree(tree), solve_full=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tree=rc_trees(max_nodes=30, allow_distributed=True),
+    edits=st.lists(
+        st.tuples(
+            st.sampled_from(["cap", "res", "line"]),
+            st.integers(min_value=0, max_value=10_000),
+            resistances,
+            capacitances,
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_incremental_updates_equal_full_recompute(tree, edits):
+    """A random edit sequence leaves the flat tree equal to a fresh compile.
+
+    The same edits are applied to the flat tree (incrementally) and to a
+    reconstructed RCTree (from scratch); the dict engine on the rebuilt tree
+    is the oracle.
+    """
+    flat = FlatTree.from_tree(tree)
+    flat.solve()
+    non_root = [name for name in tree.nodes if name != tree.root]
+    edge_state = {
+        name: (tree.parent_edge(name).resistance, tree.parent_edge(name).capacitance)
+        for name in non_root
+    }
+    node_caps = {name: tree.node_capacitance(name) for name in tree.nodes}
+    for kind, pick, resistance, capacitance in edits:
+        name = non_root[pick % len(non_root)]
+        if kind == "cap":
+            flat.update_capacitance(name, capacitance)
+            node_caps[name] = capacitance
+        elif kind == "res":
+            flat.update_resistance(name, resistance)
+            edge_state[name] = (resistance, edge_state[name][1])
+        else:
+            flat.update_line(name, resistance, capacitance)
+            edge_state[name] = (resistance, capacitance)
+
+    rebuilt = RCTree(tree.root)
+    rebuilt.node(tree.root).capacitance = node_caps[tree.root]
+    for name in tree.nodes:
+        if name == tree.root:
+            continue
+        edge = tree.parent_edge(name)
+        r, c = edge_state[name]
+        if c > 0.0:
+            rebuilt.add_line(edge.parent, name, r, c)
+        else:
+            rebuilt.add_resistor(edge.parent, name, r)
+        rebuilt.set_capacitance(name, node_caps[name])
+    _assert_parity(rebuilt, flat, solve_full=False)
+    _assert_parity(rebuilt, flat, solve_full=True)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Docs link-check: every module, file anchor and link in the docs must exist.
+
+Scans ``README.md`` and every ``docs/*.md`` for
+
+* dotted module references (``repro.core.bounds``, possibly followed by an
+  attribute) -- the module part must import and the trailing attribute, when
+  present, must resolve;
+* ``path:line`` anchors (``src/repro/core/bounds.py:137``) -- the file must
+  exist and contain at least that many lines;
+* relative markdown links (``[text](docs/paper_map.md)``) -- the target file
+  must exist.
+
+Exits non-zero with a report of every broken reference.  Run from the
+repository root (CI does); also exercised as ``tests/docs/test_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: repro.foo.bar or repro.foo.bar.attr (the attr is resolved when present).
+MODULE_REF = re.compile(r"\brepro(?:\.\w+)+")
+#: src/... or tests/... or benchmarks/... path, optionally with :line.
+FILE_ANCHOR = re.compile(
+    r"\b((?:src|tests|benchmarks|docs|examples|tools)/[\w./-]+?\.(?:py|md|sp|spef))(?::(\d+))?\b"
+)
+#: [text](relative/target) markdown links (external URLs are skipped).
+MARKDOWN_LINK = re.compile(r"\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_module_reference(reference: str) -> str:
+    """Empty string when ``reference`` resolves, else a failure description."""
+    parts = reference.split(".")
+    # Try the longest importable module prefix, then getattr the rest.
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        obj = module
+        for attribute in parts[cut:]:
+            if not hasattr(obj, attribute):
+                return f"{reference}: {module_name!r} imports but has no attribute {attribute!r}"
+            obj = getattr(obj, attribute)
+        return ""
+    return f"{reference}: no importable prefix"
+
+
+def check_file_anchor(path: str, line: str) -> str:
+    target = REPO_ROOT / path
+    if not target.exists():
+        return f"{path}: file does not exist"
+    if line:
+        count = len(target.read_text(encoding="utf-8").splitlines())
+        if int(line) > count:
+            return f"{path}:{line}: file has only {count} lines"
+    return ""
+
+
+def check_markdown_link(source: Path, link: str) -> str:
+    if link.startswith(("http://", "https://", "mailto:")):
+        return ""
+    target = (source.parent / link).resolve()
+    if not target.exists():
+        return f"{source.name} -> {link}: target does not exist"
+    return ""
+
+
+def collect_failures() -> List[Tuple[Path, str]]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures: List[Tuple[Path, str]] = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        seen = set()
+        for match in MODULE_REF.finditer(text):
+            reference = match.group(0).rstrip(".")
+            if reference in seen:
+                continue
+            seen.add(reference)
+            problem = check_module_reference(reference)
+            if problem:
+                failures.append((doc, problem))
+        for match in FILE_ANCHOR.finditer(text):
+            key = match.group(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            problem = check_file_anchor(match.group(1), match.group(2))
+            if problem:
+                failures.append((doc, problem))
+        for match in MARKDOWN_LINK.finditer(text):
+            problem = check_markdown_link(doc, match.group(1))
+            if problem:
+                failures.append((doc, problem))
+    return failures
+
+
+def main() -> int:
+    failures = collect_failures()
+    docs = doc_files()
+    if failures:
+        print(f"docs link-check: {len(failures)} broken reference(s):")
+        for doc, problem in failures:
+            print(f"  {doc.relative_to(REPO_ROOT)}: {problem}")
+        return 1
+    print(f"docs link-check: OK ({len(docs)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
