@@ -89,6 +89,11 @@ from repro.flat import (
     delay_bounds_batch,
     voltage_bounds_batch,
 )
+from repro.graph import (
+    DesignDB,
+    DesignTimingSummary,
+    TimingGraph,
+)
 from repro.simulate import (
     Waveform,
     exact_step_response,
@@ -131,6 +136,10 @@ __all__ = [
     "FlatForest",
     "delay_bounds_batch",
     "voltage_bounds_batch",
+    # design-scale timing engine
+    "DesignDB",
+    "TimingGraph",
+    "DesignTimingSummary",
     # algebra
     "TwoPort",
     "urc",

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.tree import RCTree
 from repro.extraction.technology import GENERIC_1UM_CMOS, Layer, Technology
 from repro.flat import FlatForest
@@ -176,6 +178,46 @@ def compare_nets(
             worst_elmore=max(tde.values()),
             worst_latest=uppers[critical],
             best_earliest=min(lowers.values()),
+            critical_output=critical,
+        )
+    return summaries
+
+
+def design_net_summaries(db, threshold: float = 0.5) -> Dict[str, NetSummary]:
+    """A :class:`NetSummary` for every timed net of a whole design, batched.
+
+    The design-scale analogue of :func:`compare_nets`: the per-sink
+    characteristic times come from the :class:`~repro.graph.DesignDB`'s single
+    stage-tree forest solve, and both delay bounds for **all sinks of all
+    nets** are evaluated in one batched call -- the per-net worst/best
+    reductions are the only Python-level work.  Stage delays here include the
+    driver's resistance, so a summary answers "how slow is this net *in situ*",
+    not just "how slow is this wire".
+    """
+    require_in_unit_interval("threshold", threshold, open_ends=True)
+    from repro.flat.batchbounds import delay_bounds_batch as _bounds
+
+    sinks = db.sinks
+    live = sinks.live
+    lower = np.zeros(len(sinks))
+    upper = np.zeros(len(sinks))
+    if np.any(live):
+        low, up = _bounds(
+            sinks.tp[live], sinks.tde[live], sinks.tre[live], [threshold]
+        )
+        lower[live] = low[:, 0]
+        upper[live] = up[:, 0]
+    summaries: Dict[str, NetSummary] = {}
+    for net in db.timed_nets():
+        window = db.sink_rows(net)
+        rows = range(window.start, window.stop)
+        uppers = {sinks.pins[k]: float(upper[k]) for k in rows}
+        critical = max(uppers, key=uppers.get)
+        summaries[net] = NetSummary(
+            name=net,
+            worst_elmore=float(sinks.tde[window].max()),
+            worst_latest=uppers[critical],
+            best_earliest=float(lower[window].min()),
             critical_output=critical,
         )
     return summaries

@@ -18,11 +18,20 @@ Subcommands
 
 ``pla N``
     Print the delay bounds of an N-minterm PLA line (Section V model).
+
+``timing --netlist DESIGN.json [--spef FILE.spef] --period SECONDS``
+    Design-level static timing through the array-native
+    :class:`~repro.graph.TimingGraph`: reads a JSON netlist (and optionally a
+    SPEF file streamed straight into the flat engine), propagates all three
+    delay models at once, and emits a JSON report with the worst slack per
+    model, the paper's ternary PASS/FAIL/INDETERMINATE verdict and the
+    critical path.  Exit status 1 when the verdict is FAIL.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -86,6 +95,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.graph import DesignDB, TimingGraph
+    from repro.sta.netlist import load_design
+
+    design = load_design(args.netlist)
+    if args.spef is not None:
+        db = DesignDB.from_spef(
+            design,
+            args.spef,
+            is_path=True,
+            input_drive_resistance=args.input_drive,
+            default_wire_capacitance=args.wire_cap,
+        )
+    else:
+        db = DesignDB(
+            design,
+            input_drive_resistance=args.input_drive,
+            default_wire_capacitance=args.wire_cap,
+        )
+    graph = TimingGraph(db, clock_period=args.period, threshold=args.threshold)
+    summary = graph.summary()
+    payload = json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    return 1 if summary.verdict == Verdict.FAIL.name else 0
+
+
 def _cmd_pla(args: argparse.Namespace) -> int:
     from repro.apps.pla import pla_delay_sweep
 
@@ -128,6 +166,30 @@ def build_parser() -> argparse.ArgumentParser:
     pla.add_argument("minterms", type=int, help="number of minterms on the line")
     pla.add_argument("--threshold", type=float, default=0.7, help="voltage threshold (default 0.7)")
     pla.set_defaults(func=_cmd_pla)
+
+    timing = subparsers.add_parser(
+        "timing", help="design-level STA through the TimingGraph engine"
+    )
+    timing.add_argument("--netlist", required=True, help="JSON netlist file")
+    timing.add_argument("--spef", default=None, help="SPEF parasitics file")
+    timing.add_argument(
+        "--period", type=float, required=True, help="clock period (seconds)"
+    )
+    timing.add_argument(
+        "--threshold", type=float, default=0.5, help="voltage threshold (0-1)"
+    )
+    timing.add_argument(
+        "--input-drive", type=float, default=0.0,
+        help="drive resistance assumed for primary inputs (ohms)",
+    )
+    timing.add_argument(
+        "--wire-cap", type=float, default=0.0,
+        help="default lumped wire capacitance for nets without parasitics (farads)",
+    )
+    timing.add_argument(
+        "--output", default=None, help="also write the JSON report to this file"
+    )
+    timing.set_defaults(func=_cmd_timing)
     return parser
 
 

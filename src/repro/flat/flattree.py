@@ -134,20 +134,40 @@ class FlatTree:
         node_c: np.ndarray,
         is_output: np.ndarray,
         _depth: Optional[Sequence[int]] = None,
+        _trusted: bool = False,
     ):
         self._names: List[str] = list(names)
         self._index_cache: Optional[Dict[str, int]] = None
         self._extent_cache: Optional[np.ndarray] = None
         self._children_cache: Optional[List[List[int]]] = None
-        self._parent = np.ascontiguousarray(parent, dtype=np.int64)
-        self._edge_r = np.ascontiguousarray(edge_r, dtype=np.float64)
-        self._edge_c = np.ascontiguousarray(edge_c, dtype=np.float64)
-        self._node_c = np.ascontiguousarray(node_c, dtype=np.float64)
-        self._is_output = np.ascontiguousarray(is_output, dtype=bool)
+        if _trusted:
+            # Private fast path for arrays that are valid by construction
+            # (batch compilers): skip the conversion and validation passes.
+            self._parent = parent
+            self._edge_r = edge_r
+            self._edge_c = edge_c
+            self._node_c = node_c
+            self._is_output = is_output
+        else:
+            self._parent = np.ascontiguousarray(parent, dtype=np.int64)
+            self._edge_r = np.ascontiguousarray(edge_r, dtype=np.float64)
+            self._edge_c = np.ascontiguousarray(edge_c, dtype=np.float64)
+            self._node_c = np.ascontiguousarray(node_c, dtype=np.float64)
+            self._is_output = np.ascontiguousarray(is_output, dtype=bool)
         self._n = len(self._names)
-        self._validate_topology()
-        self._build_structure(_depth)
-        self._build_aggregates()
+        if not _trusted:
+            self._validate_topology()
+        # Structure (depth, level buckets) and the aggregate caches are built
+        # lazily: a tree that is only ever *batched* into a FlatForest never
+        # pays for its own per-tree level buckets or aggregate sweeps -- the
+        # forest runs its own global ones.
+        self._depth_cache: Optional[np.ndarray] = (
+            None if _depth is None else np.asarray(_depth, dtype=np.int64)
+        )
+        self._levels_cache: Optional[List[np.ndarray]] = None
+        self._parent_list_cache: Optional[List[int]] = None
+        self._rkk_cache: Optional[np.ndarray] = None
+        self._c_down_cache: Optional[np.ndarray] = None
         # Lazily computed moment state.
         self._times: Optional[FlatTimes] = None
 
@@ -171,25 +191,37 @@ class FlatTree:
                     "nodes must be in topological order: parent[i] in [0, i) for i > 0"
                 )
 
-    def _build_structure(self, depth: Optional[Sequence[int]] = None) -> None:
-        """Depth, per-depth level buckets, and contiguous subtree extents."""
-        n = self._n
-        parent_list = self._parent.tolist()
-        if depth is None:
+    @property
+    def _parent_list(self) -> List[int]:
+        """Parent indices as a Python list (fast scalar walks), lazy."""
+        if self._parent_list_cache is None:
+            self._parent_list_cache = self._parent.tolist()
+        return self._parent_list_cache
+
+    @property
+    def _depth(self) -> np.ndarray:
+        """Depth per node, computed on first use when not supplied."""
+        if self._depth_cache is None:
             # parent[i] < i, so one forward pass fixes every depth.
+            n = self._n
+            parent_list = self._parent_list
             depth_list = [0] * n
             for i in range(1, n):
                 depth_list[i] = depth_list[parent_list[i]] + 1
-        else:
-            depth_list = list(depth)
-        self._depth = np.asarray(depth_list, dtype=np.int64)
-        # Stable sort by depth keeps preorder (== attachment) order per level.
-        order = np.argsort(self._depth, kind="stable")
-        counts = np.bincount(self._depth)
-        self._levels: List[np.ndarray] = list(
-            np.split(order, np.cumsum(counts)[:-1])
-        )
-        self._parent_list = parent_list
+            self._depth_cache = np.asarray(depth_list, dtype=np.int64)
+        return self._depth_cache
+
+    @property
+    def _levels(self) -> List[np.ndarray]:
+        """Node indices bucketed by depth, lazy.
+
+        Stable sort by depth keeps preorder (== attachment) order per level.
+        """
+        if self._levels_cache is None:
+            order = np.argsort(self._depth, kind="stable")
+            counts = np.bincount(self._depth)
+            self._levels_cache = list(np.split(order, np.cumsum(counts)[:-1]))
+        return self._levels_cache
 
     @property
     def _index(self) -> Dict[str, int]:
@@ -215,15 +247,29 @@ class FlatTree:
         return self._extent_cache
 
     def _build_aggregates(self) -> None:
-        """Eagerly cached aggregates: path resistance and downstream capacitance."""
+        """Cached aggregates: path resistance and downstream capacitance."""
         rkk = self._edge_r.copy()  # root entry is 0
         for level in self._levels[1:]:
             rkk[level] += rkk[self._parent[level]]
-        self._rkk = rkk
+        self._rkk_cache = rkk
         c_down = self._node_c.copy()
         for level in reversed(self._levels[1:]):
             np.add.at(c_down, self._parent[level], c_down[level] + self._edge_c[level])
-        self._c_down = c_down
+        self._c_down_cache = c_down
+
+    @property
+    def _rkk(self) -> np.ndarray:
+        """Input-to-node path resistance per node, built on first use."""
+        if self._rkk_cache is None:
+            self._build_aggregates()
+        return self._rkk_cache
+
+    @property
+    def _c_down(self) -> np.ndarray:
+        """Downstream capacitance per node, built on first use."""
+        if self._c_down_cache is None:
+            self._build_aggregates()
+        return self._c_down_cache
 
     @classmethod
     def from_tree(cls, tree: RCTree) -> "FlatTree":
@@ -282,6 +328,8 @@ class FlatTree:
             raise TopologyError(
                 f"nodes {missing!r} are not connected to the input {tree.root!r}"
             )
+        # The walk emits valid preorder arrays (and RCTree validated element
+        # values on construction), so the array re-validation is skipped.
         return cls(
             names,
             np.asarray(parent, dtype=np.int64),
@@ -290,6 +338,7 @@ class FlatTree:
             np.asarray(node_c, dtype=np.float64),
             np.asarray(is_output, dtype=bool),
             _depth=depth,
+            _trusted=True,
         )
 
     @classmethod

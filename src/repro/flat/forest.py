@@ -75,11 +75,15 @@ class FlatForest:
             self._is_output[lo:hi] = tree._is_output
             self._tree_id[lo:hi] = t
         self._parent = parent
-        # Global level buckets: stable sort keeps per-tree preorder within a level.
-        order = np.argsort(depth, kind="stable")
-        counts = np.bincount(depth)
-        self._levels = list(np.split(order, np.cumsum(counts)[:-1]))
+        self._depth = depth
+        self._rebucket()
         self._times: Optional[ForestTimes] = None
+
+    def _rebucket(self) -> None:
+        # Global level buckets: stable sort keeps per-tree preorder within a level.
+        order = np.argsort(self._depth, kind="stable")
+        counts = np.bincount(self._depth)
+        self._levels = list(np.split(order, np.cumsum(counts)[:-1]))
 
     @classmethod
     def from_rctrees(cls, trees: Iterable[RCTree]) -> "FlatForest":
@@ -124,6 +128,47 @@ class FlatForest:
             t = int(self._tree_id[i])
             labels.append((t, self._trees[t].name_of(int(i - self._offsets[t]))))
         return labels
+
+    # ------------------------------------------------------------------
+    # Incremental membership
+    # ------------------------------------------------------------------
+    def replace_tree(self, tree_index: int, tree: FlatTree) -> None:
+        """Swap one member tree for another (sizes may differ).
+
+        The concatenated arrays are spliced in place of the old member, the
+        level buckets are rebuilt and the solved times are invalidated -- the
+        next :meth:`solve` is a full batched pass.  This is the ECO hook used
+        by :class:`repro.graph.DesignDB`: one net's parasitics change, the
+        shared forest stays coherent for batch consumers, and the *edited*
+        net's fresh times come from its own small solve rather than from here.
+        """
+        if not 0 <= tree_index < self._tree_count:
+            raise IndexError(f"tree index {tree_index} out of range")
+        lo, hi = int(self._offsets[tree_index]), int(self._offsets[tree_index + 1])
+        delta = len(tree) - (hi - lo)
+
+        def splice(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+            return np.concatenate([old[:lo], new, old[hi:]])
+
+        shifted = tree._parent.copy()
+        shifted[1:] += lo
+        tail = self._parent[hi:].copy()
+        # Roots keep -1; every other tail index shifts with the size change.
+        tail[tail >= 0] += delta
+        self._parent = np.concatenate([self._parent[:lo], shifted, tail])
+        self._depth = splice(self._depth, tree._depth)
+        self._edge_r = splice(self._edge_r, tree._edge_r)
+        self._edge_c = splice(self._edge_c, tree._edge_c)
+        self._node_c = splice(self._node_c, tree._node_c)
+        self._is_output = splice(self._is_output, tree._is_output)
+        self._tree_id = splice(
+            self._tree_id, np.full(len(tree), tree_index, dtype=np.int64)
+        )
+        self._offsets[tree_index + 1 :] += delta
+        self._n += delta
+        self._trees[tree_index] = tree
+        self._rebucket()
+        self._times = None
 
     # ------------------------------------------------------------------
     # Analysis

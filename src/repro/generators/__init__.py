@@ -15,9 +15,13 @@ Two output forms are offered:
 * :func:`random_flat_tree` / :func:`random_forest` build the *same networks*
   (same seed, same values) directly as compiled
   :class:`~repro.flat.FlatTree` / :class:`~repro.flat.FlatForest` arrays,
-  skipping dict construction -- the fast path for 10k-node-plus workloads.
+  skipping dict construction -- the fast path for 10k-node-plus workloads;
+* :func:`random_design` builds whole seed-stable gate-level designs (netlist
+  plus per-net parasitics) for the design-scale engine in
+  :mod:`repro.graph` and its benchmarks.
 """
 
+from repro.generators.random_designs import random_design
 from repro.generators.random_trees import (
     RandomTreeConfig,
     random_tree,
@@ -30,6 +34,7 @@ from repro.generators.random_trees import (
 
 __all__ = [
     "RandomTreeConfig",
+    "random_design",
     "random_tree",
     "random_trees",
     "random_chain",

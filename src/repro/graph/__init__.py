@@ -1,0 +1,30 @@
+"""Design-scale, array-native static timing (the paper's ``OK`` at chip scope).
+
+Two layers:
+
+* :class:`DesignDB` -- ingest: a gate-level design plus per-net parasitics
+  (dict records or SPEF streamed straight into arrays) compiled into one
+  :class:`~repro.flat.FlatForest` of per-net *stage trees* and solved in a
+  single batch;
+* :class:`TimingGraph` -- analysis: CSR-style edge arrays, one levelization,
+  per-level vectorized arrival/required relaxations for all pins and all
+  three delay models at once, plus exact incremental ECO re-timing
+  (:meth:`~TimingGraph.update_net`, :meth:`~TimingGraph.resize_instance`)
+  that re-solves one stage tree and re-propagates only the downstream cone.
+
+The legacy :class:`~repro.sta.analysis.TimingAnalyzer` (networkx, one vertex
+at a time) is kept as the parity oracle; property tests pin the engines
+together at 1e-12 relative tolerance, and
+``benchmarks/bench_timing_graph.py`` asserts the speedups.
+"""
+
+from repro.graph.designdb import DesignDB, NetModel, SinkTable
+from repro.graph.timinggraph import DesignTimingSummary, TimingGraph
+
+__all__ = [
+    "DesignDB",
+    "NetModel",
+    "SinkTable",
+    "DesignTimingSummary",
+    "TimingGraph",
+]

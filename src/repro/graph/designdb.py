@@ -1,0 +1,438 @@
+"""Design-scale parasitic ingest: every net of a design in one flat batch.
+
+A :class:`DesignDB` takes a :class:`~repro.sta.netlist.Design` plus per-net
+parasitics (dict :class:`~repro.sta.parasitics.NetParasitics`, or array-native
+:class:`NetModel` records streamed straight out of
+:func:`repro.spef.reader.iter_spef_nets` -- no intermediate dict ``RCTree``)
+and compiles one *stage tree* per timed net: the driver's resistance in series
+with the net's parasitics, with every sink pin's input capacitance attached at
+its node.  All stage trees are concatenated into a single
+:class:`~repro.flat.FlatForest` and solved together, so the characteristic
+times of **every sink pin of every net** come out of one set of vectorized
+level sweeps -- this is what replaces the per-net, per-model dict walks of the
+legacy :class:`~repro.sta.analysis.TimingAnalyzer`.
+
+The database is also the incremental substrate for ECO loops:
+:meth:`update_net` re-compiles and re-solves exactly one stage tree (O(net
+size)) and :meth:`update_instance_cell` touches only the nets electrically
+affected by a cell swap (the instance's output net, whose drive resistance
+changed, and its input nets, whose sink capacitance changed).  Both splice the
+shared forest via :meth:`~repro.flat.FlatForest.replace_tree` so batch
+consumers (e.g. :func:`repro.apps.nets.design_net_summaries`) stay coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+from repro.flat import FlatForest, FlatTree
+from repro.sta.cells import Cell
+from repro.sta.delaycalc import compile_stage
+from repro.sta.netlist import Design, Net
+from repro.sta.parasitics import NetParasitics
+
+__all__ = ["DesignDB", "NetModel", "SinkTable"]
+
+
+@dataclass(frozen=True)
+class NetModel:
+    """Array-native parasitics of one net: a compiled tree or a lumped cap.
+
+    ``base`` is the net's parasitic tree compiled to a
+    :class:`~repro.flat.FlatTree` (root = driver node); ``pin_nodes`` maps sink
+    pins to node names inside it.  When ``base`` is ``None`` the net is a
+    single lumped capacitor.  This is the representation
+    :class:`DesignDB` keeps for every net -- dict
+    :class:`~repro.sta.parasitics.NetParasitics` are converted on ingest, SPEF
+    nets arrive in this form directly.
+    """
+
+    net: str
+    lumped_capacitance: float = 0.0
+    base: Optional[FlatTree] = None
+    pin_nodes: Mapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_parasitics(cls, parasitics: NetParasitics) -> "NetModel":
+        """Compile dict parasitics once into the array form."""
+        base = None
+        if parasitics.tree is not None:
+            base = FlatTree.from_tree(parasitics.tree)
+        return cls(
+            net=parasitics.net,
+            lumped_capacitance=parasitics.lumped_capacitance,
+            base=base,
+            pin_nodes=dict(parasitics.pin_nodes),
+        )
+
+
+@dataclass(frozen=True)
+class SinkTable:
+    """Characteristic times of every sink pin of every timed net, as columns.
+
+    Rows are grouped by net (``slice_of`` gives a net's contiguous row range)
+    and ordered like ``Net.loads`` within each net.  ``live`` masks rows whose
+    stage actually carries capacitance; dead rows have zero delay under every
+    model.
+    """
+
+    nets: List[str]
+    pins: List[str]
+    tp: np.ndarray
+    tde: np.ndarray
+    tre: np.ndarray
+    total_capacitance: np.ndarray
+
+    @property
+    def live(self) -> np.ndarray:
+        """Rows whose stage tree carries capacitance (bounds are defined)."""
+        return self.total_capacitance > 0.0
+
+    def __len__(self) -> int:
+        return len(self.pins)
+
+
+class _StageEntry:
+    """Bookkeeping for one timed net's compiled stage tree."""
+
+    __slots__ = ("net", "tree_index", "row_slice", "pin_index", "flat")
+
+    def __init__(self, net: str, tree_index: int, row_slice: slice):
+        self.net = net
+        self.tree_index = tree_index
+        self.row_slice = row_slice
+        self.pin_index: Dict[str, int] = {}
+        self.flat: Optional[FlatTree] = None
+
+
+class DesignDB:
+    """A design plus parasitics compiled for batched, incremental analysis."""
+
+    def __init__(
+        self,
+        design: Design,
+        parasitics: Optional[Mapping[str, Union[NetParasitics, NetModel]]] = None,
+        *,
+        input_drive_resistance: float = 0.0,
+        default_wire_capacitance: float = 0.0,
+    ):
+        self._design = design
+        self._input_drive_resistance = input_drive_resistance
+        self._default_wire_capacitance = default_wire_capacitance
+        self._nets: Dict[str, Net] = design.connectivity()
+        self._clock_nets = set(design.clocks)
+        self._instances = design.instances
+        self._models: Dict[str, NetModel] = {}
+        for name, record in (parasitics or {}).items():
+            self._models[name] = (
+                record
+                if isinstance(record, NetModel)
+                else NetModel.from_parasitics(record)
+            )
+        self._entries: Dict[str, _StageEntry] = {}
+        self._compile()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _model_of(self, net: str) -> NetModel:
+        model = self._models.get(net)
+        if model is None:
+            model = NetModel(
+                net=net, lumped_capacitance=self._default_wire_capacitance
+            )
+            self._models[net] = model
+        return model
+
+    def _drive_resistance(self, net: Net) -> float:
+        if net.driver.is_port:
+            return self._input_drive_resistance
+        return self._instances[net.driver.instance].cell.drive_resistance
+
+    def _sink_capacitances(self, net: Net) -> Dict[str, float]:
+        sinks: Dict[str, float] = {}
+        for load in net.loads:
+            if load.is_port:
+                sinks[str(load)] = 0.0
+            else:
+                sinks[str(load)] = self._instances[
+                    load.instance
+                ].cell.input_capacitance
+        return sinks
+
+    def _compile_net(self, net: Net) -> Tuple[FlatTree, Dict[str, int]]:
+        model = self._model_of(net.name)
+        return compile_stage(
+            self._drive_resistance(net),
+            self._sink_capacitances(net),
+            lumped_capacitance=model.lumped_capacitance,
+            base=model.base,
+            pin_nodes=model.pin_nodes,
+            # Stage arrays are valid by construction; skip re-validation.
+            _trusted=True,
+        )
+
+    def _compile(self) -> None:
+        nets: List[str] = []
+        pins: List[str] = []
+        trees: List[FlatTree] = []
+        global_pin_index: List[int] = []  # per sink row, forest node index
+        row_tree: List[int] = []  # per sink row, forest tree index
+        row = 0
+        offset = 0
+        self._forest_stale: Dict[int, FlatTree] = {}
+        clock_nets = self._clock_nets
+        for net in self._nets.values():
+            if net.driver is None or not net.loads:
+                continue
+            if net.name in clock_nets:
+                continue
+            flat, pin_index = self._compile_net(net)
+            entry = _StageEntry(
+                net.name, len(trees), slice(row, row + len(pin_index))
+            )
+            entry.pin_index = pin_index
+            entry.flat = flat
+            self._entries[net.name] = entry
+            tree_index = len(trees)
+            trees.append(flat)
+            # pin_index preserves the sink order (one entry per load).
+            for pin, local in pin_index.items():
+                nets.append(net.name)
+                pins.append(pin)
+                global_pin_index.append(offset + local)
+                row_tree.append(tree_index)
+            offset += len(flat)
+            row += len(pin_index)
+        self._timed_net_order = [t for t in self._entries]
+
+        if trees:
+            self._forest: Optional[FlatForest] = FlatForest(trees)
+            times = self._forest.solve()
+            indices = np.asarray(global_pin_index, dtype=np.int64)
+            tree_of_row = np.asarray(row_tree, dtype=np.int64)
+            tp = times.tp[tree_of_row]
+            tde = times.tde[indices]
+            tre = times.tre[indices]
+            total = times.total_capacitance[tree_of_row]
+        else:
+            self._forest = None
+            tp = np.zeros(0)
+            tde = np.zeros(0)
+            tre = np.zeros(0)
+            total = np.zeros(0)
+        self._sinks = SinkTable(
+            nets=nets, pins=pins, tp=tp, tde=tde, tre=tre, total_capacitance=total
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def design(self) -> Design:
+        """The ingested design."""
+        return self._design
+
+    @property
+    def nets(self) -> Dict[str, Net]:
+        """The design's net table (driver and loads per net)."""
+        return self._nets
+
+    @property
+    def clock_nets(self) -> set:
+        """Nets declared as (ideal) clocks."""
+        return set(self._clock_nets)
+
+    @property
+    def instances(self) -> Dict[str, "Instance"]:
+        """Instances by name (shared with the design)."""
+        return self._instances
+
+    @property
+    def sinks(self) -> SinkTable:
+        """The batched per-sink characteristic times of every timed net."""
+        return self._sinks
+
+    @property
+    def forest(self) -> Optional[FlatForest]:
+        """The shared stage-tree forest (``None`` for a design with no timed nets).
+
+        Incremental updates queue their member replacements and the splices
+        are applied here on first read -- an ECO loop that never consults the
+        forest pays nothing for keeping it coherent.
+        """
+        if self._forest is not None and self._forest_stale:
+            for tree_index, flat in self._forest_stale.items():
+                self._forest.replace_tree(tree_index, flat)
+            self._forest_stale.clear()
+        return self._forest
+
+    def stage_tree(self, net: str) -> FlatTree:
+        """The compiled stage tree of one timed net."""
+        entry = self._entries.get(net)
+        if entry is None:
+            raise AnalysisError(f"net {net!r} is not a timed net of this design")
+        return entry.flat
+
+    def sink_rows(self, net: str) -> slice:
+        """Row range of ``net``'s sinks inside :attr:`sinks`."""
+        entry = self._entries.get(net)
+        if entry is None:
+            raise AnalysisError(f"net {net!r} is not a timed net of this design")
+        return entry.row_slice
+
+    def timed_nets(self) -> List[str]:
+        """Names of every net with a compiled stage tree, in table order."""
+        return list(self._timed_net_order)
+
+    def net_model(self, net: str) -> NetModel:
+        """The (array-native) parasitics currently attached to ``net``."""
+        return self._model_of(net)
+
+    def drive_resistance_of(self, net: str) -> float:
+        """Drive resistance at the head of ``net`` (cell R, or the input default)."""
+        record = self._nets.get(net)
+        if record is None or record.driver is None:
+            raise AnalysisError(f"net {net!r} has no driver")
+        return self._drive_resistance(record)
+
+    def sink_capacitances_of(self, net: str) -> Dict[str, float]:
+        """Input capacitance presented by each load pin of ``net``."""
+        record = self._nets.get(net)
+        if record is None:
+            raise AnalysisError(f"unknown net {net!r}")
+        return self._sink_capacitances(record)
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def _resolve_net(self, net: str) -> _StageEntry:
+        entry = self._entries.get(net)
+        if entry is None:
+            raise AnalysisError(
+                f"net {net!r} has no stage tree (undriven, loadless or a clock net); "
+                "incremental updates only apply to timed nets"
+            )
+        return entry
+
+    def _recompile_entry(self, entry: _StageEntry) -> None:
+        """Re-compile + re-solve one net's stage and patch the shared state."""
+        net = self._nets[entry.net]
+        flat, pin_index = self._compile_net(net)
+        entry.flat = flat
+        entry.pin_index = pin_index
+        if self._forest is not None:
+            self._forest_stale[entry.tree_index] = flat
+        times = flat.solve()
+        indices = np.asarray(
+            [pin_index[str(load)] for load in net.loads], dtype=np.int64
+        )
+        window = entry.row_slice
+        sinks = self._sinks
+        sinks.tp[window] = times.tp
+        sinks.tde[window] = times.tde[indices]
+        sinks.tre[window] = times.tre[indices]
+        sinks.total_capacitance[window] = times.total_capacitance
+
+    def update_net(
+        self, net: str, parasitics: Union[NetParasitics, NetModel]
+    ) -> slice:
+        """Replace one net's parasitics and re-solve just its stage tree.
+
+        Returns the net's (unchanged) sink-row range so callers -- most
+        importantly :meth:`repro.graph.TimingGraph.update_net` -- can patch
+        exactly the affected arc delays.
+        """
+        entry = self._resolve_net(net)
+        model = (
+            parasitics
+            if isinstance(parasitics, NetModel)
+            else NetModel.from_parasitics(parasitics)
+        )
+        if model.net != net:
+            raise AnalysisError(
+                f"parasitics are for net {model.net!r}, not {net!r}"
+            )
+        self._models[net] = model
+        self._recompile_entry(entry)
+        return entry.row_slice
+
+    def update_instance_cell(self, instance: str, cell: Cell) -> List[str]:
+        """Swap one instance's library cell and re-solve the affected nets.
+
+        A cell swap changes the drive resistance of the instance's *output*
+        net and the sink capacitance it presents on each of its *input* nets;
+        only those stage trees are re-compiled.  Returns the affected timed
+        net names (the instance's intrinsic-delay change is the caller's to
+        propagate -- see :meth:`repro.graph.TimingGraph.resize_instance`).
+        """
+        record = self._instances.get(instance)
+        if record is None:
+            raise AnalysisError(f"unknown instance {instance!r}")
+        old = record.cell
+        if set(old.pins) != set(cell.pins) or old.output != cell.output:
+            raise AnalysisError(
+                f"cell swap {old.name!r} -> {cell.name!r} changes the pin "
+                "interface; only footprint-compatible swaps are supported"
+            )
+        record.cell = cell
+        affected: List[str] = []
+        for pin, net_name in record.connections.items():
+            if net_name in self._entries:
+                if net_name not in affected:
+                    affected.append(net_name)
+        for net_name in affected:
+            self._recompile_entry(self._entries[net_name])
+        return affected
+
+    # ------------------------------------------------------------------
+    # SPEF ingest
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spef(
+        cls,
+        design: Design,
+        spef: str,
+        *,
+        is_path: bool = False,
+        input_drive_resistance: float = 0.0,
+        default_wire_capacitance: float = 0.0,
+    ) -> "DesignDB":
+        """Build a database by streaming a SPEF file straight into net models.
+
+        Each ``*D_NET`` section is parsed directly into parent-index arrays
+        (:func:`repro.spef.reader.iter_spef_nets` -- no intermediate dict
+        ``RCTree``), matched to the design net of the same name, and its sink
+        pins are bound to the parasitic nodes carrying the same
+        ``instance/pin`` (or port) name.  Nets absent from the SPEF fall back
+        to the default lumped wire capacitance.
+        """
+        from repro.spef.reader import iter_spef_nets
+
+        if is_path:
+            with open(spef, "r", encoding="utf-8") as handle:
+                spef = handle.read()
+        connectivity = design.connectivity()
+        models: Dict[str, NetModel] = {}
+        for record in iter_spef_nets(spef):
+            net = connectivity.get(record.name)
+            if net is None:
+                continue
+            base = record.to_flat_tree()
+            known = set(record.node_names)
+            pin_nodes = {
+                str(load): str(load) for load in net.loads if str(load) in known
+            }
+            models[record.name] = NetModel(
+                net=record.name, base=base, pin_nodes=pin_nodes
+            )
+        return cls(
+            design,
+            models,
+            input_drive_resistance=input_drive_resistance,
+            default_wire_capacitance=default_wire_capacitance,
+        )

@@ -259,3 +259,95 @@ def compare_buffering(
         threshold=threshold, use_bounds=use_bounds,
     )
     return BufferingComparison(unbuffered=unbuffered, buffered=buffered)
+
+
+# ----------------------------------------------------------------------
+# Design-scope advice over a TimingGraph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetBufferingAdvice:
+    """Repeater advice for one critical-path net of a design."""
+
+    net: str
+    #: The net arc's contribution to the critical path (seconds).
+    wire_delay: float
+    comparison: BufferingComparison
+
+    @property
+    def recommended_repeaters(self) -> int:
+        """Best repeater count for the net (0 means leave it alone)."""
+        return self.comparison.buffered.repeater_count
+
+    @property
+    def improvement(self) -> float:
+        """Unbuffered / buffered guaranteed-delay ratio."""
+        return self.comparison.improvement
+
+
+def advise_critical_buffering(
+    graph: "TimingGraph",
+    repeater: Repeater,
+    *,
+    model=None,
+    top: int = 3,
+    threshold: float = 0.5,
+) -> List[NetBufferingAdvice]:
+    """Score repeater plans for the heaviest wire arcs on the critical path.
+
+    Design-scope companion to :func:`optimal_buffer_count`: the critical path
+    of a :class:`~repro.graph.TimingGraph` is traced, its largest net-arc
+    contributions are taken, and each such net is modelled as a line (its
+    total wire resistance and capacitance) driven by its actual driver into
+    its aggregate pin load.  Nets with no wire resistance (lumped
+    parasitics) cannot benefit from repeaters and are skipped.  Purely
+    advisory -- buffer insertion changes the netlist topology, which is a
+    re-compile, not an incremental edit.
+    """
+    from repro.sta.delaycalc import DelayModel
+
+    model = model or DelayModel.UPPER_BOUND
+    path = graph.critical_path(model)
+    db = graph.db
+    seen = set()
+    arcs = []
+    for segment in path:
+        if not segment.arc.startswith("net "):
+            continue
+        net = segment.arc[4:]
+        if net in seen:
+            continue
+        seen.add(net)
+        arcs.append((segment.incremental_delay, net))
+    arcs.sort(key=lambda pair: -pair[0])
+
+    advice: List[NetBufferingAdvice] = []
+    for wire_delay, net in arcs:
+        if len(advice) >= top:
+            break
+        base = db.net_model(net).base
+        if base is None:
+            continue
+        line_resistance = float(base._edge_r.sum())
+        line_capacitance = float(base._edge_c.sum() + base._node_c.sum())
+        if line_resistance <= 0.0 or line_capacitance <= 0.0:
+            continue
+        driver = DriverModel(
+            name=f"driver({net})",
+            effective_resistance=max(db.drive_resistance_of(net), 1e-6),
+        )
+        load = sum(db.sink_capacitances_of(net).values())
+        advice.append(
+            NetBufferingAdvice(
+                net=net,
+                wire_delay=wire_delay,
+                comparison=compare_buffering(
+                    driver,
+                    repeater,
+                    line_resistance,
+                    line_capacitance,
+                    load,
+                    threshold=threshold,
+                ),
+            )
+        )
+    return advice

@@ -21,17 +21,25 @@ this repository does exactly that), then compiles the net *once* into a
 :class:`~repro.flat.FlatTree` and evaluates each candidate by incrementally
 updating the driver's element values.  Factories that fail the probe fall
 back to a compile per candidate, still through the flat engine.
+
+Beyond single nets, :func:`upsize_critical_path` runs the same knob at
+*design scope*: an ECO loop over a :class:`~repro.graph.TimingGraph` that
+repeatedly swaps the most heavily loaded critical-path driver for its next
+drive strength, re-timing only the affected cone after each swap (the
+incremental machinery of :meth:`~repro.graph.TimingGraph.resize_instance`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.bounds import delay_bounds
 from repro.core.tree import RCTree
 from repro.flat import FlatTree
 from repro.mos.drivers import DriverModel
+from repro.sta.cells import Cell
+from repro.sta.delaycalc import DelayModel
 from repro.utils.checks import require_in_unit_interval, require_positive
 
 #: A callable that builds the driven net for a given driver model.  The
@@ -268,3 +276,103 @@ def size_driver_for_deadline(
         threshold=threshold,
         sweep=sweep,
     )
+
+
+# ----------------------------------------------------------------------
+# Design-scope ECO sizing over a TimingGraph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EcoStep:
+    """One applied cell swap of a design-scope sizing ECO."""
+
+    instance: str
+    old_cell: str
+    new_cell: str
+    worst_slack_before: float
+    worst_slack_after: float
+    #: Number of pins re-evaluated by the incremental cone re-timing.
+    cone_size: int
+
+
+@dataclass(frozen=True)
+class EcoResult:
+    """Outcome of :func:`upsize_critical_path`."""
+
+    met: bool
+    worst_slack: float
+    steps: List[EcoStep]
+
+    @property
+    def swap_count(self) -> int:
+        """Number of cell swaps applied."""
+        return len(self.steps)
+
+
+def next_drive_strength(cell: Cell, library: Dict[str, Cell]) -> Optional[Cell]:
+    """The same cell one drive step up (``_X1`` -> ``_X2`` ...), if the library has it."""
+    prefix, separator, suffix = cell.name.rpartition("_X")
+    if not separator or not suffix.isdigit():
+        return None
+    return library.get(f"{prefix}_X{2 * int(suffix)}")
+
+
+def upsize_critical_path(
+    graph: "TimingGraph",
+    library: Dict[str, Cell],
+    *,
+    model: DelayModel = DelayModel.UPPER_BOUND,
+    max_steps: int = 32,
+) -> EcoResult:
+    """Design-scope ECO loop: upsize critical-path drivers until timing is met.
+
+    Each iteration traces the worst path under ``model`` (the sign-off
+    upper bound by default), picks the path instance whose cell arc plus
+    driven-net arc contributes the most delay *and* still has a stronger
+    library variant, swaps it, and lets the graph re-time just the affected
+    cone.  Stops when the worst slack is non-negative, no upsizable candidate
+    remains, or ``max_steps`` swaps were spent.  The swaps are applied to the
+    shared design in place (this is an ECO, not a what-if).
+    """
+    steps: List[EcoStep] = []
+    worst = graph.worst_slack(model)
+    while worst < 0.0 and len(steps) < max_steps:
+        path = graph.critical_path(model)
+        candidate: Optional[Tuple[str, Cell]] = None
+        score = float("-inf")
+        for position, segment in enumerate(path):
+            if "/" not in segment.location:
+                continue
+            instance_name = segment.location.split("/", 1)[0]
+            record = graph.db.instances.get(instance_name)
+            if record is None or not segment.arc.startswith(record.cell.name):
+                continue
+            stronger = next_drive_strength(record.cell, library)
+            if stronger is None:
+                continue
+            driven = (
+                path[position + 1].incremental_delay
+                if position + 1 < len(path)
+                else 0.0
+            )
+            contribution = segment.incremental_delay + driven
+            if contribution > score:
+                score = contribution
+                candidate = (instance_name, stronger)
+        if candidate is None:
+            break
+        instance_name, stronger = candidate
+        old_cell = graph.db.instances[instance_name].cell.name
+        cone = graph.resize_instance(instance_name, stronger)
+        after = graph.worst_slack(model)
+        steps.append(
+            EcoStep(
+                instance=instance_name,
+                old_cell=old_cell,
+                new_cell=stronger.name,
+                worst_slack_before=worst,
+                worst_slack_after=after,
+                cone_size=cone,
+            )
+        )
+        worst = after
+    return EcoResult(met=worst >= 0.0, worst_slack=worst, steps=steps)

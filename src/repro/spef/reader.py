@@ -1,4 +1,4 @@
-"""Read the simplified SPEF subset back into RC trees.
+"""Read the simplified SPEF subset back into RC trees or flat arrays.
 
 The reader understands the sections emitted by :mod:`repro.spef.writer` --
 header unit statements, ``*D_NET`` with ``*CONN`` / ``*CAP`` / ``*RES`` --
@@ -6,14 +6,28 @@ plus files written by other tools as long as every net's resistor graph is a
 tree and every capacitor is a ground capacitor (one node per ``*CAP`` line).
 Coupling caps (two nodes on a ``*CAP`` line) raise a ``TopologyError``.
 
-The tree root for each net is the ``*I``-direction connection when present,
-otherwise the first connection listed.
+The tree root for each net is the ``I``-direction connection when present,
+otherwise the first connection that is not an ``O``-direction load -- so a
+file that lists a net's loads before its driver still roots correctly.
+
+Two output forms are offered:
+
+* :func:`spef_to_trees` / :func:`read_spef` build dict
+  :class:`~repro.core.tree.RCTree` objects, the reference representation;
+* :func:`iter_spef_nets` streams each ``*D_NET`` section directly into
+  parent-index arrays (:class:`SpefNet`, convertible to a compiled
+  :class:`~repro.flat.FlatTree` with no intermediate dict tree), and
+  :func:`spef_to_forest` batches a whole file into one
+  :class:`~repro.flat.FlatForest` -- the design-scale ingest path used by
+  :meth:`repro.graph.DesignDB.from_spef`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.exceptions import ParseError, TopologyError
 from repro.core.tree import RCTree
@@ -53,12 +67,16 @@ def _parse_units(lines: List[str]) -> Dict[str, float]:
     return units
 
 
-def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
-    """Parse a SPEF string into a mapping net name -> :class:`RCTree`."""
+def _iter_net_sections(text: str) -> Iterator[_NetSection]:
+    """Stream the ``*D_NET`` sections of a SPEF string, one at a time.
+
+    Unit statements are read from the header (and anywhere between net
+    sections, matching the previous whole-file scan for well-formed files);
+    each section is yielded complete at its ``*END``.
+    """
     lines = [line.strip() for line in text.splitlines() if line.strip()]
     units = _parse_units(lines)
 
-    nets: List[_NetSection] = []
     current: Optional[_NetSection] = None
     mode = None
     for number, line in enumerate(lines, start=1):
@@ -68,7 +86,6 @@ def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
             if len(fields) < 3:
                 raise ParseError("malformed *D_NET line", line=number)
             current = _NetSection(name=fields[1], total_cap=float(fields[2]) * units["C"])
-            nets.append(current)
             mode = None
         elif keyword == "*CONN":
             mode = "conn"
@@ -77,6 +94,8 @@ def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
         elif keyword == "*RES":
             mode = "res"
         elif keyword == "*END":
+            if current is not None:
+                yield current
             current = None
             mode = None
         elif current is not None:
@@ -95,11 +114,17 @@ def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
                     raise ParseError("malformed *RES entry", line=number)
                 current.resistors.append((fields[1], fields[2], float(fields[3]) * units["R"]))
         # Header lines and anything outside a net section are ignored.
+    if current is not None:
+        # Tolerate a missing trailing *END.
+        yield current
 
-    trees: Dict[str, RCTree] = {}
-    for net in nets:
-        trees[net.name] = _net_to_tree(net, root_name=root_name)
-    return trees
+
+def spef_to_trees(text: str, *, root_name: str = "in") -> Dict[str, RCTree]:
+    """Parse a SPEF string into a mapping net name -> :class:`RCTree`."""
+    return {
+        net.name: _net_to_tree(net, root_name=root_name)
+        for net in _iter_net_sections(text)
+    }
 
 
 def _strip_net_prefix(pin: str, net: str) -> str:
@@ -110,21 +135,38 @@ def _strip_net_prefix(pin: str, net: str) -> str:
     return pin
 
 
-def _net_to_tree(net: _NetSection, *, root_name: str) -> RCTree:
+def _select_driver(net: _NetSection) -> Optional[str]:
+    """Pick the net's driver pin from its ``*CONN`` list, order-independently.
+
+    An ``I``-direction connection wins wherever it appears; failing that, the
+    first connection that is *not* an ``O``-direction load; failing that, the
+    first connection.  (The previous rule took the first ``*I``-kind or
+    first-listed connection, so a file listing loads before the driver -- legal
+    SPEF -- was rooted at a load.)
+    """
+    for _, pin, direction in net.connections:
+        if direction.upper() == "I":
+            return _strip_net_prefix(pin, net.name)
+    for _, pin, direction in net.connections:
+        if direction.upper() != "O":
+            return _strip_net_prefix(pin, net.name)
+    if net.connections:
+        return _strip_net_prefix(net.connections[0][1], net.name)
+    return None
+
+
+def _net_adjacency(net: _NetSection) -> Dict[str, List[Tuple[str, float]]]:
     adjacency: Dict[str, List[Tuple[str, float]]] = {}
     for n1, n2, value in net.resistors:
         a = _strip_net_prefix(n1, net.name)
         b = _strip_net_prefix(n2, net.name)
         adjacency.setdefault(a, []).append((b, value))
         adjacency.setdefault(b, []).append((a, value))
+    return adjacency
 
-    driver = None
-    for kind, pin, direction in net.connections:
-        if kind == "*I" or direction.upper() == "I":
-            driver = _strip_net_prefix(pin, net.name)
-            break
-    if driver is None and net.connections:
-        driver = _strip_net_prefix(net.connections[0][1], net.name)
+
+def _resolve_driver(net: _NetSection, adjacency: Dict[str, List[Tuple[str, float]]]) -> str:
+    driver = _select_driver(net)
     if driver is None:
         raise ParseError(f"net {net.name!r} has no *CONN section to locate its driver")
     if driver not in adjacency and adjacency:
@@ -137,6 +179,12 @@ def _net_to_tree(net: _NetSection, *, root_name: str) -> RCTree:
             raise TopologyError(
                 f"driver pin {driver!r} of net {net.name!r} does not touch any resistor"
             )
+    return driver
+
+
+def _net_to_tree(net: _NetSection, *, root_name: str) -> RCTree:
+    adjacency = _net_adjacency(net)
+    driver = _resolve_driver(net, adjacency)
 
     tree = RCTree(root_name)
     rename = {driver: root_name}
@@ -184,6 +232,136 @@ def _net_to_tree(net: _NetSection, *, root_name: str) -> RCTree:
         for leaf in tree.leaves():
             tree.mark_output(leaf)
     return tree
+
+
+@dataclass(frozen=True)
+class SpefNet:
+    """One ``*D_NET`` section parsed straight into parent-index arrays.
+
+    ``node_names`` is in depth-first preorder from the driver (index 0);
+    ``parent`` / ``resistance`` describe the edge *into* each node (root
+    entries 0), ``capacitance`` the grounded cap per node.  ``loads`` lists
+    the ``O``-direction connection pins (net prefix stripped) -- the sink
+    pins a :class:`~repro.graph.DesignDB` binds to design loads.
+    """
+
+    name: str
+    node_names: List[str]
+    parent: np.ndarray
+    resistance: np.ndarray
+    capacitance: np.ndarray
+    loads: List[str] = field(default_factory=list)
+    total_capacitance: float = 0.0
+
+    def to_flat_tree(self) -> "FlatTree":
+        """Compile to a :class:`~repro.flat.FlatTree` (loads, else leaves, as outputs)."""
+        from repro.flat import FlatTree
+
+        outputs = None
+        marked = [
+            index
+            for index, name in enumerate(self.node_names)
+            if name in set(self.loads)
+        ]
+        if marked:
+            outputs = marked
+        return FlatTree.from_arrays(
+            self.parent,
+            self.resistance,
+            np.zeros(len(self.parent)),
+            self.capacitance,
+            names=self.node_names,
+            outputs=outputs,
+        )
+
+
+def _net_to_flat(net: _NetSection) -> SpefNet:
+    """Convert one parsed section to arrays, with the same validation as the tree path."""
+    adjacency = _net_adjacency(net)
+    driver = _resolve_driver(net, adjacency)
+
+    names: List[str] = []
+    parent: List[int] = []
+    resistance: List[float] = []
+    index: Dict[str, int] = {}
+    stack: List[Tuple[str, int, float]] = [(driver, -1, 0.0)]
+    while stack:
+        node, parent_index, value = stack.pop()
+        if node in index:
+            continue
+        index[node] = len(names)
+        names.append(node)
+        parent.append(parent_index)
+        resistance.append(value)
+        # Reverse so the first-listed neighbour is visited first (preorder).
+        for neighbour, edge_value in reversed(adjacency.get(node, [])):
+            if neighbour not in index:
+                stack.append((neighbour, index[node], edge_value))
+
+    # Loop detection: a tree with V nodes has V-1 edges.
+    if adjacency and len(net.resistors) != len(names) - 1:
+        raise TopologyError(
+            f"net {net.name!r} has {len(net.resistors)} resistors over {len(names)} nodes; "
+            "the parasitic network is not a tree"
+        )
+
+    capacitance = [0.0] * len(names)
+    for n1, n2, value in net.caps:
+        if n2 is not None:
+            raise TopologyError(
+                f"net {net.name!r} contains a coupling capacitor ({n1} to {n2}); "
+                "RC-tree analysis only supports grounded capacitors"
+            )
+        node = _strip_net_prefix(n1, net.name)
+        if node not in index:
+            raise TopologyError(
+                f"capacitor node {node!r} of net {net.name!r} is not connected to the driver"
+            )
+        capacitance[index[node]] += value
+
+    loads = [
+        _strip_net_prefix(pin, net.name)
+        for _, pin, direction in net.connections
+        if direction.upper() == "O"
+    ]
+    return SpefNet(
+        name=net.name,
+        node_names=names,
+        parent=np.asarray(parent, dtype=np.int64),
+        resistance=np.asarray(resistance, dtype=np.float64),
+        capacitance=np.asarray(capacitance, dtype=np.float64),
+        loads=[pin for pin in loads if pin in index],
+        total_capacitance=net.total_cap,
+    )
+
+
+def iter_spef_nets(text: str) -> Iterator[SpefNet]:
+    """Stream a SPEF string as :class:`SpefNet` records, one per ``*D_NET``.
+
+    No dict :class:`~repro.core.tree.RCTree` is ever built -- each section
+    goes straight from its resistor adjacency to preorder parent-index arrays,
+    which is what keeps design-scale ingest
+    (:meth:`repro.graph.DesignDB.from_spef`) linear with a small constant.
+    """
+    for section in _iter_net_sections(text):
+        yield _net_to_flat(section)
+
+
+def spef_to_forest(text: str):
+    """Parse a whole SPEF file into one batched :class:`~repro.flat.FlatForest`.
+
+    Returns ``(forest, nets)`` where ``nets`` is the list of
+    :class:`SpefNet` records in file order (``forest`` member ``i`` is
+    ``nets[i]``).  All nets are then solved together by the forest's shared
+    level sweeps -- the bulk path for scoring every net of an extracted design
+    without per-net Python traversals.
+    """
+    from repro.flat import FlatForest
+
+    nets = list(iter_spef_nets(text))
+    if not nets:
+        raise ParseError("the SPEF text contains no *D_NET sections")
+    return FlatForest([net.to_flat_tree() for net in nets]), nets
 
 
 def read_spef(path, **kwargs) -> Dict[str, RCTree]:

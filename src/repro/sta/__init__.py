@@ -17,12 +17,34 @@ analysis.  This subpackage demonstrates that downstream use end to end:
   slacks and critical-path extraction, in three delay modes (``elmore``,
   ``upper_bound``, ``lower_bound``) so a design can be *certified* fast
   enough exactly in the sense of the paper's ``OK`` function.
+
+``TimingAnalyzer`` walks a networkx pin graph one vertex at a time and is
+kept as the readable reference (and parity oracle); design-scale runs and
+incremental ECO loops live in the array-native :mod:`repro.graph` engine,
+which shares this subpackage's :func:`~repro.sta.delaycalc.compile_stage`
+per-net assembler so the two engines agree to rounding.
 """
 
 from repro.sta.cells import Cell, standard_cell_library
-from repro.sta.netlist import Design, Instance, Net, PinRef
+from repro.sta.netlist import (
+    Design,
+    Instance,
+    Net,
+    PinRef,
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    write_design,
+)
 from repro.sta.parasitics import NetParasitics, lumped, rc_tree_parasitics
-from repro.sta.delaycalc import DelayModel, StageDelay, stage_delays
+from repro.sta.delaycalc import (
+    DelayModel,
+    StageDelay,
+    StageTimes,
+    compile_stage,
+    stage_characteristic_times,
+    stage_delays,
+)
 from repro.sta.analysis import TimingAnalyzer, TimingReport, PathSegment
 
 __all__ = [
@@ -32,11 +54,18 @@ __all__ = [
     "Instance",
     "Net",
     "PinRef",
+    "design_from_dict",
+    "design_to_dict",
+    "load_design",
+    "write_design",
     "NetParasitics",
     "lumped",
     "rc_tree_parasitics",
     "DelayModel",
     "StageDelay",
+    "StageTimes",
+    "compile_stage",
+    "stage_characteristic_times",
     "stage_delays",
     "TimingAnalyzer",
     "TimingReport",

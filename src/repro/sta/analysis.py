@@ -18,6 +18,13 @@ Running the analysis in the three delay models and combining
 ternary ``OK`` verdict for a whole digital block: PASS when even the
 guaranteed-latest arrivals meet the period, FAIL when even the
 guaranteed-earliest arrivals miss it, INDETERMINATE otherwise.
+
+This engine walks a networkx graph one vertex at a time and is kept as the
+readable reference and the **parity oracle** for the design-scale
+:class:`~repro.graph.TimingGraph` (levelized arrays, all three models at
+once, incremental ECO re-timing) -- the property tests pin the two engines
+together at 1e-12 relative tolerance, and
+``benchmarks/bench_timing_graph.py`` records the speedups.
 """
 
 from __future__ import annotations

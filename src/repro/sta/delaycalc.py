@@ -32,12 +32,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.timeconstants import CharacteristicTimes
-from repro.core.tree import RCTree
 from repro.flat import FlatTree, delay_lower_bound_batch, delay_upper_bound_batch
 from repro.sta.cells import Cell
 from repro.sta.parasitics import NetParasitics
@@ -71,56 +70,89 @@ class StageDelay:
         return max(self.wire_delays, key=self.wire_delays.get)
 
 
-def _stage_tree(
+def compile_stage(
     drive_resistance: Optional[float],
-    parasitics: NetParasitics,
     sink_capacitance: Mapping[str, float],
-) -> RCTree:
-    """Assemble the stage's RC tree: drive resistance + net + sink pin caps."""
-    tree = RCTree("src")
-    if parasitics.tree is None:
+    *,
+    lumped_capacitance: float = 0.0,
+    base: Optional[FlatTree] = None,
+    pin_nodes: Optional[Mapping[str, str]] = None,
+    _trusted: bool = False,
+) -> Tuple[FlatTree, Dict[str, int]]:
+    """Compile one stage (drive resistance + net + sink loads) straight to arrays.
+
+    The stage tree is assembled without any intermediate dict
+    :class:`~repro.core.tree.RCTree`: the driver's resistance becomes the edge
+    into the net, a lumped net is a single extra node, and a distributed net
+    grafts the (pre-compiled) ``base`` flat tree behind the drive resistance by
+    prepending one node and shifting the parent indices.  Returns the compiled
+    :class:`~repro.flat.FlatTree` together with a map sink pin -> node index.
+
+    ``pin_nodes`` maps sink pins to ``base`` node names; unbound pins attach at
+    the last preorder leaf (the far end of the tree, the most pessimistic
+    choice for a chain), and pins bound to the base root land on the graft
+    node directly behind the drive resistance.
+    """
+    resistance = drive_resistance if drive_resistance and drive_resistance > 0 else 1e-6
+    if base is None:
         # Lumped net: one node carrying wire capacitance plus every pin cap.
-        node = "net"
-        resistance = drive_resistance if drive_resistance and drive_resistance > 0 else 1e-6
-        tree.add_resistor("src", node, resistance)
-        tree.add_capacitor(node, parasitics.lumped_capacitance)
-        for pin, capacitance in sink_capacitance.items():
-            tree.add_capacitor(node, capacitance)
-            tree.mark_output(node)
-        if not sink_capacitance:
-            tree.mark_output(node)
-        return tree
+        node_capacitance = lumped_capacitance
+        for capacitance in sink_capacitance.values():
+            node_capacitance += capacitance
+        flat = FlatTree(
+            ["src", "net"],
+            np.asarray([-1, 0], dtype=np.int64),
+            np.asarray([0.0, resistance]),
+            np.zeros(2),
+            np.asarray([0.0, node_capacitance]),
+            np.asarray([False, True]),
+            _depth=[0, 1],
+            _trusted=_trusted,
+        )
+        return flat, {pin: 1 for pin in sink_capacitance}
 
-    # Distributed net: graft the extracted tree behind the drive resistance.
-    source = parasitics.tree
-    prefix_root = "drv"
-    if drive_resistance and drive_resistance > 0:
-        tree.add_resistor("src", prefix_root, drive_resistance)
-    else:
-        tree.add_resistor("src", prefix_root, 1e-6)
+    # Distributed net: graft the compiled tree behind the drive resistance.
+    n = len(base)
+    parent = np.empty(n + 1, dtype=np.int64)
+    parent[0] = -1
+    parent[1] = 0
+    np.add(base._parent[1:], 1, out=parent[2:])
+    edge_r = np.empty(n + 1)
+    edge_r[0] = 0.0
+    edge_r[1] = resistance
+    edge_r[2:] = base._edge_r[1:]
+    edge_c = np.empty(n + 1)
+    edge_c[:2] = 0.0
+    edge_c[2:] = base._edge_c[1:]
+    node_c = np.empty(n + 1)
+    node_c[0] = 0.0
+    node_c[1:] = base._node_c
+    names = ["src", "drv"] + base._names[1:]
+    depth = np.empty(n + 1, dtype=np.int64)
+    depth[0] = 0
+    np.add(base._depth, 1, out=depth[1:])
+    is_output = np.zeros(n + 1, dtype=bool)
 
-    mapping = {source.root: prefix_root}
+    # Last preorder leaf of the base tree, the unbound-pin fallback.
+    has_child = np.zeros(n, dtype=bool)
+    has_child[base._parent[1:]] = True
+    fallback = int(np.flatnonzero(~has_child)[-1]) + 1
 
-    def mapped(name: str) -> str:
-        return mapping.setdefault(name, name)
-
-    for name in source.preorder():
-        if name != source.root:
-            edge = source.parent_edge(name)
-            tree.add_element(mapped(edge.parent), mapped(name), edge.element)
-        capacitance = source.node_capacitance(name)
-        if capacitance:
-            tree.add_capacitor(mapped(name), capacitance)
-
+    pin_nodes = pin_nodes or {}
+    pin_index: Dict[str, int] = {}
     for pin, capacitance in sink_capacitance.items():
-        node = parasitics.node_for_pin(pin)
+        node = pin_nodes.get(pin)
         if node is None:
-            # Unbound pin: attach its load at the far end of the tree by
-            # convention (the most pessimistic choice for a chain).
-            node = source.leaves()[-1]
-        tree.add_capacitor(mapped(node), capacitance)
-        tree.mark_output(mapped(node))
-    return tree
+            index = fallback
+        else:
+            index = base.index(node) + 1
+        node_c[index] += capacitance
+        is_output[index] = True
+        pin_index[pin] = index
+    flat = FlatTree(
+        names, parent, edge_r, edge_c, node_c, is_output, _depth=depth, _trusted=_trusted
+    )
+    return flat, pin_index
 
 
 @dataclass(frozen=True)
@@ -168,13 +200,17 @@ def stage_characteristic_times(
     sink_capacitance: Mapping[str, float],
     *,
     drive_resistance_override: Optional[float] = None,
+    _base: Optional[FlatTree] = None,
 ) -> StageTimes:
     """Analyse one stage once, for every delay model.
 
-    Builds the stage's RC tree, compiles it to a
-    :class:`~repro.flat.FlatTree`, and returns the characteristic times of
-    every sink pin.  A stage with no capacitance anywhere settles
-    instantaneously in the linear model and yields an empty ``pin_times``.
+    Compiles the stage straight to a :class:`~repro.flat.FlatTree` through
+    :func:`compile_stage` -- the same array path the design-scale
+    :class:`~repro.graph.DesignDB` batches over a whole netlist -- and returns
+    the characteristic times of every sink pin.  A stage with no capacitance
+    anywhere settles instantaneously in the linear model and yields an empty
+    ``pin_times``.  ``_base`` lets callers that already compiled the net's
+    parasitic tree skip the per-call compile.
     """
     if drive_resistance_override is not None:
         require_non_negative("drive_resistance_override", drive_resistance_override)
@@ -185,27 +221,33 @@ def stage_characteristic_times(
         resistance = 0.0
     intrinsic = driver_cell.intrinsic_delay if driver_cell is not None else 0.0
 
-    tree = _stage_tree(resistance, parasitics, sink_capacitance)
-    if tree.total_capacitance <= 0.0:
+    base = _base
+    if base is None and parasitics.tree is not None:
+        base = FlatTree.from_tree(parasitics.tree)
+    flat, pin_index = compile_stage(
+        resistance,
+        sink_capacitance,
+        lumped_capacitance=parasitics.lumped_capacitance,
+        base=base,
+        pin_nodes=parasitics.pin_nodes,
+    )
+    if flat.total_capacitance <= 0.0:
         # Nothing to charge: the net settles instantaneously in the linear
         # model, whichever bound is requested.
         return StageTimes(net=parasitics.net, gate_delay=intrinsic)
 
-    # Map sink pins back to tree nodes for the delay query.
-    pin_to_node: Dict[str, str] = {}
-    for pin in sink_capacitance:
-        node = parasitics.node_for_pin(pin)
-        if parasitics.tree is None:
-            pin_to_node[pin] = "net"
-        elif node is None:
-            pin_to_node[pin] = parasitics.tree.leaves()[-1]
-        else:
-            pin_to_node[pin] = node if node != parasitics.tree.root else "drv"
-
-    flat = FlatTree.from_tree(tree)
-    query_nodes = sorted(set(pin_to_node.values())) or flat.outputs
-    times = flat.characteristic_times_all(query_nodes)
-    pin_times = {pin: times[pin_to_node[pin]] for pin in sink_capacitance}
+    times = flat.solve()
+    pin_times = {
+        pin: CharacteristicTimes(
+            output=flat.name_of(index),
+            tp=times.tp,
+            tde=float(times.tde[index]),
+            tre=float(times.tre[index]),
+            ree=float(times.ree[index]),
+            total_capacitance=times.total_capacitance,
+        )
+        for pin, index in pin_index.items()
+    }
     return StageTimes(net=parasitics.net, gate_delay=intrinsic, pin_times=pin_times)
 
 

@@ -4,15 +4,22 @@ A :class:`Design` is a flat gate-level netlist.  Every net has exactly one
 driver (a primary input or an instance output pin) and any number of loads
 (instance input pins and/or primary outputs) -- the same single-driver
 discipline the RC-tree theory assumes for interconnect.
+
+Designs round-trip through a small JSON form (:func:`design_to_dict` /
+:func:`design_from_dict`, :func:`load_design` for files) so the CLI's
+``timing`` subcommand can consume netlists from disk; cells are resolved by
+name against a library (default
+:func:`~repro.sta.cells.standard_cell_library`).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.core.exceptions import TopologyError
-from repro.sta.cells import Cell
+from repro.core.exceptions import ParseError, TopologyError
+from repro.sta.cells import Cell, standard_cell_library
 
 
 @dataclass(frozen=True)
@@ -163,3 +170,82 @@ class Design:
     def validate(self) -> None:
         """Run the connectivity checks without returning the net table."""
         self.connectivity()
+
+
+# ----------------------------------------------------------------------
+# JSON interchange
+# ----------------------------------------------------------------------
+def design_to_dict(design: Design) -> dict:
+    """Serialise a design to the JSON-friendly netlist form.
+
+    Cells are referenced by name; the consumer resolves them against a
+    library (see :func:`design_from_dict`).
+    """
+    return {
+        "name": design.name,
+        "primary_inputs": design.primary_inputs,
+        "primary_outputs": design.primary_outputs,
+        "clocks": design.clocks,
+        "instances": {
+            instance.name: {
+                "cell": instance.cell.name,
+                "connections": dict(instance.connections),
+            }
+            for instance in design.instances.values()
+        },
+    }
+
+
+def design_from_dict(
+    data: Mapping, library: Optional[Dict[str, Cell]] = None
+) -> Design:
+    """Build a :class:`Design` from the JSON netlist form.
+
+    Raises :class:`~repro.core.exceptions.ParseError` for unknown cells or a
+    malformed document, and the usual
+    :class:`~repro.core.exceptions.TopologyError` for bad connectivity.
+    """
+    library = library or standard_cell_library()
+    try:
+        design = Design(str(data.get("name", "design")))
+        for net in data.get("clocks", []):
+            design.add_clock(net)
+        for net in data.get("primary_inputs", []):
+            design.add_primary_input(net)
+        for net in data.get("primary_outputs", []):
+            design.add_primary_output(net)
+        instances = data.get("instances", {})
+        items = instances.items() if isinstance(instances, Mapping) else None
+    except AttributeError as error:
+        raise ParseError(f"malformed netlist document: {error}") from None
+    if items is None:
+        raise ParseError("netlist 'instances' must be a mapping of name -> record")
+    for name, record in items:
+        if not isinstance(record, Mapping):
+            raise ParseError(
+                f"instance {name!r} must be a mapping with 'cell' and 'connections'"
+            )
+        cell_name = record.get("cell")
+        cell = library.get(cell_name)
+        if cell is None:
+            raise ParseError(
+                f"instance {name!r} uses cell {cell_name!r}, not in the library"
+            )
+        connections = record.get("connections", {})
+        if not isinstance(connections, Mapping):
+            raise ParseError(f"instance {name!r} 'connections' must be a mapping")
+        design.add_instance(name, cell, **connections)
+    return design
+
+
+def load_design(path, library: Optional[Dict[str, Cell]] = None) -> Design:
+    """Read a JSON netlist file into a :class:`Design`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return design_from_dict(json.load(handle), library)
+
+
+def write_design(design: Design, path) -> None:
+    """Write a design to ``path`` in the JSON netlist form."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(design_to_dict(design), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -61,3 +61,33 @@ class TestCombBus:
             comb_bus_net(0, 15e-15, 250e-6, 20e-6)
         with pytest.raises(ValueError):
             comb_bus_net(2, -1.0, 250e-6, 20e-6)
+
+
+class TestDesignNetSummaries:
+    def test_summaries_cover_every_timed_net(self):
+        from repro.apps.nets import design_net_summaries
+        from repro.generators import random_design
+        from repro.graph import DesignDB
+
+        design, parasitics = random_design(60, seed=8)
+        db = DesignDB(design, parasitics)
+        summaries = design_net_summaries(db)
+        assert set(summaries) == set(db.timed_nets())
+        for summary in summaries.values():
+            assert summary.worst_latest >= summary.best_earliest - 1e-24
+            assert summary.critical_output in db.sinks.pins
+
+    def test_summaries_reflect_incremental_updates(self):
+        from repro.apps.nets import design_net_summaries
+        from repro.generators import random_design
+        from repro.graph import DesignDB
+        from repro.sta.parasitics import lumped
+
+        design, parasitics = random_design(60, seed=8)
+        db = DesignDB(design, parasitics)
+        # A net with a real (cell) driver: extra load must slow it down.
+        net = next(name for name in db.timed_nets() if not db.nets[name].driver.is_port)
+        before = design_net_summaries(db)[net].worst_latest
+        db.update_net(net, lumped(net, 500e-15))
+        after = design_net_summaries(db)[net].worst_latest
+        assert after > before

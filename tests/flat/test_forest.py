@@ -122,3 +122,38 @@ class TestGenerators:
             FlatForest([])
         with pytest.raises(ValueError):
             random_forest(0)
+
+
+class TestReplaceTree:
+    def test_replace_changes_member_and_times(self):
+        from repro.generators.random_trees import RandomTreeConfig, random_flat_tree
+
+        config = RandomTreeConfig(nodes=12, branching_bias=0.7)
+        forest = FlatForest([random_flat_tree(seed, config) for seed in range(4)])
+        forest.solve()
+        replacement = random_flat_tree(99, RandomTreeConfig(nodes=20, branching_bias=0.7))
+        forest.replace_tree(2, replacement)
+        assert forest.node_count == sum(len(t) for t in forest.trees)
+        rebuilt = FlatForest(forest.trees)
+        times_a = forest.solve()
+        times_b = rebuilt.solve()
+        np.testing.assert_allclose(times_a.tde, times_b.tde, rtol=1e-15)
+        np.testing.assert_allclose(times_a.tp, times_b.tp, rtol=1e-15)
+
+    def test_replace_out_of_range_rejected(self):
+        from repro.generators.random_trees import random_flat_tree
+
+        forest = FlatForest([random_flat_tree(0)])
+        with pytest.raises(IndexError):
+            forest.replace_tree(5, random_flat_tree(1))
+
+    def test_replace_preserves_other_members_bitwise(self):
+        from repro.generators.random_trees import RandomTreeConfig, random_flat_tree
+
+        config = RandomTreeConfig(nodes=10, branching_bias=0.5)
+        forest = FlatForest([random_flat_tree(seed, config) for seed in range(3)])
+        before = forest.solve()
+        first = forest.tree_slice(0)
+        forest.replace_tree(2, random_flat_tree(50, config))
+        after = forest.solve()
+        np.testing.assert_array_equal(before.tde[first], after.tde[first])

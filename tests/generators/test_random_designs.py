@@ -1,0 +1,74 @@
+"""Tests for the random gate-level design generator."""
+
+import pytest
+
+from repro.generators import random_design
+from repro.graph import TimingGraph
+from repro.sta.delaycalc import DelayModel
+from repro.sta.netlist import design_to_dict
+
+
+class TestStructure:
+    def test_instance_count(self):
+        design, _ = random_design(40, seed=1)
+        assert len(design.instances) == 40
+
+    def test_design_validates(self):
+        design, _ = random_design(80, seed=2)
+        design.validate()
+
+    def test_every_gate_reaches_an_endpoint(self):
+        design, _ = random_design(50, seed=3)
+        nets = design.connectivity()
+        endpoints = set(design.primary_outputs)
+        # Every driven net either has loads or was promoted to a primary output.
+        for net in nets.values():
+            if net.driver is not None and not net.driver.is_port:
+                assert net.loads, f"net {net.name} is dangling"
+
+    def test_parasitics_cover_exactly_the_timed_nets(self):
+        design, parasitics = random_design(60, seed=4)
+        nets = design.connectivity()
+        clock_nets = set(design.clocks)
+        timed = {
+            name
+            for name, net in nets.items()
+            if net.driver is not None and net.loads and name not in clock_nets
+        }
+        assert set(parasitics) == timed
+
+    def test_clock_only_declared_with_sequential_cells(self):
+        design, _ = random_design(30, seed=5, sequential_fraction=0.0)
+        assert design.clocks == []
+
+
+class TestSeedStability:
+    def test_same_seed_same_design(self):
+        first, parasitics_a = random_design(45, seed=9)
+        second, parasitics_b = random_design(45, seed=9)
+        assert design_to_dict(first) == design_to_dict(second)
+        assert set(parasitics_a) == set(parasitics_b)
+        for name in parasitics_a:
+            a, b = parasitics_a[name], parasitics_b[name]
+            assert a.lumped_capacitance == b.lumped_capacitance
+            assert (a.tree is None) == (b.tree is None)
+            if a.tree is not None:
+                assert a.tree.nodes == b.tree.nodes
+                assert a.tree.total_capacitance == b.tree.total_capacitance
+
+    def test_different_seeds_differ(self):
+        first, _ = random_design(45, seed=9)
+        second, _ = random_design(45, seed=10)
+        assert design_to_dict(first) != design_to_dict(second)
+
+
+class TestAnalysisReady:
+    def test_timing_graph_runs(self):
+        design, parasitics = random_design(70, seed=6)
+        graph = TimingGraph(design, parasitics, clock_period=2e-9)
+        assert graph.worst_slack(DelayModel.UPPER_BOUND) < graph.clock_period
+        assert graph.endpoint_slacks(DelayModel.ELMORE)
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            random_design(0)

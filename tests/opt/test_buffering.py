@@ -100,3 +100,38 @@ class TestComparison:
         single = compare_buffering(DRIVER, REPEATER, 5e3, 1e-12, 50e-15).buffered.total_delay
         double = compare_buffering(DRIVER, REPEATER, 10e3, 2e-12, 50e-15).buffered.total_delay
         assert double / single < 2.6  # unbuffered the ratio would approach 4
+
+
+class TestDesignScopeAdvice:
+    def test_advises_on_critical_path_nets(self):
+        from repro.generators import random_design
+        from repro.graph import TimingGraph
+        from repro.opt.buffering import advise_critical_buffering
+
+        design, parasitics = random_design(80, seed=17, distributed_fraction=1.0)
+        graph = TimingGraph(design, parasitics, clock_period=1e-9)
+        repeater = Repeater(
+            "rep", drive_resistance=3e3, input_capacitance=6e-15,
+            intrinsic_delay=40e-12,
+        )
+        advice = advise_critical_buffering(graph, repeater, top=2)
+        assert advice
+        path_nets = {
+            segment.arc[4:]
+            for segment in graph.critical_path()
+            if segment.arc.startswith("net ")
+        }
+        for entry in advice:
+            assert entry.net in path_nets
+            assert entry.wire_delay > 0.0
+            assert entry.improvement >= 1.0 or entry.recommended_repeaters == 0
+
+    def test_lumped_nets_are_skipped(self):
+        from repro.generators import random_design
+        from repro.graph import TimingGraph
+        from repro.opt.buffering import advise_critical_buffering
+
+        design, parasitics = random_design(40, seed=17, distributed_fraction=0.0)
+        graph = TimingGraph(design, parasitics, clock_period=1e-9)
+        repeater = Repeater("rep", drive_resistance=3e3, input_capacitance=6e-15)
+        assert advise_critical_buffering(graph, repeater) == []

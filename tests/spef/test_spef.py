@@ -2,10 +2,15 @@
 
 import pytest
 
-from repro.core.exceptions import TopologyError
+from repro.core.exceptions import ParseError, TopologyError
 from repro.core.networks import figure7_tree, rc_ladder, symmetric_fanout
 from repro.core.timeconstants import characteristic_times
-from repro.spef.reader import read_spef, spef_to_trees
+from repro.spef.reader import (
+    iter_spef_nets,
+    read_spef,
+    spef_to_forest,
+    spef_to_trees,
+)
 from repro.spef.writer import tree_to_spef, write_spef
 
 
@@ -124,3 +129,106 @@ class TestReader:
         path = tmp_path / "x.spef"
         write_spef(fig7, path, segments_per_line=4)
         assert "net0" in read_spef(path)
+
+
+def _ladder_spef(conn_lines):
+    return "\n".join(
+        [
+            "*C_UNIT 1 PF",
+            "*R_UNIT 1 OHM",
+            "*D_NET n1 3",
+            "*CONN",
+            *conn_lines,
+            "*CAP",
+            "1 n1/mid 1",
+            "2 n1/out 2",
+            "*RES",
+            "1 n1/in n1/mid 5",
+            "2 n1/mid n1/out 7",
+            "*END",
+        ]
+    )
+
+
+class TestDriverSelection:
+    """Root selection must not depend on *CONN ordering (regression)."""
+
+    DRIVER_FIRST = ["*I n1/in I", "*P n1/out O"]
+    DRIVER_LAST = ["*P n1/out O", "*I n1/in I"]
+    NO_I_DIRECTION = ["*P n1/out O", "*P n1/in B"]
+
+    def _elmore(self, conn_lines):
+        tree = spef_to_trees(_ladder_spef(conn_lines))["n1"]
+        return characteristic_times(tree, "out").tde
+
+    def test_driver_listed_after_loads(self):
+        assert self._elmore(self.DRIVER_LAST) == pytest.approx(
+            self._elmore(self.DRIVER_FIRST)
+        )
+
+    def test_driver_without_i_direction_after_loads(self):
+        # No I direction anywhere: the first non-O connection is the driver,
+        # even when loads are listed first.
+        assert self._elmore(self.NO_I_DIRECTION) == pytest.approx(
+            self._elmore(self.DRIVER_FIRST)
+        )
+
+    def test_flat_path_agrees(self):
+        record = next(iter(iter_spef_nets(_ladder_spef(self.NO_I_DIRECTION))))
+        assert record.node_names[0] == "in"
+        flat = record.to_flat_tree()
+        want = self._elmore(self.DRIVER_FIRST)
+        assert flat.elmore_delays(["out"])["out"] == pytest.approx(want, rel=1e-12)
+
+
+class TestFlatIngest:
+    def test_stream_matches_tree_reader(self, fig7):
+        text = tree_to_spef(
+            {"a": rc_ladder(3, 5.0, 1e-12), "b": fig7}, segments_per_line=6
+        )
+        trees = spef_to_trees(text)
+        for record in iter_spef_nets(text):
+            flat = record.to_flat_tree()
+            reference = trees[record.name]
+            for output in reference.outputs:
+                want = characteristic_times(reference, output)
+                got = flat.characteristic_times(output)
+                assert got.tde == pytest.approx(want.tde, rel=1e-12)
+                assert got.tre == pytest.approx(want.tre, rel=1e-12)
+                assert got.tp == pytest.approx(want.tp, rel=1e-12)
+
+    def test_loads_become_outputs(self):
+        record = next(iter(iter_spef_nets(_ladder_spef(["*I n1/in I", "*P n1/out O"]))))
+        assert record.loads == ["out"]
+        assert record.to_flat_tree().outputs == ["out"]
+
+    def test_forest_batches_every_net(self):
+        text = tree_to_spef(
+            {"a": rc_ladder(3, 5.0, 1e-12), "b": rc_ladder(5, 2.0, 2e-12)}
+        )
+        forest, records = spef_to_forest(text)
+        assert len(forest) == 2
+        assert [record.name for record in records] == ["a", "b"]
+        forest.solve()
+
+    def test_forest_of_empty_file_rejected(self):
+        with pytest.raises(ParseError):
+            spef_to_forest("*C_UNIT 1 PF")
+
+    def test_non_tree_net_rejected_in_flat_path(self):
+        text = "\n".join(
+            [
+                "*D_NET n1 1",
+                "*CONN",
+                "*I n1/in I",
+                "*CAP",
+                "1 n1/a 1",
+                "*RES",
+                "1 n1/in n1/a 2",
+                "2 n1/a n1/b 2",
+                "3 n1/b n1/in 2",
+                "*END",
+            ]
+        )
+        with pytest.raises(TopologyError):
+            list(iter_spef_nets(text))

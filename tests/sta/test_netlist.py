@@ -86,3 +86,49 @@ class TestDesign:
         design.add_primary_output("y")
         with pytest.raises(TopologyError):
             design.validate()
+
+
+class TestJsonInterchange:
+    def test_roundtrip_preserves_structure(self, library):
+        from repro.sta.netlist import design_from_dict, design_to_dict
+
+        design = Design("rt")
+        design.add_clock("clk")
+        design.add_primary_input("a")
+        design.add_primary_output("y")
+        design.add_instance("u1", library["INV_X1"], A="a", Y="y")
+        rebuilt = design_from_dict(design_to_dict(design), library)
+        assert design_to_dict(rebuilt) == design_to_dict(design)
+        rebuilt.validate()
+
+    def test_file_roundtrip(self, tmp_path, library):
+        from repro.sta.netlist import design_to_dict, load_design, write_design
+
+        design = Design("file_rt")
+        design.add_primary_input("a")
+        design.add_primary_output("y")
+        design.add_instance("u1", library["BUF_X2"], A="a", Y="y")
+        path = tmp_path / "d.json"
+        write_design(design, path)
+        assert design_to_dict(load_design(path)) == design_to_dict(design)
+
+    def test_unknown_cell_raises_parse_error(self):
+        from repro.core.exceptions import ParseError
+        from repro.sta.netlist import design_from_dict
+
+        data = {"instances": {"u1": {"cell": "NOPE", "connections": {}}}}
+        with pytest.raises(ParseError):
+            design_from_dict(data)
+
+    def test_non_mapping_instance_record_raises_parse_error(self):
+        from repro.core.exceptions import ParseError
+        from repro.sta.netlist import design_from_dict
+
+        with pytest.raises(ParseError):
+            design_from_dict({"instances": {"u1": "INV_X1"}})
+        with pytest.raises(ParseError):
+            design_from_dict(
+                {"instances": {"u1": {"cell": "INV_X1", "connections": "A=a"}}}
+            )
+        with pytest.raises(ParseError):
+            design_from_dict({"instances": ["u1"]})

@@ -1,10 +1,15 @@
 """Tests for the rctree-bounds command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core.networks import figure7_tree
+from repro.generators import random_design
+from repro.spef.writer import write_spef
 from repro.spicefmt.writer import write_spice
+from repro.sta.netlist import write_design
 
 FIG7_EXPRESSION = (
     "(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9"
@@ -19,6 +24,7 @@ class TestParser:
             ["expression", "URC 1 2"],
             ["experiments"],
             ["pla", "100"],
+            ["timing", "--netlist", "d.json", "--period", "1e-9"],
         ):
             namespace = parser.parse_args(args)
             assert namespace.command == args[0]
@@ -92,3 +98,73 @@ class TestExperimentsCommand:
         assert status == 0
         assert "figure10" in captured
         assert "PASS" in captured
+
+
+class TestTimingCommand:
+    @pytest.fixture
+    def design_files(self, tmp_path):
+        design, parasitics = random_design(30, seed=5)
+        netlist = tmp_path / "design.json"
+        write_design(design, netlist)
+        trees = {
+            name: record.tree
+            for name, record in parasitics.items()
+            if record.tree is not None
+        }
+        spef = tmp_path / "design.spef"
+        write_spef(trees, spef)
+        return str(netlist), str(spef)
+
+    def test_json_report_with_spef(self, capsys, design_files):
+        netlist, spef = design_files
+        status = main(
+            ["timing", "--netlist", netlist, "--spef", spef, "--period", "5e-9"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["verdict"] == "PASS"
+        assert set(payload["worst_slack"]) == {"elmore", "upper_bound", "lower_bound"}
+        assert payload["critical_path"][0]["arc"] == "startpoint"
+        assert payload["worst_endpoint"]["upper_bound"] is not None
+
+    def test_netlist_only_run(self, capsys, design_files):
+        netlist, _ = design_files
+        status = main(["timing", "--netlist", netlist, "--period", "5e-9"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["clock_period"] == pytest.approx(5e-9)
+
+    def test_fail_verdict_sets_exit_code(self, capsys, design_files):
+        netlist, spef = design_files
+        status = main(
+            ["timing", "--netlist", netlist, "--spef", spef, "--period", "1e-12"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["verdict"] == "FAIL"
+        assert payload["worst_slack"]["lower_bound"] < 0.0
+
+    def test_report_written_to_file(self, tmp_path, capsys, design_files):
+        netlist, spef = design_files
+        out = tmp_path / "report.json"
+        main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--output", str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert json.loads(out.read_text())["verdict"] == "PASS"
+
+    def test_wire_cap_default_slows_design(self, capsys, design_files):
+        netlist, _ = design_files
+        main(["timing", "--netlist", netlist, "--period", "5e-9"])
+        bare = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "timing", "--netlist", netlist, "--period", "5e-9",
+                "--wire-cap", "200e-15",
+            ]
+        )
+        loaded = json.loads(capsys.readouterr().out)
+        assert loaded["worst_slack"]["elmore"] < bare["worst_slack"]["elmore"]
