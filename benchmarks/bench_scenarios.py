@@ -1,0 +1,170 @@
+"""Benchmark: scenario-batched corner sweep vs looping the PR 3 engine.
+
+The workload is a seed-stable 2000-instance random design
+(:func:`repro.generators.random_design`) swept over 64 scenarios
+(:func:`repro.generators.random_scenarios`: the three-corner envelope plus
+Monte-Carlo derates).  Two contenders produce the worst slack of every
+scenario under *all three delay models*:
+
+* **per-scenario loop** -- what a corner sweep cost before the scenario
+  axis: materialize each scenario as scaled inputs
+  (:func:`repro.scenarios.scaled_design` /
+  :func:`~repro.scenarios.scaled_parasitics`), rebuild the
+  :class:`~repro.graph.DesignDB` + :class:`~repro.graph.TimingGraph`
+  pipeline, and read the three worst slacks -- 64 full re-ingests;
+* **scenario batch** -- one
+  :meth:`~repro.graph.TimingGraph.analyze_scenarios` call: a single
+  scenario-batched forest solve plus one ``(edges, 64, 3)`` levelized
+  propagation.
+
+Parity is asserted at rtol 1e-12 for every scenario and every model (a
+speedup over a disagreeing engine would be meaningless), and the speedup is
+asserted **>= 8x**.  The printed table is the record for
+``docs/performance.md``.
+"""
+
+import time
+
+import pytest
+
+from repro.generators import random_design, random_scenarios
+from repro.graph import TimingGraph
+from repro.scenarios import scaled_design, scaled_parasitics
+from repro.sta.delaycalc import DelayModel
+from repro.utils.tables import format_table
+
+N_INSTANCES = 2_000
+N_SCENARIOS = 64
+PERIOD = 2e-9
+THRESHOLD = 0.5
+INPUT_DRIVE = 120.0
+MODELS = (DelayModel.ELMORE, DelayModel.UPPER_BOUND, DelayModel.LOWER_BOUND)
+
+
+def _best(function, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def workload():
+    design, parasitics = random_design(N_INSTANCES, seed=7)
+    scenarios = random_scenarios(N_SCENARIOS, seed=11)
+    graph = TimingGraph(
+        design,
+        dict(parasitics),
+        clock_period=PERIOD,
+        threshold=THRESHOLD,
+        input_drive_resistance=INPUT_DRIVE,
+    )
+    return design, parasitics, scenarios, graph
+
+
+def _loop_sweep(design, parasitics, scenarios):
+    """The pre-scenario-axis pipeline: one full re-ingest per scenario."""
+    slacks = []
+    for scenario in scenarios:
+        reference = TimingGraph(
+            scaled_design(design, scenario),
+            {
+                name: scaled_parasitics(record, scenario)
+                for name, record in parasitics.items()
+            },
+            clock_period=scenario.clock_period or PERIOD,
+            threshold=(
+                THRESHOLD if scenario.threshold is None else scenario.threshold
+            ),
+            input_drive_resistance=INPUT_DRIVE * scenario.drive_derate,
+        )
+        slacks.append([reference.worst_slack(model) for model in MODELS])
+    return slacks
+
+
+def test_scenario_sweep_speedup(benchmark, workload, report):
+    design, parasitics, scenarios, graph = workload
+
+    batched_time, batched = _best(
+        lambda: graph.analyze_scenarios(scenarios, with_critical_paths=False),
+        repeats=3,
+    )
+    loop_time, loop = _best(lambda: _loop_sweep(design, parasitics, scenarios), repeats=1)
+
+    # Parity first: every scenario, every model, rtol 1e-12.
+    worst_mismatch = 0.0
+    for index in range(N_SCENARIOS):
+        for column in range(len(MODELS)):
+            want = loop[index][column]
+            got = float(batched.worst_slack[index, column])
+            worst_mismatch = max(
+                worst_mismatch, abs(got - want) / max(abs(want), 1e-18)
+            )
+    assert worst_mismatch < 1e-12, f"worst slack mismatch {worst_mismatch:.3e}"
+
+    benchmark(
+        lambda: graph.analyze_scenarios(scenarios, with_critical_paths=False)
+    )
+
+    speedup = loop_time / batched_time
+    rows = [
+        (
+            f"per-scenario loop ({N_SCENARIOS} full re-ingests)",
+            loop_time * 1e3,
+            1.0,
+        ),
+        (
+            f"scenario batch (one solve, {N_SCENARIOS} x 3 models)",
+            batched_time * 1e3,
+            speedup,
+        ),
+    ]
+    table = format_table(
+        ["workload", "time (ms)", "speedup"],
+        rows,
+        precision=3,
+        title=(
+            f"{N_SCENARIOS}-scenario sweep, {N_INSTANCES} instances, "
+            "3 delay models"
+        ),
+    )
+    report("scenario-sweep speedup", table)
+
+    # Acceptance: >= 8x for the 64-scenario sweep (measured ~40-60x locally).
+    assert speedup >= 8.0, f"scenario-sweep speedup {speedup:.2f}x < 8x"
+
+
+def test_candidate_batching_matches_trial_swaps(workload):
+    """What-if candidate evaluation equals actually applying each swap."""
+    from repro.opt.sizing import next_drive_strength
+    from repro.sta.cells import standard_cell_library
+
+    design, parasitics, _, graph = workload
+    library = standard_cell_library()
+    candidates = []
+    for name, record in sorted(graph.db.instances.items()):
+        stronger = next_drive_strength(record.cell, library)
+        if stronger is not None:
+            candidates.append((name, stronger))
+        if len(candidates) == 24:
+            break
+    predicted = graph.whatif_resize_worst_slack(
+        candidates, DelayModel.UPPER_BOUND
+    )
+    for index in (0, len(candidates) // 2, len(candidates) - 1):
+        name, cell = candidates[index]
+        trial = TimingGraph(
+            design,
+            dict(parasitics),
+            clock_period=PERIOD,
+            threshold=THRESHOLD,
+            input_drive_resistance=INPUT_DRIVE,
+        )
+        old = trial.db.instances[name].cell
+        trial.resize_instance(name, cell)
+        want = trial.worst_slack(DelayModel.UPPER_BOUND)
+        trial.resize_instance(name, old)  # Instances are shared: restore.
+        assert predicted[index] == pytest.approx(want, rel=1e-9)

@@ -31,6 +31,16 @@ the vectorized flat engine::
     flat = FlatTree.from_tree(tree)
     names, lower, upper = flat.delay_bounds_batch([0.5, 0.9])
 
+For corner sweeps and what-if studies, a :class:`ScenarioSet` threads a
+leading scenario axis through the same kernels -- every corner of a design
+is timed in one batched pass::
+
+    from repro import ScenarioSet, TimingGraph
+
+    graph = TimingGraph(design, parasitics, clock_period=2e-9)
+    report = graph.analyze_scenarios(ScenarioSet.corners())
+    print(report.worst_slack, report.verdicts)
+
 See ``examples/`` for complete scenarios, ``README.md`` for the architecture
 map, and ``docs/`` for the paper-to-code map and performance notes.
 """
@@ -86,13 +96,24 @@ from repro.flat import (
     FlatForest,
     FlatTimes,
     FlatTree,
+    ScenarioForestTimes,
+    ScenarioTimes,
     delay_bounds_batch,
     voltage_bounds_batch,
 )
 from repro.graph import (
     DesignDB,
     DesignTimingSummary,
+    ScenarioSinkTable,
+    ScenarioTimingReport,
     TimingGraph,
+)
+from repro.scenarios import (
+    ParameterPlane,
+    Scenario,
+    ScenarioSet,
+    scaled_design,
+    scaled_parasitics,
 )
 from repro.simulate import (
     Waveform,
@@ -134,12 +155,22 @@ __all__ = [
     "FlatTree",
     "FlatTimes",
     "FlatForest",
+    "ScenarioTimes",
+    "ScenarioForestTimes",
     "delay_bounds_batch",
     "voltage_bounds_batch",
     # design-scale timing engine
     "DesignDB",
     "TimingGraph",
     "DesignTimingSummary",
+    "ScenarioSinkTable",
+    "ScenarioTimingReport",
+    # scenarios (corners, derates, what-ifs)
+    "Scenario",
+    "ScenarioSet",
+    "ParameterPlane",
+    "scaled_design",
+    "scaled_parasitics",
     # algebra
     "TwoPort",
     "urc",

@@ -3,10 +3,17 @@
 These modules assemble realistic RC trees for the scenarios the paper
 motivates -- PLA poly lines (Section V), clock distribution trees, and
 multi-drop bus / fanout nets -- on top of the extraction and driver
-substrates.  They are used by the examples, the benchmarks and the
-experiment harness.
+substrates, and expose design-level corner-sweep / sensitivity reports over
+the scenario-batched timing engine (:mod:`repro.apps.corners`).  They are
+used by the examples, the benchmarks and the experiment harness.
 """
 
+from repro.apps.corners import (
+    CornerRow,
+    corner_sweep,
+    corner_sweep_table,
+    derate_sensitivity,
+)
 from repro.apps.pla import (
     PLA_SECTION,
     pla_line_twoport,
@@ -36,4 +43,8 @@ __all__ = [
     "comb_bus_net",
     "compare_nets",
     "NetSummary",
+    "CornerRow",
+    "corner_sweep",
+    "corner_sweep_table",
+    "derate_sensitivity",
 ]

@@ -25,7 +25,12 @@ Subcommands
     SPEF file streamed straight into the flat engine), propagates all three
     delay models at once, and emits a JSON report with the worst slack per
     model, the paper's ternary PASS/FAIL/INDETERMINATE verdict and the
-    critical path.  Exit status 1 when the verdict is FAIL.
+    critical path (under ``--model``, the sign-off upper bound by default).
+    ``--corners FILE.json`` additionally analyses a whole
+    :class:`~repro.scenarios.ScenarioSet` (named corners with R/C/drive
+    derates, per-net scales, threshold/period overrides) in one batched pass
+    and reports per-scenario results.  Exit status 1 when the (overall)
+    verdict is FAIL, 2 when it is INDETERMINATE.
 """
 
 from __future__ import annotations
@@ -95,8 +100,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _verdict_status(verdict: str) -> int:
+    """Exit status for a ternary verdict: FAIL -> 1, INDETERMINATE -> 2."""
+    if verdict == Verdict.FAIL.name:
+        return 1
+    if verdict == Verdict.INDETERMINATE.name:
+        return 2
+    return 0
+
+
 def _cmd_timing(args: argparse.Namespace) -> int:
     from repro.graph import DesignDB, TimingGraph
+    from repro.sta.delaycalc import DelayModel
     from repro.sta.netlist import load_design
 
     design = load_design(args.netlist)
@@ -115,13 +130,26 @@ def _cmd_timing(args: argparse.Namespace) -> int:
             default_wire_capacitance=args.wire_cap,
         )
     graph = TimingGraph(db, clock_period=args.period, threshold=args.threshold)
-    summary = graph.summary()
-    payload = json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+    model = DelayModel(args.model)
+    summary = graph.summary(path_model=model)
+    report = summary.to_dict()
+    report["model"] = model.value
+    verdict = summary.verdict
+    if args.corners is not None:
+        from repro.scenarios import ScenarioSet
+
+        with open(args.corners, "r", encoding="utf-8") as handle:
+            scenarios = ScenarioSet.from_dict(json.load(handle))
+        scenario_report = graph.analyze_scenarios(scenarios, path_model=model)
+        report["scenarios"] = scenario_report.to_dict()["scenarios"]
+        verdict = scenario_report.overall_verdict
+        report["verdict"] = verdict
+    payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
     print(payload)
-    return 1 if summary.verdict == Verdict.FAIL.name else 0
+    return _verdict_status(verdict)
 
 
 def _cmd_pla(args: argparse.Namespace) -> int:
@@ -185,6 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
     timing.add_argument(
         "--wire-cap", type=float, default=0.0,
         help="default lumped wire capacitance for nets without parasitics (farads)",
+    )
+    timing.add_argument(
+        "--corners", default=None,
+        help="JSON scenario-set file; analyse every corner in one batched pass",
+    )
+    timing.add_argument(
+        "--model", default="upper_bound",
+        choices=["elmore", "upper_bound", "lower_bound"],
+        help="delay model the critical path is traced under",
     )
     timing.add_argument(
         "--output", default=None, help="also write the JSON report to this file"

@@ -13,6 +13,9 @@ at once with a handful of vectorized sweeps:
   single-output queries that never re-traverse the whole network;
 * :class:`FlatForest` -- many trees concatenated and solved together, so a
   thousand small nets cost barely more than one;
+* scenario batching -- ``solve_batch`` on both classes runs the same level
+  sweeps over ``(S, N)`` element planes, evaluating corners, derates and
+  what-if candidates side by side (:mod:`repro.flat.scenarios`);
 * :mod:`repro.flat.batchbounds` -- eqs. (8)-(17) evaluated over
   (sinks x thresholds) matrices in one numpy call.
 
@@ -32,12 +35,15 @@ from repro.flat.batchbounds import (
 )
 from repro.flat.flattree import FlatTimes, FlatTree
 from repro.flat.forest import FlatForest, ForestTimes
+from repro.flat.scenarios import ScenarioForestTimes, ScenarioTimes
 
 __all__ = [
     "FlatTree",
     "FlatTimes",
     "FlatForest",
     "ForestTimes",
+    "ScenarioTimes",
+    "ScenarioForestTimes",
     "delay_bounds_batch",
     "delay_lower_bound_batch",
     "delay_upper_bound_batch",

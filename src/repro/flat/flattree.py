@@ -71,8 +71,20 @@ from repro.core.exceptions import (
 from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
+from repro.flat.scenarios import ScenarioTimes, as_node_matrix, sweep_scenarios
 
 __all__ = ["FlatTree", "FlatTimes"]
+
+
+def _scenario_count(count, *planes) -> int:
+    """Infer the scenario count from the first non-``None`` plane."""
+    if count is not None:
+        return int(count)
+    for plane in planes:
+        if plane is not None:
+            array = np.asarray(plane)
+            return int(array.shape[0]) if array.ndim else 1
+    return 1
 
 
 @dataclass(frozen=True)
@@ -610,6 +622,61 @@ class FlatTree:
                 total_capacitance=self.total_capacitance,
             )
         return self._times
+
+    def solve_batch(
+        self,
+        edge_r=None,
+        edge_c=None,
+        node_c=None,
+        *,
+        count: Optional[int] = None,
+    ) -> ScenarioTimes:
+        """Characteristic times under ``S`` element parameterizations at once.
+
+        Each plane is ``None`` (the tree's own values for every scenario), a
+        ``(S,)`` vector of per-scenario *effective* values broadcast over the
+        nodes, or a full ``(S, N)`` matrix of effective element values.  The
+        level sweeps run over ``(N, S)`` matrices -- the per-node arithmetic
+        is the single-scenario :meth:`solve` verbatim -- and the result
+        carries a leading scenario axis.  The single-scenario solve cache is
+        untouched: batched solves neither read nor invalidate it, and
+        incremental updates to the tree are reflected by the *next* batched
+        solve because the base arrays are re-read per call.
+        """
+        s = _scenario_count(count, edge_r, edge_c, node_c)
+        er = as_node_matrix(edge_r, self._edge_r, s)
+        ec = as_node_matrix(edge_c, self._edge_c, s)
+        nc = as_node_matrix(node_c, self._node_c, s)
+        rkk, c_down, tde, tre = sweep_scenarios(self._levels, self._parent, er, ec, nc)
+        rkk_parent = rkk[np.maximum(self._parent, 0)]
+        tp = (rkk * nc + (rkk_parent + er / 2.0) * ec).sum(axis=0)
+        total = nc.sum(axis=0) + ec.sum(axis=0)
+        return ScenarioTimes(
+            tp=tp, tde=tde.T, tre=tre.T, ree=rkk.T, total_capacitance=total
+        )
+
+    def solve_scenarios(self, scenarios) -> ScenarioTimes:
+        """Apply a scenario plane's derates to this tree and solve, batched.
+
+        ``scenarios`` is a :class:`repro.scenarios.ParameterPlane` (fields
+        ``r_scale``/``c_scale``, each ``(S,)`` or ``(S, N)``) or anything with
+        a ``tree_plane()`` method producing one -- in particular a
+        :class:`repro.scenarios.ScenarioSet`, whose net/driver/period knobs
+        do not apply to a bare tree.
+        """
+        plane = scenarios.tree_plane() if hasattr(scenarios, "tree_plane") else scenarios
+        r_scale = np.asarray(plane.r_scale, dtype=float)
+        c_scale = np.asarray(plane.c_scale, dtype=float)
+        if r_scale.ndim == 1:
+            r_scale = r_scale[:, np.newaxis]
+        if c_scale.ndim == 1:
+            c_scale = c_scale[:, np.newaxis]
+        return self.solve_batch(
+            edge_r=self._edge_r * r_scale,
+            edge_c=self._edge_c * c_scale,
+            node_c=self._node_c * c_scale,
+            count=r_scale.shape[0],
+        )
 
     def _path_moments(self, i: int) -> tuple:
         """``(T_De, T_Re * R_ee)`` of one node from the cached aggregates.

@@ -24,7 +24,12 @@ import numpy as np
 from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
-from repro.flat.flattree import FlatTimes, FlatTree
+from repro.flat.flattree import FlatTimes, FlatTree, _scenario_count
+from repro.flat.scenarios import (
+    ScenarioForestTimes,
+    as_node_matrix,
+    sweep_scenarios,
+)
 
 __all__ = ["FlatForest", "ForestTimes"]
 
@@ -213,6 +218,38 @@ class FlatForest:
                 tp=tp, tde=tde, tre=tre, ree=rkk, total_capacitance=total
             )
         return self._times
+
+    def solve_batch(
+        self,
+        edge_r=None,
+        edge_c=None,
+        node_c=None,
+        *,
+        count: Optional[int] = None,
+    ) -> ScenarioForestTimes:
+        """Characteristic times of every tree under ``S`` parameterizations.
+
+        Planes follow :meth:`repro.flat.FlatTree.solve_batch`: ``None`` (base
+        values), ``(S,)`` per-scenario broadcasts, or ``(S, N)`` effective
+        element matrices over the forest's concatenated node numbering.  One
+        set of global level sweeps serves every scenario of every tree; the
+        per-tree ``T_P`` and total-capacitance reductions become segmented
+        sums over the member offsets.  The single-scenario solve cache is
+        neither read nor invalidated.
+        """
+        s = _scenario_count(count, edge_r, edge_c, node_c)
+        er = as_node_matrix(edge_r, self._edge_r, s)
+        ec = as_node_matrix(edge_c, self._edge_c, s)
+        nc = as_node_matrix(node_c, self._node_c, s)
+        rkk, c_down, tde, tre = sweep_scenarios(self._levels, self._parent, er, ec, nc)
+        rkk_parent = rkk[np.maximum(self._parent, 0)]
+        tp_terms = rkk * nc + (rkk_parent + er / 2.0) * ec
+        starts = self._offsets[:-1]
+        tp = np.add.reduceat(tp_terms, starts, axis=0)
+        total = np.add.reduceat(nc + ec, starts, axis=0)
+        return ScenarioForestTimes(
+            tp=tp.T, tde=tde.T, tre=tre.T, ree=rkk.T, total_capacitance=total.T
+        )
 
     def times_for(self, tree_index: int) -> FlatTimes:
         """The :class:`~repro.flat.flattree.FlatTimes` view of one member tree."""

@@ -18,10 +18,14 @@ Two output forms are offered:
   skipping dict construction -- the fast path for 10k-node-plus workloads;
 * :func:`random_design` builds whole seed-stable gate-level designs (netlist
   plus per-net parasitics) for the design-scale engine in
-  :mod:`repro.graph` and its benchmarks.
+  :mod:`repro.graph` and its benchmarks;
+* :func:`random_scenarios` builds seed-stable corner + Monte-Carlo
+  :class:`~repro.scenarios.ScenarioSet` batches for the scenario-sweep
+  benchmarks and parity property tests.
 """
 
 from repro.generators.random_designs import random_design
+from repro.generators.random_scenarios import random_scenarios
 from repro.generators.random_trees import (
     RandomTreeConfig,
     random_tree,
@@ -35,6 +39,7 @@ from repro.generators.random_trees import (
 __all__ = [
     "RandomTreeConfig",
     "random_design",
+    "random_scenarios",
     "random_tree",
     "random_trees",
     "random_chain",

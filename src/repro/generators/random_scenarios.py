@@ -1,0 +1,65 @@
+"""Seed-stable random scenario sets for benchmarks and property tests.
+
+:func:`random_scenarios` mixes the deterministic three-corner envelope
+(typical / slow / fast derates) with seeded Monte-Carlo perturbations, the
+same way the scaling benchmarks mix deterministic and random workloads: the
+corners pin the envelope every run, the Monte-Carlo tail exercises the
+scenario axis at width.  Everything is driven by one ``random.Random(seed)``
+so the same ``(n, seed, knobs)`` always produces the identical
+:class:`~repro.scenarios.ScenarioSet` -- which is what lets the parity
+property tests shrink failures and ``benchmarks/bench_scenarios.py`` compare
+engines on the same sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.scenarios import Scenario, ScenarioSet
+
+__all__ = ["random_scenarios"]
+
+
+def random_scenarios(
+    n: int,
+    seed: int = 0,
+    *,
+    corner_spread: float = 0.15,
+    r_sigma: float = 0.08,
+    c_sigma: float = 0.08,
+    drive_sigma: float = 0.06,
+) -> ScenarioSet:
+    """``n`` scenarios: the three-corner envelope plus Monte-Carlo fill.
+
+    The first ``min(n, 3)`` scenarios are the deterministic typical / slow /
+    fast corners (derated by ``1 +- corner_spread``); the remainder are
+    seeded lognormal perturbations around nominal.  No threshold or
+    clock-period overrides are emitted -- sweeps inherit the analysis
+    defaults, keeping the set applicable to any design.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    slow = 1.0 + corner_spread
+    fast = 1.0 / slow
+    corners = [
+        Scenario("typical"),
+        Scenario("slow", r_derate=slow, c_derate=slow, drive_derate=slow),
+        Scenario("fast", r_derate=fast, c_derate=fast, drive_derate=fast),
+    ]
+    scenarios = corners[:n]
+    for index in range(len(scenarios), n):
+        scenarios.append(
+            Scenario(
+                f"mc{index}",
+                r_derate=_lognormal(rng, r_sigma),
+                c_derate=_lognormal(rng, c_sigma),
+                drive_derate=_lognormal(rng, drive_sigma),
+            )
+        )
+    return ScenarioSet(scenarios)
+
+
+def _lognormal(rng: random.Random, sigma: float) -> float:
+    return math.exp(rng.gauss(0.0, sigma))

@@ -18,13 +18,19 @@ together at 1e-12 relative tolerance, and
 ``benchmarks/bench_timing_graph.py`` asserts the speedups.
 """
 
-from repro.graph.designdb import DesignDB, NetModel, SinkTable
-from repro.graph.timinggraph import DesignTimingSummary, TimingGraph
+from repro.graph.designdb import DesignDB, NetModel, ScenarioSinkTable, SinkTable
+from repro.graph.timinggraph import (
+    DesignTimingSummary,
+    ScenarioTimingReport,
+    TimingGraph,
+)
 
 __all__ = [
     "DesignDB",
     "NetModel",
     "SinkTable",
+    "ScenarioSinkTable",
     "DesignTimingSummary",
+    "ScenarioTimingReport",
     "TimingGraph",
 ]

@@ -24,7 +24,7 @@ consumers (e.g. :func:`repro.apps.nets.design_net_summaries`) stay coherent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.sta.delaycalc import compile_stage
 from repro.sta.netlist import Design, Net
 from repro.sta.parasitics import NetParasitics
 
-__all__ = ["DesignDB", "NetModel", "SinkTable"]
+__all__ = ["DesignDB", "NetModel", "SinkTable", "ScenarioSinkTable"]
 
 
 @dataclass(frozen=True)
@@ -96,10 +96,54 @@ class SinkTable:
         return len(self.pins)
 
 
+@dataclass(frozen=True)
+class ScenarioSinkTable:
+    """Per-sink characteristic times under every scenario, as matrices.
+
+    The row axis (``nets``/``pins``) is exactly the single-scenario
+    :class:`SinkTable`'s; every numeric array gains a leading ``(S,)``
+    scenario axis.  Produced by :meth:`DesignDB.solve_scenarios`.
+    """
+
+    scenario_names: List[str]
+    nets: List[str]
+    pins: List[str]
+    tp: np.ndarray
+    tde: np.ndarray
+    tre: np.ndarray
+    total_capacitance: np.ndarray
+
+    @property
+    def live(self) -> np.ndarray:
+        """``(S, rows)`` mask of stages that carry capacitance per scenario."""
+        return self.total_capacitance > 0.0
+
+    @property
+    def scenario_count(self) -> int:
+        """Number of scenarios ``S``."""
+        return self.tp.shape[0]
+
+    def __len__(self) -> int:
+        return len(self.pins)
+
+
+class _ScenarioLayout:
+    """Forest-aligned metadata the scenario solver derates against."""
+
+    __slots__ = ("wire_c", "pin_c", "drive_nodes", "sink_nodes", "sink_tree")
+
+    def __init__(self, wire_c, pin_c, drive_nodes, sink_nodes, sink_tree):
+        self.wire_c = wire_c  # (N,) wire-only node capacitance
+        self.pin_c = pin_c  # (N,) pin-load capacitance merged at each node
+        self.drive_nodes = drive_nodes  # (trees,) node carrying the drive R edge
+        self.sink_nodes = sink_nodes  # (rows,) forest node per sink-table row
+        self.sink_tree = sink_tree  # (rows,) forest tree per sink-table row
+
+
 class _StageEntry:
     """Bookkeeping for one timed net's compiled stage tree."""
 
-    __slots__ = ("net", "tree_index", "row_slice", "pin_index", "flat")
+    __slots__ = ("net", "tree_index", "row_slice", "pin_index", "flat", "wire_c")
 
     def __init__(self, net: str, tree_index: int, row_slice: slice):
         self.net = net
@@ -107,6 +151,8 @@ class _StageEntry:
         self.row_slice = row_slice
         self.pin_index: Dict[str, int] = {}
         self.flat: Optional[FlatTree] = None
+        #: Wire-only node capacitance (pin loads excluded), from compile_stage.
+        self.wire_c: Optional[np.ndarray] = None
 
 
 class DesignDB:
@@ -164,7 +210,7 @@ class DesignDB:
                 ].cell.input_capacitance
         return sinks
 
-    def _compile_net(self, net: Net) -> Tuple[FlatTree, Dict[str, int]]:
+    def _compile_net(self, net: Net) -> Tuple[FlatTree, Dict[str, int], np.ndarray]:
         model = self._model_of(net.name)
         return compile_stage(
             self._drive_resistance(net),
@@ -185,18 +231,20 @@ class DesignDB:
         row = 0
         offset = 0
         self._forest_stale: Dict[int, FlatTree] = {}
+        self._scenario_layout_cache: Optional[_ScenarioLayout] = None
         clock_nets = self._clock_nets
         for net in self._nets.values():
             if net.driver is None or not net.loads:
                 continue
             if net.name in clock_nets:
                 continue
-            flat, pin_index = self._compile_net(net)
+            flat, pin_index, wire_c = self._compile_net(net)
             entry = _StageEntry(
                 net.name, len(trees), slice(row, row + len(pin_index))
             )
             entry.pin_index = pin_index
             entry.flat = flat
+            entry.wire_c = wire_c
             self._entries[net.name] = entry
             tree_index = len(trees)
             trees.append(flat)
@@ -308,6 +356,151 @@ class DesignDB:
         return self._sink_capacitances(record)
 
     # ------------------------------------------------------------------
+    # Scenario-batched analysis
+    # ------------------------------------------------------------------
+    def _scenario_layout(self) -> _ScenarioLayout:
+        """Forest-aligned wire/pin/driver metadata, rebuilt after any edit.
+
+        The pin-load vector is derived here, lazily, so designs that never
+        run a scenario solve pay nothing for the wire/pin split beyond the
+        per-stage wire array ``compile_stage`` already emits.
+        """
+        forest = self.forest  # applies pending splices first
+        if self._scenario_layout_cache is None:
+            n = forest.node_count
+            wire_c = np.empty(n)
+            pin_c = np.zeros(n)
+            sink_nodes: List[int] = []
+            sink_tree: List[int] = []
+            offsets = forest._offsets
+            for entry in self._entries.values():
+                lo = int(offsets[entry.tree_index])
+                hi = int(offsets[entry.tree_index + 1])
+                wire_c[lo:hi] = entry.wire_c
+                sinks = self._sink_capacitances(self._nets[entry.net])
+                # pin_index preserves sink-table row order within the net.
+                for pin, local in entry.pin_index.items():
+                    pin_c[lo + local] += sinks[pin]
+                    sink_nodes.append(lo + local)
+                    sink_tree.append(entry.tree_index)
+            self._scenario_layout_cache = _ScenarioLayout(
+                wire_c=wire_c,
+                pin_c=pin_c,
+                # Node 1 of every stage tree carries the drive-resistance edge.
+                drive_nodes=np.asarray(offsets[:-1] + 1, dtype=np.int64),
+                sink_nodes=np.asarray(sink_nodes, dtype=np.int64),
+                sink_tree=np.asarray(sink_tree, dtype=np.int64),
+            )
+        return self._scenario_layout_cache
+
+    def solve_scenarios(self, scenarios) -> ScenarioSinkTable:
+        """Characteristic times of every sink pin under every scenario.
+
+        One scenario-batched forest solve replaces the per-scenario re-ingest
+        loop: the set's derates compile to per-node factor planes (wire R x
+        ``r_derate`` x per-net scale, driver R x ``drive_derate``, wire C x
+        ``c_derate`` x per-net scale, pin loads x ``c_derate``) and
+        :meth:`repro.flat.FlatForest.solve_batch` sweeps all scenarios at
+        once.  Row order matches :attr:`sinks`; results always reflect the
+        database's *current* state (incremental edits included).
+        """
+        sinks = self._sinks
+        names = list(scenarios.names)
+        s = len(names)
+        if self._forest is None:
+            empty = np.zeros((s, 0))
+            return ScenarioSinkTable(
+                scenario_names=names,
+                nets=list(sinks.nets),
+                pins=list(sinks.pins),
+                tp=empty,
+                tde=empty.copy(),
+                tre=empty.copy(),
+                total_capacitance=empty.copy(),
+            )
+        timed = set(self._timed_net_order)
+        for scenario in scenarios:
+            unknown = sorted(set(scenario.net_scale) - timed)
+            if unknown:
+                raise AnalysisError(
+                    f"scenario {scenario.name!r} scales nets {unknown!r} that are "
+                    "not timed nets of this design (misspelled, undriven, "
+                    "loadless or clock nets); a silent no-op corner would "
+                    "report results for a scenario that was never applied"
+                )
+        layout = self._scenario_layout()
+        forest = self.forest
+        net_scale = scenarios.net_scales(self._timed_net_order)  # (S, trees)
+        node_scale = net_scale[:, forest._tree_id]  # (S, N)
+        r_factor = scenarios.r_derates[:, np.newaxis] * node_scale
+        r_factor[:, layout.drive_nodes] = scenarios.drive_derates[:, np.newaxis]
+        c_derate = scenarios.c_derates[:, np.newaxis]
+        wire_factor = c_derate * node_scale
+        times = forest.solve_batch(
+            edge_r=forest._edge_r * r_factor,
+            edge_c=forest._edge_c * wire_factor,
+            node_c=layout.wire_c * wire_factor + layout.pin_c * c_derate,
+            count=s,
+        )
+        return ScenarioSinkTable(
+            scenario_names=names,
+            nets=list(sinks.nets),
+            pins=list(sinks.pins),
+            tp=times.tp[:, layout.sink_tree],
+            tde=times.tde[:, layout.sink_nodes],
+            tre=times.tre[:, layout.sink_nodes],
+            total_capacitance=times.total_capacitance[:, layout.sink_tree],
+        )
+
+    def whatif_cell_elements(
+        self, swaps: Sequence[Tuple[str, Cell]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forest element planes where plane ``s`` applies cell swap ``s``.
+
+        Each candidate ``(instance, cell)`` becomes one scenario row: the
+        instance's output net gets the candidate's drive resistance and every
+        timed net it loads gets the candidate's input capacitance at the
+        instance's pin node.  Nothing in the database is mutated -- this is
+        the what-if substrate :meth:`repro.graph.TimingGraph.whatif_resize_worst_slack`
+        evaluates in one batched solve, replacing per-candidate trial swaps.
+        Returns ``(edge_r, node_c)``, each shaped ``(len(swaps), N)``.
+        """
+        forest = self.forest
+        if forest is None:
+            raise AnalysisError("the design has no timed nets to evaluate")
+        offsets = forest._offsets
+        s = len(swaps)
+        edge_r = np.repeat(forest._edge_r[np.newaxis, :], s, axis=0)
+        node_c = np.repeat(forest._node_c[np.newaxis, :], s, axis=0)
+        for row, (instance, cell) in enumerate(swaps):
+            record = self._instances.get(instance)
+            if record is None:
+                raise AnalysisError(f"unknown instance {instance!r}")
+            old = record.cell
+            out_entry = self._entries.get(record.connections.get(old.output, ""))
+            if out_entry is not None:
+                resistance = (
+                    cell.drive_resistance if cell.drive_resistance > 0 else 1e-6
+                )
+                edge_r[row, int(offsets[out_entry.tree_index]) + 1] = resistance
+            delta = cell.input_capacitance - old.input_capacitance
+            if delta:
+                # Every non-output pin (inputs and a sequential cell's clock
+                # pin alike) presents the input capacitance on its net, so a
+                # clock pin fed by a *timed* net must see the delta too --
+                # exactly the nets update_instance_cell would recompile.
+                for pin, net_name in record.connections.items():
+                    if pin == old.output:
+                        continue
+                    entry = self._entries.get(net_name)
+                    if entry is None:
+                        continue
+                    local = entry.pin_index.get(f"{instance}/{pin}")
+                    if local is not None:
+                        node_c[row, int(offsets[entry.tree_index]) + local] += delta
+        return edge_r, node_c
+
+    # ------------------------------------------------------------------
     # Incremental updates
     # ------------------------------------------------------------------
     def _resolve_net(self, net: str) -> _StageEntry:
@@ -322,9 +515,11 @@ class DesignDB:
     def _recompile_entry(self, entry: _StageEntry) -> None:
         """Re-compile + re-solve one net's stage and patch the shared state."""
         net = self._nets[entry.net]
-        flat, pin_index = self._compile_net(net)
+        flat, pin_index, wire_c = self._compile_net(net)
         entry.flat = flat
         entry.pin_index = pin_index
+        entry.wire_c = wire_c
+        self._scenario_layout_cache = None
         if self._forest is not None:
             self._forest_stale[entry.tree_index] = flat
         times = flat.solve()

@@ -41,7 +41,7 @@ import numpy as np
 from repro.core.certify import Verdict
 from repro.core.exceptions import AnalysisError
 from repro.flat import delay_lower_bound_batch, delay_upper_bound_batch
-from repro.graph.designdb import DesignDB, NetModel
+from repro.graph.designdb import DesignDB, NetModel, ScenarioSinkTable
 from repro.sta.analysis import PathSegment, TimingReport
 from repro.sta.cells import Cell
 from repro.sta.delaycalc import DelayModel
@@ -49,7 +49,7 @@ from repro.sta.netlist import Design, PinRef
 from repro.sta.parasitics import NetParasitics
 from repro.utils.checks import require_in_unit_interval
 
-__all__ = ["TimingGraph", "DesignTimingSummary"]
+__all__ = ["TimingGraph", "DesignTimingSummary", "ScenarioTimingReport"]
 
 #: Column order of the per-edge / per-vertex model axes.
 _MODELS = (DelayModel.ELMORE, DelayModel.UPPER_BOUND, DelayModel.LOWER_BOUND)
@@ -92,6 +92,89 @@ class DesignTimingSummary:
                 }
                 for segment in self.critical_path
             ],
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioTimingReport:
+    """Design-level timing under every scenario of a batch.
+
+    ``worst_slack`` has shape ``(S, 3)`` with columns in ``_MODELS`` order
+    (Elmore, upper bound, lower bound); ``verdicts`` carries the paper's
+    ternary ``OK`` per scenario; ``critical_paths`` holds one traced path per
+    scenario under ``path_model`` (empty lists when tracing was skipped).
+    """
+
+    design: str
+    scenario_names: List[str]
+    clock_periods: np.ndarray
+    thresholds: np.ndarray
+    worst_slack: np.ndarray
+    worst_endpoint: List[Dict[str, Optional[str]]]
+    verdicts: List[str]
+    critical_paths: List[List[PathSegment]]
+    path_model: str
+
+    @property
+    def scenario_count(self) -> int:
+        """Number of scenarios ``S``."""
+        return len(self.scenario_names)
+
+    @property
+    def overall_verdict(self) -> str:
+        """FAIL if any scenario fails, else INDETERMINATE if any is, else PASS."""
+        if Verdict.FAIL.name in self.verdicts:
+            return Verdict.FAIL.name
+        if Verdict.INDETERMINATE.name in self.verdicts:
+            return Verdict.INDETERMINATE.name
+        return Verdict.PASS.name
+
+    def worst_slack_of(
+        self, scenario: Union[int, str], model: DelayModel = DelayModel.UPPER_BOUND
+    ) -> float:
+        """Worst slack of one scenario (by index or name) under one model."""
+        index = (
+            scenario
+            if isinstance(scenario, int)
+            else self.scenario_names.index(scenario)
+        )
+        return float(self.worst_slack[index, _MODEL_COLUMN[model]])
+
+    def worst_scenario(self, model: DelayModel = DelayModel.UPPER_BOUND) -> int:
+        """Index of the scenario with the most negative worst slack."""
+        return int(np.argmin(self.worst_slack[:, _MODEL_COLUMN[model]]))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the CLI's ``--corners`` payload)."""
+        scenarios = []
+        for index, name in enumerate(self.scenario_names):
+            scenarios.append(
+                {
+                    "name": name,
+                    "clock_period": float(self.clock_periods[index]),
+                    "threshold": float(self.thresholds[index]),
+                    "worst_slack": {
+                        model.value: float(self.worst_slack[index, column])
+                        for column, model in enumerate(_MODELS)
+                    },
+                    "worst_endpoint": dict(self.worst_endpoint[index]),
+                    "verdict": self.verdicts[index],
+                    "critical_path": [
+                        {
+                            "location": segment.location,
+                            "arc": segment.arc,
+                            "incremental_delay": segment.incremental_delay,
+                            "arrival": segment.arrival,
+                        }
+                        for segment in self.critical_paths[index]
+                    ],
+                }
+            )
+        return {
+            "design": self.design,
+            "path_model": self.path_model,
+            "verdict": self.overall_verdict,
+            "scenarios": scenarios,
         }
 
 
@@ -348,15 +431,23 @@ class TimingGraph:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
-    def _propagate(self) -> np.ndarray:
-        arrivals = np.zeros((self._vertex_count, 3))
+    def _propagate_tensor(self, delay: np.ndarray) -> np.ndarray:
+        """Forward arrival sweep for any ``(edges, ...)`` delay tensor.
+
+        The trailing axes ride along for free: the single-scenario run uses
+        ``(E, 3)``, a scenario batch ``(E, S, 3)`` and the what-if evaluator
+        ``(E, S)`` -- one set of per-level gather/scatters serves them all.
+        """
+        arrivals = np.zeros((self._vertex_count,) + delay.shape[1:])
         src = self._edge_src
         dst = self._edge_dst
-        delay = self._edge_delay
         for bucket in self._forward_buckets:
             candidates = arrivals[src[bucket]] + delay[bucket]
             np.maximum.at(arrivals, dst[bucket], candidates)
         return arrivals
+
+    def _propagate(self) -> np.ndarray:
+        return self._propagate_tensor(self._edge_delay)
 
     @property
     def arrivals_matrix(self) -> np.ndarray:
@@ -440,6 +531,42 @@ class TimingGraph:
             for i, name in enumerate(self._vertex_names)
         }
 
+    def _trace_path(
+        self, endpoint: int, arrival: np.ndarray, delay: np.ndarray
+    ) -> List[PathSegment]:
+        """Walk one critical path backwards over 1-D arrival/delay columns."""
+        path: List[PathSegment] = []
+        vertex = endpoint
+        while True:
+            value = float(arrival[vertex])
+            best_edge = None
+            for edge in self._in_edge_list(vertex):
+                candidate = arrival[self._edge_src[edge]] + delay[edge]
+                if candidate == value:
+                    best_edge = edge
+                    break
+            if best_edge is None:
+                path.append(
+                    PathSegment(
+                        location=self._vertex_names[vertex],
+                        arc="startpoint",
+                        incremental_delay=0.0,
+                        arrival=value,
+                    )
+                )
+                break
+            path.append(
+                PathSegment(
+                    location=self._vertex_names[vertex],
+                    arc=self._edge_arcs[best_edge],
+                    incremental_delay=float(delay[best_edge]),
+                    arrival=value,
+                )
+            )
+            vertex = int(self._edge_src[best_edge])
+        path.reverse()
+        return path
+
     def critical_path(self, model: DelayModel = DelayModel.ELMORE) -> List[PathSegment]:
         """Trace the worst endpoint's critical path (may be empty)."""
         if not len(self._endpoint_vertices):
@@ -451,40 +578,9 @@ class TimingGraph:
                 np.argmax(arrivals[self._endpoint_vertices, column])
             ]
         )
-        path: List[PathSegment] = []
-        vertex = endpoint
-        while True:
-            arrival = float(arrivals[vertex, column])
-            best_edge = None
-            for edge in self._in_edge_list(vertex):
-                candidate = (
-                    arrivals[self._edge_src[edge], column]
-                    + self._edge_delay[edge, column]
-                )
-                if candidate == arrival:
-                    best_edge = edge
-                    break
-            if best_edge is None:
-                path.append(
-                    PathSegment(
-                        location=self._vertex_names[vertex],
-                        arc="startpoint",
-                        incremental_delay=0.0,
-                        arrival=arrival,
-                    )
-                )
-                break
-            path.append(
-                PathSegment(
-                    location=self._vertex_names[vertex],
-                    arc=self._edge_arcs[best_edge],
-                    incremental_delay=float(self._edge_delay[best_edge, column]),
-                    arrival=arrival,
-                )
-            )
-            vertex = int(self._edge_src[best_edge])
-        path.reverse()
-        return path
+        return self._trace_path(
+            endpoint, arrivals[:, column], self._edge_delay[:, column]
+        )
 
     def run(self, model: DelayModel = DelayModel.ELMORE) -> TimingReport:
         """A legacy-shaped :class:`~repro.sta.analysis.TimingReport` for one model."""
@@ -512,8 +608,14 @@ class TimingGraph:
             return Verdict.FAIL
         return Verdict.INDETERMINATE
 
-    def summary(self) -> DesignTimingSummary:
-        """The JSON-friendly design-level summary (see the CLI's ``timing``)."""
+    def summary(
+        self, path_model: DelayModel = DelayModel.UPPER_BOUND
+    ) -> DesignTimingSummary:
+        """The JSON-friendly design-level summary (see the CLI's ``timing``).
+
+        ``path_model`` selects the delay model the critical path is traced
+        under (the sign-off upper bound by default).
+        """
         worst_slack = {model.value: self.worst_slack(model) for model in _MODELS}
         worst_endpoint: Dict[str, Optional[str]] = {}
         for model in _MODELS:
@@ -528,8 +630,234 @@ class TimingGraph:
             worst_slack=worst_slack,
             worst_endpoint=worst_endpoint,
             verdict=self.certify().name,
-            critical_path=self.critical_path(DelayModel.UPPER_BOUND),
+            critical_path=self.critical_path(path_model),
         )
+
+    # ------------------------------------------------------------------
+    # Scenario-batched analysis
+    # ------------------------------------------------------------------
+    def _scenario_bound_matrix(
+        self,
+        table: ScenarioSinkTable,
+        thresholds: np.ndarray,
+        model: DelayModel,
+    ) -> np.ndarray:
+        """``(S, rows)`` wire delays for one bound model, per-scenario thresholds.
+
+        Scenarios sharing a threshold are evaluated in one batched bound
+        call; rows whose stage carries no capacitance in a scenario stay at
+        zero delay, mirroring the single-scenario ``live`` handling.
+        """
+        bound = (
+            delay_upper_bound_batch
+            if model is DelayModel.UPPER_BOUND
+            else delay_lower_bound_batch
+        )
+        out = np.zeros(table.tde.shape)
+        live = table.live
+        for threshold in np.unique(thresholds):
+            group = thresholds == threshold
+            group_live = live[group]
+            if not np.any(group_live):
+                continue
+            values = bound(
+                table.tp[group][group_live],
+                table.tde[group][group_live],
+                table.tre[group][group_live],
+                [threshold],
+            )[:, 0]
+            block = out[group]
+            block[group_live] = values
+            out[group] = block
+        return out
+
+    def _scenario_edge_delays(
+        self, table: ScenarioSinkTable, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """``(edges, S, 3)`` delay tensor: scenario wire delays, shared cell arcs."""
+        s = table.scenario_count
+        delays = np.broadcast_to(
+            self._edge_delay[:, np.newaxis, :], (self._edge_count, s, 3)
+        ).copy()
+        edges, rows = self._net_edge_rows
+        if len(edges):
+            delays[edges, :, _MODEL_COLUMN[DelayModel.ELMORE]] = table.tde[:, rows].T
+            delays[edges, :, _MODEL_COLUMN[DelayModel.UPPER_BOUND]] = (
+                self._scenario_bound_matrix(table, thresholds, DelayModel.UPPER_BOUND)[
+                    :, rows
+                ].T
+            )
+            delays[edges, :, _MODEL_COLUMN[DelayModel.LOWER_BOUND]] = (
+                self._scenario_bound_matrix(table, thresholds, DelayModel.LOWER_BOUND)[
+                    :, rows
+                ].T
+            )
+        return delays
+
+    def analyze_scenarios(
+        self,
+        scenarios,
+        *,
+        path_model: DelayModel = DelayModel.UPPER_BOUND,
+        with_critical_paths: bool = True,
+    ) -> ScenarioTimingReport:
+        """Propagate every scenario and every delay model in one levelized pass.
+
+        The database solves all stage trees under the scenario derates in one
+        batched forest sweep; the resulting ``(edges, S, 3)`` delay tensor is
+        pushed through the same per-level relaxations as the single-scenario
+        run, with the scenario axis riding along.  Per-scenario worst slack,
+        the ternary verdict (against each scenario's own clock period) and
+        the critical path under ``path_model`` come out together.  The
+        graph's cached single-scenario arrivals are untouched.
+        """
+        table = self._db.solve_scenarios(scenarios)
+        s = table.scenario_count
+        thresholds = scenarios.thresholds(self._threshold)
+        periods = scenarios.clock_periods(self._clock_period)
+        delays = self._scenario_edge_delays(table, thresholds)
+        arrivals = self._propagate_tensor(delays)
+
+        endpoint_names = [
+            name for name in self._endpoints if name in self._vertex_index
+        ]
+        if len(self._endpoint_vertices):
+            endpoint_arrivals = arrivals[self._endpoint_vertices]  # (K, S, 3)
+            worst_slack = periods[:, np.newaxis] - endpoint_arrivals.max(axis=0)
+            worst_index = endpoint_arrivals.argmax(axis=0)  # (S, 3)
+            worst_endpoint = [
+                {
+                    model.value: endpoint_names[int(worst_index[index, column])]
+                    for column, model in enumerate(_MODELS)
+                }
+                for index in range(s)
+            ]
+        else:
+            worst_slack = np.repeat(periods[:, np.newaxis], 3, axis=1)
+            worst_endpoint = [
+                {model.value: None for model in _MODELS} for _ in range(s)
+            ]
+
+        upper = worst_slack[:, _MODEL_COLUMN[DelayModel.UPPER_BOUND]]
+        lower = worst_slack[:, _MODEL_COLUMN[DelayModel.LOWER_BOUND]]
+        verdicts = [
+            Verdict.PASS.name
+            if upper[index] >= 0.0
+            else (
+                Verdict.FAIL.name
+                if lower[index] < 0.0
+                else Verdict.INDETERMINATE.name
+            )
+            for index in range(s)
+        ]
+
+        critical_paths: List[List[PathSegment]] = [[] for _ in range(s)]
+        if with_critical_paths and len(self._endpoint_vertices):
+            column = _MODEL_COLUMN[path_model]
+            for index in range(s):
+                endpoint = int(
+                    self._endpoint_vertices[
+                        np.argmax(arrivals[self._endpoint_vertices, index, column])
+                    ]
+                )
+                critical_paths[index] = self._trace_path(
+                    endpoint, arrivals[:, index, column], delays[:, index, column]
+                )
+
+        return ScenarioTimingReport(
+            design=self._db.design.name,
+            scenario_names=list(table.scenario_names),
+            clock_periods=periods,
+            thresholds=thresholds,
+            worst_slack=worst_slack,
+            worst_endpoint=worst_endpoint,
+            verdicts=verdicts,
+            critical_paths=critical_paths,
+            path_model=path_model.value,
+        )
+
+    def scenario_pin_slacks(
+        self, scenarios, model: DelayModel = DelayModel.UPPER_BOUND
+    ) -> Dict[str, np.ndarray]:
+        """Per-pin slack vectors over the scenario axis, one delay model.
+
+        Runs the forward *and* backward levelized sweeps over the scenario
+        tensor and returns ``required - arrival`` per pin as an ``(S,)``
+        array (``+inf`` off every endpoint cone), keyed by pin name.
+        """
+        table = self._db.solve_scenarios(scenarios)
+        thresholds = scenarios.thresholds(self._threshold)
+        periods = scenarios.clock_periods(self._clock_period)
+        column = _MODEL_COLUMN[model]
+        delays = self._scenario_edge_delays(table, thresholds)[:, :, column]
+        arrivals = self._propagate_tensor(delays)
+        required = np.full(arrivals.shape, np.inf)
+        if len(self._endpoint_vertices):
+            required[self._endpoint_vertices] = periods
+        src = self._edge_src
+        dst = self._edge_dst
+        for bucket in reversed(self._backward_buckets):
+            np.minimum.at(required, src[bucket], required[dst[bucket]] - delays[bucket])
+        slack = required - arrivals
+        return {name: slack[i] for i, name in enumerate(self._vertex_names)}
+
+    def whatif_resize_worst_slack(
+        self,
+        swaps: Sequence[Tuple[str, Cell]],
+        model: DelayModel = DelayModel.UPPER_BOUND,
+    ) -> np.ndarray:
+        """Worst slack if cell swap ``s`` were applied -- all swaps batched.
+
+        Candidates are evaluated *as scenarios*: the database builds one
+        forest element plane per candidate (drive resistance on its output
+        net, input load on the nets it drives), a single batched solve yields
+        every candidate's stage times, and one ``(edges, S)`` propagation
+        produces every candidate's worst slack under ``model``.  Nothing is
+        mutated -- this is the decision kernel of
+        :func:`repro.opt.sizing.upsize_critical_path`, replacing its
+        per-candidate trial loop.
+        """
+        if not swaps:
+            return np.zeros(0)
+        column = _MODEL_COLUMN[model]
+        edge_r, node_c = self._db.whatif_cell_elements(swaps)
+        forest = self._db.forest
+        times = forest.solve_batch(edge_r=edge_r, node_c=node_c, count=len(swaps))
+        layout = self._db._scenario_layout()
+        tp = times.tp[:, layout.sink_tree]
+        tde = times.tde[:, layout.sink_nodes]
+        total = times.total_capacitance[:, layout.sink_tree]
+        if model is DelayModel.ELMORE:
+            wire = tde
+        else:
+            table = ScenarioSinkTable(
+                scenario_names=[name for name, _ in swaps],
+                nets=list(self._db.sinks.nets),
+                pins=list(self._db.sinks.pins),
+                tp=tp,
+                tde=tde,
+                tre=times.tre[:, layout.sink_nodes],
+                total_capacitance=total,
+            )
+            wire = self._scenario_bound_matrix(
+                table, np.full(len(swaps), self._threshold), model
+            )
+        delays = np.broadcast_to(
+            self._edge_delay[:, column][:, np.newaxis],
+            (self._edge_count, len(swaps)),
+        ).copy()
+        edges, rows = self._net_edge_rows
+        if len(edges):
+            delays[edges] = wire[:, rows].T
+        for index, (instance, cell) in enumerate(swaps):
+            for edge in self._cell_edges.get(instance, []):
+                delays[edge, index] = cell.intrinsic_delay
+        arrivals = self._propagate_tensor(delays)
+        if len(self._endpoint_vertices):
+            worst = arrivals[self._endpoint_vertices].max(axis=0)
+        else:
+            worst = np.zeros(len(swaps))
+        return self._clock_period - worst
 
     # ------------------------------------------------------------------
     # Incremental ECO re-timing

@@ -15,18 +15,22 @@ the standard repeater-insertion approximation.
 
 Every stage of every candidate shares one topology (driver resistance, one
 line segment, one load), so the sweep compiles a single
-:class:`~repro.flat.FlatTree` *template* and evaluates each candidate by
-incrementally updating its four element values -- no tree is ever rebuilt.
+:class:`~repro.flat.FlatTree` *template* and evaluates **every stage of
+every candidate plan as one scenario batch**
+(:meth:`~repro.flat.FlatTree.solve_batch`): each stage becomes a row of a
+per-node element plane, and an entire repeater-count sweep is a single
+solve -- no tree is ever rebuilt and no per-candidate solve loop remains.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.bounds import delay_bounds
+import numpy as np
+
 from repro.core.tree import RCTree
-from repro.flat import FlatTree
+from repro.flat import FlatTree, delay_upper_bound_batch
 from repro.mos.drivers import DriverModel
 from repro.utils.checks import require_in_unit_interval, require_non_negative, require_positive
 
@@ -56,13 +60,18 @@ class Repeater:
         )
 
 
+#: One stage's element values: (drive R, segment R, segment C, load C, driver self-load C).
+_StageParams = Tuple[float, float, float, float, float]
+
+
 class _StageTemplate:
-    """One compiled driver + segment + load stage, re-valued per candidate.
+    """One compiled driver + segment + load stage, batch-valued per sweep.
 
     The topology (``src -R-> drv -URC-> sink``) never changes across a
     repeater sweep; only the four element values do.  Compiling it once and
-    using the flat engine's O(depth) incremental updates and single-output
-    query makes each candidate evaluation a handful of scalar operations.
+    evaluating every stage of every candidate as one row of a
+    :meth:`~repro.flat.FlatTree.solve_batch` plane makes a whole sweep a
+    single vectorized solve.
     """
 
     def __init__(self):
@@ -72,6 +81,45 @@ class _StageTemplate:
         self._flat = FlatTree.from_tree(tree)
         self._drv = self._flat.index("drv")
         self._sink = self._flat.index("sink")
+
+    def delays_batch(
+        self,
+        stages: Sequence[_StageParams],
+        threshold: float,
+        use_bounds: bool,
+    ) -> np.ndarray:
+        """Threshold delay of every stage row, one batched solve.
+
+        A stage whose tree carries no capacitance settles instantaneously in
+        the linear model and reports zero delay, mirroring the scalar path.
+        """
+        count = len(stages)
+        edge_r = np.zeros((count, 3))
+        edge_c = np.zeros((count, 3))
+        node_c = np.zeros((count, 3))
+        for row, (drive, seg_r, seg_c, load, self_c) in enumerate(stages):
+            edge_r[row, self._drv] = drive
+            edge_r[row, self._sink] = seg_r
+            edge_c[row, self._sink] = seg_c
+            node_c[row, self._drv] = self_c
+            node_c[row, self._sink] = load
+        times = self._flat.solve_batch(
+            edge_r=edge_r, edge_c=edge_c, node_c=node_c, count=count
+        )
+        tde = times.tde[:, self._sink]
+        live = tde > 0.0
+        if not use_bounds:
+            return np.where(live, tde, 0.0)
+        out = np.zeros(count)
+        if np.any(live):
+            out[live] = delay_upper_bound_batch(
+                times.tp[live],
+                tde[live],
+                times.tre[live, self._sink],
+                [threshold],
+                total_capacitance=times.total_capacitance[live],
+            )[:, 0]
+        return out
 
     def delay(
         self,
@@ -83,39 +131,44 @@ class _StageTemplate:
         use_bounds: bool,
         driver_output_capacitance: float = 0.0,
     ) -> float:
-        """Threshold delay of one stage: driver R + one line segment + one load."""
-        flat = self._flat
-        flat.update_resistance(self._drv, drive_resistance)
-        flat.update_capacitance(self._drv, driver_output_capacitance)
-        flat.update_line(self._sink, segment_resistance, segment_capacitance)
-        flat.update_capacitance(self._sink, load_capacitance)
-        times = flat.characteristic_times(self._sink)
-        if times.tde <= 0.0:
-            return 0.0
-        if use_bounds:
-            return delay_bounds(times, threshold).upper
-        return times.tde
+        """Threshold delay of one stage (a batch of one)."""
+        return float(
+            self.delays_batch(
+                [
+                    (
+                        drive_resistance,
+                        segment_resistance,
+                        segment_capacitance,
+                        load_capacitance,
+                        driver_output_capacitance,
+                    )
+                ],
+                threshold,
+                use_bounds,
+            )[0]
+        )
 
 
-def _stage_delay(
-    drive_resistance: float,
-    segment_resistance: float,
-    segment_capacitance: float,
+def _stage_params(
+    repeater_count: int,
+    driver: DriverModel,
+    repeater: Repeater,
+    line_resistance: float,
+    line_capacitance: float,
     load_capacitance: float,
-    threshold: float,
-    use_bounds: bool,
-    driver_output_capacitance: float = 0.0,
-) -> float:
-    """One-shot stage delay (sweeps share a :class:`_StageTemplate` instead)."""
-    return _StageTemplate().delay(
-        drive_resistance,
-        segment_resistance,
-        segment_capacitance,
-        load_capacitance,
-        threshold,
-        use_bounds,
-        driver_output_capacitance,
-    )
+) -> List[_StageParams]:
+    """Element values of every stage of one repeater plan, in stage order."""
+    stages = repeater_count + 1
+    segment_r = line_resistance / stages
+    segment_c = line_capacitance / stages
+    rows: List[_StageParams] = []
+    for stage in range(stages):
+        is_last = stage == stages - 1
+        drive = driver.effective_resistance if stage == 0 else repeater.drive_resistance
+        load = load_capacitance if is_last else repeater.input_capacitance
+        self_loading = driver.output_capacitance if stage == 0 else 0.0
+        rows.append((drive, segment_r, segment_c, load, self_loading))
+    return rows
 
 
 @dataclass(frozen=True)
@@ -154,31 +207,15 @@ def buffered_line_delay(
     require_non_negative("load_capacitance", load_capacitance)
     require_in_unit_interval("threshold", threshold, open_ends=True)
 
-    stages = repeater_count + 1
-    segment_r = line_resistance / stages
-    segment_c = line_capacitance / stages
     template = _template or _StageTemplate()
-
-    delays = []
-    for stage in range(stages):
-        is_last = stage == stages - 1
-        drive = driver.effective_resistance if stage == 0 else repeater.drive_resistance
-        load = load_capacitance if is_last else repeater.input_capacitance
-        self_loading = driver.output_capacitance if stage == 0 else 0.0
-        delays.append(
-            template.delay(
-                drive,
-                segment_r,
-                segment_c,
-                load,
-                threshold,
-                use_bounds,
-                driver_output_capacitance=self_loading,
-            )
-        )
+    rows = _stage_params(
+        repeater_count, driver, repeater,
+        line_resistance, line_capacitance, load_capacitance,
+    )
+    delays = template.delays_batch(rows, threshold, use_bounds)
     return BufferingPlan(
         repeater_count=repeater_count,
-        stage_delays=delays,
+        stage_delays=delays.tolist(),
         repeater=repeater,
         threshold=threshold,
     )
@@ -197,32 +234,36 @@ def optimal_buffer_count(
 ) -> BufferingPlan:
     """Sweep the repeater count and return the plan with the smallest delay.
 
-    The delay is unimodal in the repeater count, so the sweep stops once two
-    consecutive counts make things worse.  One compiled stage template is
-    shared by every candidate, so the whole sweep allocates no trees.
+    Every stage of every candidate count becomes one row of a single
+    :meth:`~repro.flat.FlatTree.solve_batch` plane, so the whole sweep is one
+    vectorized solve followed by per-plan sums -- no per-candidate loop,
+    no trees allocated.
     """
-    best: Optional[BufferingPlan] = None
-    worse_in_a_row = 0
+    require_positive("line_resistance", line_resistance)
+    require_positive("line_capacitance", line_capacitance)
+    require_non_negative("load_capacitance", load_capacitance)
+    require_in_unit_interval("threshold", threshold, open_ends=True)
     template = _StageTemplate()
+    rows: List[_StageParams] = []
+    spans: List[Tuple[int, int, int]] = []
     for count in range(0, max_repeaters + 1):
-        plan = buffered_line_delay(
-            count,
-            driver,
-            repeater,
-            line_resistance,
-            line_capacitance,
-            load_capacitance,
+        plan_rows = _stage_params(
+            count, driver, repeater,
+            line_resistance, line_capacitance, load_capacitance,
+        )
+        spans.append((count, len(rows), len(rows) + len(plan_rows)))
+        rows.extend(plan_rows)
+    delays = template.delays_batch(rows, threshold, use_bounds)
+    best: Optional[BufferingPlan] = None
+    for count, start, stop in spans:
+        plan = BufferingPlan(
+            repeater_count=count,
+            stage_delays=delays[start:stop].tolist(),
+            repeater=repeater,
             threshold=threshold,
-            use_bounds=use_bounds,
-            _template=template,
         )
         if best is None or plan.total_delay < best.total_delay:
             best = plan
-            worse_in_a_row = 0
-        else:
-            worse_in_a_row += 1
-            if worse_in_a_row >= 2:
-                break
     return best
 
 

@@ -13,30 +13,38 @@ bisects for the smallest such size -- i.e. it answers "what is the cheapest
 driver that is *provably* fast enough", which is exactly the certification
 question (use 3 in the paper's abstract) turned into a design knob.
 
-The search never rebuilds the net per candidate: an evaluator probes the
-``NetFactory`` with a few driver sizes, verifies that the topology is
-driver-independent and that the driver enters the tree only through its
-resistance and output capacitance (the universal case -- every factory in
-this repository does exactly that), then compiles the net *once* into a
-:class:`~repro.flat.FlatTree` and evaluates each candidate by incrementally
-updating the driver's element values.  Factories that fail the probe fall
-back to a compile per candidate, still through the flat engine.
+The search never rebuilds the net per candidate -- and it never *solves* per
+candidate either: an evaluator probes the ``NetFactory`` with a few driver
+sizes, verifies that the topology is driver-independent and that the driver
+enters the tree only through its resistance and output capacitance (the
+universal case -- every factory in this repository does exactly that), then
+compiles the net *once* into a :class:`~repro.flat.FlatTree` and evaluates
+**all candidates as scenarios in one batched solve**
+(:meth:`~repro.flat.FlatTree.solve_batch`): each candidate becomes one row
+of a per-node element plane.  Factories that fail the probe fall back to a
+compile per candidate, still through the flat engine -- the unavoidable path
+when the topology itself depends on the driver.
 
 Beyond single nets, :func:`upsize_critical_path` runs the same knob at
-*design scope*: an ECO loop over a :class:`~repro.graph.TimingGraph` that
-repeatedly swaps the most heavily loaded critical-path driver for its next
-drive strength, re-timing only the affected cone after each swap (the
-incremental machinery of :meth:`~repro.graph.TimingGraph.resize_instance`).
+*design scope*: an ECO loop over a :class:`~repro.graph.TimingGraph` that,
+per iteration, evaluates **every** upsizable critical-path instance as a
+what-if scenario in one batched solve
+(:meth:`~repro.graph.TimingGraph.whatif_resize_worst_slack`), applies the
+swap with the best resulting worst slack, and re-times only the affected
+cone (the incremental machinery of
+:meth:`~repro.graph.TimingGraph.resize_instance`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.bounds import delay_bounds
 from repro.core.tree import RCTree
-from repro.flat import FlatTree
+from repro.flat import FlatTree, delay_upper_bound_batch
 from repro.mos.drivers import DriverModel
 from repro.sta.cells import Cell
 from repro.sta.delaycalc import DelayModel
@@ -95,6 +103,8 @@ class _DelayEvaluator:
         self._threshold = threshold
         self._output = output
         self._template: Optional[FlatTree] = None
+        self._r_edges: List[Tuple[int, float]] = []
+        self._c_nodes: List[Tuple[int, float]] = []
         self._base = base_driver
         self._probe(base_driver)
 
@@ -157,31 +167,75 @@ class _DelayEvaluator:
             # The driver does not enter the tree at all; nothing to update,
             # but the fixed topology still lets us compile once.
             pass
-        self._template = FlatTree.from_tree(reference)
-        self._r_edges = r_edges
-        self._c_nodes = c_nodes
+        template = FlatTree.from_tree(reference)
+        self._template = template
+        self._r_edges = [(template.index(name), base) for name, base in r_edges]
+        self._c_nodes = [(template.index(name), base) for name, base in c_nodes]
+        self._target_index = template.index(self._target)
 
     # ------------------------------------------------------------------
-    def delay(self, driver: DriverModel) -> float:
-        template = self._template
-        if template is not None:
-            dr = driver.effective_resistance - self._base.effective_resistance
-            dc = driver.output_capacitance - self._base.output_capacitance
-            values = [(node, base + dr) for node, base in self._r_edges]
-            if all(value > 0.0 for _, value in values) and all(
-                base + dc >= 0.0 for _, base in self._c_nodes
-            ):
-                for node, value in values:
-                    template.update_resistance(node, value)
-                for node, base in self._c_nodes:
-                    template.update_capacitance(node, base + dc)
-                times = template.characteristic_times(self._target)
-                return delay_bounds(times, self._threshold).upper
-        # Fallback: rebuild through the factory, still analysed flat.
+    def _fallback_delay(self, driver: DriverModel) -> float:
+        """Rebuild through the factory (topology-varying case), still flat."""
         tree = self._factory(driver)
         flat = FlatTree.from_tree(tree)
         times = flat.characteristic_times(_resolve_target(tree, self._output))
         return delay_bounds(times, self._threshold).upper
+
+    def delays(self, drivers: Sequence[DriverModel]) -> List[float]:
+        """Guaranteed delay of every candidate driver, one batched solve.
+
+        Candidates that keep every templated element value physical (positive
+        resistances, non-negative capacitances) become rows of a per-node
+        element plane evaluated by a single
+        :meth:`~repro.flat.FlatTree.solve_batch`; the rest (and every
+        candidate of a probe-rejected factory) fall back to a per-candidate
+        factory rebuild.
+        """
+        template = self._template
+        results: List[Optional[float]] = [None] * len(drivers)
+        batched: List[int] = []
+        if template is not None:
+            base_r = self._base.effective_resistance
+            base_c = self._base.output_capacitance
+            deltas = []
+            for position, driver in enumerate(drivers):
+                dr = driver.effective_resistance - base_r
+                dc = driver.output_capacitance - base_c
+                if all(base + dr > 0.0 for _, base in self._r_edges) and all(
+                    base + dc >= 0.0 for _, base in self._c_nodes
+                ):
+                    batched.append(position)
+                    deltas.append((dr, dc))
+            if batched:
+                count = len(batched)
+                edge_r = np.repeat(template._edge_r[np.newaxis, :], count, axis=0)
+                node_c = np.repeat(template._node_c[np.newaxis, :], count, axis=0)
+                for row, (dr, dc) in enumerate(deltas):
+                    for node, base in self._r_edges:
+                        edge_r[row, node] = base + dr
+                    for node, base in self._c_nodes:
+                        node_c[row, node] = base + dc
+                times = template.solve_batch(
+                    edge_r=edge_r, node_c=node_c, count=count
+                )
+                target = self._target_index
+                upper = delay_upper_bound_batch(
+                    times.tp,
+                    times.tde[:, target],
+                    times.tre[:, target],
+                    [self._threshold],
+                    total_capacitance=times.total_capacitance,
+                )[:, 0]
+                for row, position in enumerate(batched):
+                    results[position] = float(upper[row])
+        for position, driver in enumerate(drivers):
+            if results[position] is None:
+                results[position] = self._fallback_delay(driver)
+        return results
+
+    def delay(self, driver: DriverModel) -> float:
+        """Guaranteed delay of one candidate (a batch of one)."""
+        return self.delays([driver])[0]
 
 
 def _guaranteed_delay(net_factory: NetFactory, driver: DriverModel, output: Optional[str], threshold: float) -> float:
@@ -200,16 +254,19 @@ def sweep_driver_sizes(
     scales: Optional[List[float]] = None,
     _evaluator: Optional[_DelayEvaluator] = None,
 ) -> List[Tuple[float, float]]:
-    """Guaranteed delay versus drive strength over a geometric size grid."""
+    """Guaranteed delay versus drive strength over a geometric size grid.
+
+    The whole grid is evaluated as one scenario batch (see
+    :meth:`_DelayEvaluator.delays`) -- no per-candidate solve loop.
+    """
     require_in_unit_interval("threshold", threshold, open_ends=True)
     if scales is None:
         scales = [0.25 * (2.0 ** (i / 2.0)) for i in range(17)]  # 0.25x .. 64x
-    evaluator = _evaluator or _DelayEvaluator(net_factory, base_driver, output, threshold)
-    results = []
     for scale in scales:
         require_positive("scale", scale)
-        results.append((scale, evaluator.delay(base_driver.scaled(scale))))
-    return results
+    evaluator = _evaluator or _DelayEvaluator(net_factory, base_driver, output, threshold)
+    delays = evaluator.delays([base_driver.scaled(scale) for scale in scales])
+    return list(zip(scales, delays))
 
 
 def size_driver_for_deadline(
@@ -252,26 +309,37 @@ def size_driver_for_deadline(
         )
 
     smallest_meeting_scale = min(scale for scale, _ in meeting)
-    # Bisect between the largest failing scale below it (if any) and the
-    # smallest passing scale for the cheapest driver that still passes.
+    chosen_delay = dict(meeting)[smallest_meeting_scale]
+    # Refine between the largest failing scale below (if any) and the
+    # smallest passing scale: each round evaluates a whole sub-grid as one
+    # scenario batch (batched rounds instead of a scalar bisection loop) and
+    # shrinks the bracket by its grid resolution, stopping -- like the old
+    # bisection -- once the bracket is within 1e-4 of the chosen scale.
+    # ``refinement_steps`` still budgets the total number of candidate
+    # evaluations (0 skips refinement and returns the grid answer).
     failing_below = [scale for scale, delay in sweep if scale < smallest_meeting_scale and delay > deadline]
     lo = max(failing_below) if failing_below else smallest_meeting_scale * 0.5
     hi = smallest_meeting_scale
-    for _ in range(refinement_steps):
-        mid = 0.5 * (lo + hi)
-        if evaluator.delay(base_driver.scaled(mid)) <= deadline:
-            hi = mid
-        else:
-            lo = mid
+    rounds = min(3, refinement_steps)
+    points = max(2, refinement_steps // rounds) if rounds else 0
+    for _ in range(rounds):
         if hi - lo <= 1e-4 * hi:
             break
+        grid = [lo + (hi - lo) * (k + 1) / (points + 1) for k in range(points)]
+        delays = evaluator.delays([base_driver.scaled(scale) for scale in grid])
+        new_lo = lo
+        for scale, delay in zip(grid, delays):
+            if delay <= deadline:
+                hi, chosen_delay = scale, delay
+                break
+            new_lo = scale
+        lo = new_lo
 
-    chosen = base_driver.scaled(hi)
     return SizingResult(
         feasible=True,
         scale=hi,
-        driver=chosen,
-        guaranteed_delay=evaluator.delay(chosen),
+        driver=base_driver.scaled(hi),
+        guaranteed_delay=chosen_delay,
         deadline=deadline,
         threshold=threshold,
         sweep=sweep,
@@ -325,42 +393,41 @@ def upsize_critical_path(
 ) -> EcoResult:
     """Design-scope ECO loop: upsize critical-path drivers until timing is met.
 
-    Each iteration traces the worst path under ``model`` (the sign-off
-    upper bound by default), picks the path instance whose cell arc plus
-    driven-net arc contributes the most delay *and* still has a stronger
-    library variant, swaps it, and lets the graph re-time just the affected
-    cone.  Stops when the worst slack is non-negative, no upsizable candidate
-    remains, or ``max_steps`` swaps were spent.  The swaps are applied to the
-    shared design in place (this is an ECO, not a what-if).
+    Each iteration traces the worst path under ``model`` (the sign-off upper
+    bound by default), collects *every* path instance that still has a
+    stronger library variant, and evaluates all of those candidate swaps **as
+    scenarios in one batched solve**
+    (:meth:`~repro.graph.TimingGraph.whatif_resize_worst_slack`) -- no
+    trial-swap loop.  The swap with the best resulting worst slack is applied
+    for real and the graph re-times just the affected cone.  Stops when the
+    worst slack is non-negative, no upsizable candidate remains, or
+    ``max_steps`` swaps were spent.  The applied swaps mutate the shared
+    design in place (this is an ECO, not a what-if).
     """
     steps: List[EcoStep] = []
     worst = graph.worst_slack(model)
     while worst < 0.0 and len(steps) < max_steps:
         path = graph.critical_path(model)
-        candidate: Optional[Tuple[str, Cell]] = None
-        score = float("-inf")
-        for position, segment in enumerate(path):
+        candidates: List[Tuple[str, Cell]] = []
+        seen = set()
+        for segment in path:
             if "/" not in segment.location:
                 continue
             instance_name = segment.location.split("/", 1)[0]
+            if instance_name in seen:
+                continue
             record = graph.db.instances.get(instance_name)
             if record is None or not segment.arc.startswith(record.cell.name):
                 continue
             stronger = next_drive_strength(record.cell, library)
             if stronger is None:
                 continue
-            driven = (
-                path[position + 1].incremental_delay
-                if position + 1 < len(path)
-                else 0.0
-            )
-            contribution = segment.incremental_delay + driven
-            if contribution > score:
-                score = contribution
-                candidate = (instance_name, stronger)
-        if candidate is None:
+            seen.add(instance_name)
+            candidates.append((instance_name, stronger))
+        if not candidates:
             break
-        instance_name, stronger = candidate
+        outcomes = graph.whatif_resize_worst_slack(candidates, model=model)
+        instance_name, stronger = candidates[int(np.argmax(outcomes))]
         old_cell = graph.db.instances[instance_name].cell.name
         cone = graph.resize_instance(instance_name, stronger)
         after = graph.worst_slack(model)

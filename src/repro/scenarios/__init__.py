@@ -1,0 +1,374 @@
+"""Named analysis scenarios: corners, derates and what-if parameterizations.
+
+The paper's bounds are sold on being cheap enough to re-evaluate under every
+process/environment assumption a designer cares about.  This module is the
+vocabulary for those assumptions:
+
+* :class:`Scenario` -- one named parameterization: multiplicative derates on
+  wire resistance (``r_derate``), on every capacitance (``c_derate``) and on
+  driver resistances (``drive_derate``); optional absolute overrides for the
+  clock period and the bound threshold; and per-net parasitic scale factors
+  for localized extraction uncertainty.
+* :class:`ScenarioSet` -- an ordered batch of scenarios that **compiles to
+  broadcastable numpy arrays**, which is what the scenario-batched solvers
+  consume: :meth:`repro.flat.FlatTree.solve_scenarios`,
+  :meth:`repro.graph.DesignDB.solve_scenarios` and
+  :meth:`repro.graph.TimingGraph.analyze_scenarios` all evaluate every
+  scenario in the *same* vectorized level sweeps, adding a leading ``(S,)``
+  axis instead of re-running the pipeline per scenario.
+* :class:`ParameterPlane` -- the low-level ``(S,)``-broadcastable scale plane
+  a bare :class:`~repro.flat.FlatTree` understands (no net/driver concepts).
+* :func:`scaled_cell` / :func:`scaled_parasitics` / :func:`scaled_design` --
+  materialize *one* scenario as concrete scaled inputs for the
+  single-scenario engine.  This is both a user-facing escape hatch and the
+  reference loop the parity tests and ``benchmarks/bench_scenarios.py``
+  compare the batched axis against (rtol 1e-12).
+
+Semantics, precisely:
+
+* ``r_derate`` multiplies every **wire** resistance; ``drive_derate``
+  multiplies every **driver** resistance (cell drive resistance and the
+  primary-input drive), including the engine's 1e-6 ohm placeholder for
+  zero-resistance drivers;
+* ``c_derate`` multiplies every capacitance -- wire (lumped and distributed)
+  and sink-pin loads alike;
+* a per-net ``net_scale`` factor additionally multiplies that net's *wire*
+  parasitics (R and C) but **not** the pin loads attached to it, modelling a
+  net-specific extraction uncertainty;
+* ``clock_period`` / ``threshold``, when set, replace the analysis defaults
+  for that scenario only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+from repro.core.tree import RCTree
+from repro.sta.cells import Cell
+from repro.sta.netlist import Design
+from repro.sta.parasitics import NetParasitics, lumped, rc_tree_parasitics
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "ParameterPlane",
+    "scaled_cell",
+    "scaled_tree",
+    "scaled_parasitics",
+    "scaled_design",
+]
+
+
+def _require_factor(name: str, value: float) -> float:
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise AnalysisError(f"{name} must be a finite positive factor, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named analysis parameterization (see the module docstring)."""
+
+    name: str
+    r_derate: float = 1.0
+    c_derate: float = 1.0
+    drive_derate: float = 1.0
+    clock_period: Optional[float] = None
+    threshold: Optional[float] = None
+    net_scale: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        _require_factor("r_derate", self.r_derate)
+        _require_factor("c_derate", self.c_derate)
+        _require_factor("drive_derate", self.drive_derate)
+        if self.clock_period is not None and not self.clock_period > 0.0:
+            raise AnalysisError("clock_period override must be positive")
+        if self.threshold is not None and not 0.0 <= self.threshold < 1.0:
+            raise AnalysisError("threshold override must lie in [0, 1)")
+        frozen = {net: _require_factor(f"net_scale[{net}]", s) for net, s in self.net_scale.items()}
+        object.__setattr__(self, "net_scale", frozen)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the CLI's ``--corners`` JSON schema)."""
+        payload: dict = {
+            "name": self.name,
+            "r_derate": self.r_derate,
+            "c_derate": self.c_derate,
+            "drive_derate": self.drive_derate,
+        }
+        if self.clock_period is not None:
+            payload["clock_period"] = self.clock_period
+        if self.threshold is not None:
+            payload["threshold"] = self.threshold
+        if self.net_scale:
+            payload["net_scale"] = dict(self.net_scale)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Scenario":
+        known = {
+            "name", "r_derate", "c_derate", "drive_derate",
+            "clock_period", "threshold", "net_scale",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise AnalysisError(f"unknown scenario keys {sorted(unknown)!r}")
+        if "name" not in payload:
+            raise AnalysisError("a scenario needs a name")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class ParameterPlane:
+    """``(S,)``-broadcastable element scales for a bare flat tree.
+
+    ``r_scale`` multiplies edge resistances, ``c_scale`` every capacitance
+    (edge and node).  Shapes may be ``(S,)`` (one factor per scenario) or
+    ``(S, N)`` (a per-node plane).
+    """
+
+    r_scale: np.ndarray
+    c_scale: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "r_scale", np.atleast_1d(np.asarray(self.r_scale, dtype=float)))
+        object.__setattr__(self, "c_scale", np.atleast_1d(np.asarray(self.c_scale, dtype=float)))
+        if len(self.r_scale) != len(self.c_scale):
+            raise AnalysisError("r_scale and c_scale must agree on the scenario count")
+
+    @property
+    def count(self) -> int:
+        """Number of scenarios ``S``."""
+        return self.r_scale.shape[0]
+
+
+class ScenarioSet(Sequence):
+    """An ordered, named batch of scenarios compiled to broadcast arrays."""
+
+    def __init__(self, scenarios: Sequence[Scenario]):
+        self._scenarios: List[Scenario] = list(scenarios)
+        if not self._scenarios:
+            raise AnalysisError("a scenario set needs at least one scenario")
+        names = [s.name for s in self._scenarios]
+        if len(set(names)) != len(names):
+            raise AnalysisError("scenario names must be unique")
+        self._r = np.asarray([s.r_derate for s in self._scenarios])
+        self._c = np.asarray([s.c_derate for s in self._scenarios])
+        self._drive = np.asarray([s.drive_derate for s in self._scenarios])
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios)
+
+    def __getitem__(self, index) -> Union[Scenario, "ScenarioSet"]:
+        if isinstance(index, slice):
+            return ScenarioSet(self._scenarios[index])
+        return self._scenarios[index]
+
+    @property
+    def names(self) -> List[str]:
+        """Scenario names, in batch order."""
+        return [s.name for s in self._scenarios]
+
+    # ------------------------------------------------------------------
+    # Compiled broadcast arrays
+    # ------------------------------------------------------------------
+    @property
+    def r_derates(self) -> np.ndarray:
+        """Wire-resistance derate per scenario, shape ``(S,)``."""
+        return self._r
+
+    @property
+    def c_derates(self) -> np.ndarray:
+        """Capacitance derate per scenario, shape ``(S,)``."""
+        return self._c
+
+    @property
+    def drive_derates(self) -> np.ndarray:
+        """Driver-resistance derate per scenario, shape ``(S,)``."""
+        return self._drive
+
+    def thresholds(self, default: float) -> np.ndarray:
+        """Per-scenario bound threshold, overrides applied, shape ``(S,)``."""
+        return np.asarray(
+            [default if s.threshold is None else s.threshold for s in self._scenarios]
+        )
+
+    def clock_periods(self, default: float) -> np.ndarray:
+        """Per-scenario clock period, overrides applied, shape ``(S,)``."""
+        return np.asarray(
+            [default if s.clock_period is None else s.clock_period for s in self._scenarios]
+        )
+
+    def net_scales(self, nets: Sequence[str]) -> np.ndarray:
+        """Per-net wire-parasitic scale matrix, shape ``(S, len(nets))``."""
+        matrix = np.ones((len(self._scenarios), len(nets)))
+        column = {net: j for j, net in enumerate(nets)}
+        for i, scenario in enumerate(self._scenarios):
+            for net, factor in scenario.net_scale.items():
+                j = column.get(net)
+                if j is not None:
+                    matrix[i, j] = factor
+        return matrix
+
+    def tree_plane(self) -> ParameterPlane:
+        """The bare-tree scale plane (net/driver/period knobs do not apply)."""
+        return ParameterPlane(r_scale=self._r, c_scale=self._c)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def corners(
+        cls,
+        *,
+        slow: float = 1.15,
+        fast: float = 0.9,
+        drive_spread: float = 1.2,
+    ) -> "ScenarioSet":
+        """The classic three-corner set: typical, slow (derated up), fast."""
+        return cls(
+            [
+                Scenario("typical"),
+                Scenario(
+                    "slow", r_derate=slow, c_derate=slow, drive_derate=drive_spread
+                ),
+                Scenario(
+                    "fast", r_derate=fast, c_derate=fast, drive_derate=1.0 / drive_spread
+                ),
+            ]
+        )
+
+    @classmethod
+    def monte_carlo(
+        cls,
+        count: int,
+        seed: int = 0,
+        *,
+        r_sigma: float = 0.08,
+        c_sigma: float = 0.08,
+        drive_sigma: float = 0.06,
+        prefix: str = "mc",
+    ) -> "ScenarioSet":
+        """``count`` seeded lognormal perturbation scenarios (seed-stable)."""
+        if count < 1:
+            raise AnalysisError("count must be >= 1")
+        rng = random.Random(seed)
+        scenarios = []
+        for index in range(count):
+            scenarios.append(
+                Scenario(
+                    f"{prefix}{index}",
+                    r_derate=float(np.exp(rng.gauss(0.0, r_sigma))),
+                    c_derate=float(np.exp(rng.gauss(0.0, c_sigma))),
+                    drive_derate=float(np.exp(rng.gauss(0.0, drive_sigma))),
+                )
+            )
+        return cls(scenarios)
+
+    @classmethod
+    def from_dict(cls, payload) -> "ScenarioSet":
+        """Parse the CLI's ``--corners`` JSON: a list, or ``{"scenarios": [...]}``."""
+        if isinstance(payload, Mapping):
+            payload = payload.get("scenarios")
+        if not isinstance(payload, Sequence) or isinstance(payload, (str, bytes)):
+            raise AnalysisError(
+                'a scenario spec is a list of scenario objects or {"scenarios": [...]}'
+            )
+        return cls([Scenario.from_dict(record) for record in payload])
+
+    def to_dict(self) -> dict:
+        """Round-trippable plain-dict form."""
+        return {"scenarios": [s.to_dict() for s in self._scenarios]}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ScenarioSet({self.names!r})"
+
+
+# ----------------------------------------------------------------------
+# Materializing one scenario for the single-scenario engine
+# ----------------------------------------------------------------------
+def scaled_cell(cell: Cell, scenario: Scenario) -> Cell:
+    """``cell`` with the scenario's capacitance and drive derates applied."""
+    return Cell(
+        name=cell.name,
+        inputs=cell.inputs,
+        output=cell.output,
+        input_capacitance=cell.input_capacitance * scenario.c_derate,
+        drive_resistance=cell.drive_resistance * scenario.drive_derate,
+        intrinsic_delay=cell.intrinsic_delay,
+        is_sequential=cell.is_sequential,
+        clock_pin=cell.clock_pin,
+    )
+
+
+def scaled_tree(tree: RCTree, r_factor: float, c_factor: float) -> RCTree:
+    """A copy of ``tree`` with every R multiplied by ``r_factor``, every C by ``c_factor``."""
+    out = RCTree(tree.root)
+    root_cap = tree.node_capacitance(tree.root)
+    if root_cap:
+        out.add_capacitor(tree.root, root_cap * c_factor)
+    for name in tree.nodes:
+        edge = tree.parent_edge(name)
+        if edge is None:
+            continue
+        if edge.is_distributed:
+            out.add_line(
+                edge.parent, name, edge.resistance * r_factor, edge.capacitance * c_factor
+            )
+        else:
+            out.add_resistor(edge.parent, name, edge.resistance * r_factor)
+        cap = tree.node_capacitance(name)
+        if cap:
+            out.add_capacitor(name, cap * c_factor)
+    for output in tree.outputs:
+        out.mark_output(output)
+    return out
+
+
+def scaled_parasitics(record: NetParasitics, scenario: Scenario) -> NetParasitics:
+    """``record`` with the scenario's wire derates (including its per-net scale)."""
+    net_factor = scenario.net_scale.get(record.net, 1.0)
+    r_factor = scenario.r_derate * net_factor
+    c_factor = scenario.c_derate * net_factor
+    if record.tree is None:
+        return lumped(record.net, record.lumped_capacitance * c_factor)
+    return rc_tree_parasitics(
+        record.net, scaled_tree(record.tree, r_factor, c_factor), dict(record.pin_nodes)
+    )
+
+
+def scaled_design(design: Design, scenario: Scenario) -> Design:
+    """A copy of ``design`` whose cells carry the scenario's derates.
+
+    Together with :func:`scaled_parasitics` (applied per net) this
+    materializes one scenario as plain single-scenario inputs: analysing the
+    scaled design with the clock period and threshold overrides must agree
+    with the batched scenario axis at 1e-12 relative tolerance -- that parity
+    is pinned by ``tests/properties/test_scenario_parity.py``.
+    """
+    out = Design(design.name)
+    for net in design.primary_inputs:
+        out.add_primary_input(net)
+    for net in design.clocks:
+        out.add_clock(net)
+    cache: Dict[str, Cell] = {}
+    for instance in design.instances.values():
+        cell = cache.get(instance.cell.name)
+        if cell is None:
+            cell = cache[instance.cell.name] = scaled_cell(instance.cell, scenario)
+        out.add_instance(instance.name, cell, **instance.connections)
+    for net in design.primary_outputs:
+        out.add_primary_output(net)
+    return out

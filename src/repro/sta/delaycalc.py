@@ -78,7 +78,7 @@ def compile_stage(
     base: Optional[FlatTree] = None,
     pin_nodes: Optional[Mapping[str, str]] = None,
     _trusted: bool = False,
-) -> Tuple[FlatTree, Dict[str, int]]:
+) -> Tuple[FlatTree, Dict[str, int], np.ndarray]:
     """Compile one stage (drive resistance + net + sink loads) straight to arrays.
 
     The stage tree is assembled without any intermediate dict
@@ -86,7 +86,12 @@ def compile_stage(
     into the net, a lumped net is a single extra node, and a distributed net
     grafts the (pre-compiled) ``base`` flat tree behind the drive resistance by
     prepending one node and shifting the parent indices.  Returns the compiled
-    :class:`~repro.flat.FlatTree` together with a map sink pin -> node index.
+    :class:`~repro.flat.FlatTree`, a map sink pin -> node index, and the
+    *wire-only* node-capacitance array (the stage's node capacitances before
+    any pin load was added).  The wire/pin split is what lets the
+    scenario-batched solver of :class:`~repro.graph.DesignDB` derate wire
+    parasitics and pin loads independently without a cancellation-prone
+    subtraction.
 
     ``pin_nodes`` maps sink pins to ``base`` node names; unbound pins attach at
     the last preorder leaf (the far end of the tree, the most pessimistic
@@ -109,7 +114,8 @@ def compile_stage(
             _depth=[0, 1],
             _trusted=_trusted,
         )
-        return flat, {pin: 1 for pin in sink_capacitance}
+        wire_c = np.asarray([0.0, lumped_capacitance])
+        return flat, {pin: 1 for pin in sink_capacitance}, wire_c
 
     # Distributed net: graft the compiled tree behind the drive resistance.
     n = len(base)
@@ -140,6 +146,7 @@ def compile_stage(
 
     pin_nodes = pin_nodes or {}
     pin_index: Dict[str, int] = {}
+    wire_c = node_c.copy()
     for pin, capacitance in sink_capacitance.items():
         node = pin_nodes.get(pin)
         if node is None:
@@ -152,7 +159,7 @@ def compile_stage(
     flat = FlatTree(
         names, parent, edge_r, edge_c, node_c, is_output, _depth=depth, _trusted=_trusted
     )
-    return flat, pin_index
+    return flat, pin_index, wire_c
 
 
 @dataclass(frozen=True)
@@ -224,7 +231,7 @@ def stage_characteristic_times(
     base = _base
     if base is None and parasitics.tree is not None:
         base = FlatTree.from_tree(parasitics.tree)
-    flat, pin_index = compile_stage(
+    flat, pin_index, _ = compile_stage(
         resistance,
         sink_capacitance,
         lumped_capacitance=parasitics.lumped_capacitance,

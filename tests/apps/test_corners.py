@@ -1,0 +1,75 @@
+"""Tests for the design-level corner-sweep and sensitivity reports."""
+
+import pytest
+
+from repro.apps.corners import (
+    corner_sweep,
+    corner_sweep_table,
+    derate_sensitivity,
+)
+from repro.generators import random_design
+from repro.graph import TimingGraph
+from repro.scenarios import Scenario, ScenarioSet
+from repro.sta.delaycalc import DelayModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    design, parasitics = random_design(40, seed=9, sequential_fraction=0.2)
+    return TimingGraph(
+        design, parasitics, clock_period=1.5e-9, input_drive_resistance=100.0
+    )
+
+
+class TestCornerSweep:
+    def test_rows_match_batched_report(self, graph):
+        scenarios = ScenarioSet.corners()
+        rows = corner_sweep(graph, scenarios)
+        report = graph.analyze_scenarios(scenarios, with_critical_paths=False)
+        assert [row.name for row in rows] == scenarios.names
+        for index, row in enumerate(rows):
+            assert row.worst_slack[DelayModel.UPPER_BOUND.value] == pytest.approx(
+                float(report.worst_slack[index, 1])
+            )
+            assert row.verdict == report.verdicts[index]
+
+    def test_slow_corner_is_slower(self, graph):
+        rows = {row.name: row for row in corner_sweep(graph, ScenarioSet.corners())}
+        key = DelayModel.UPPER_BOUND.value
+        assert rows["slow"].worst_slack[key] < rows["typical"].worst_slack[key]
+        assert rows["fast"].worst_slack[key] > rows["typical"].worst_slack[key]
+
+    def test_bound_spread_is_non_negative(self, graph):
+        for row in corner_sweep(graph, ScenarioSet.corners()):
+            assert row.bound_spread >= 0.0
+
+    def test_per_corner_overrides_reported(self, graph):
+        rows = corner_sweep(
+            graph,
+            ScenarioSet([Scenario("alt", clock_period=9e-9, threshold=0.8)]),
+        )
+        assert rows[0].clock_period == pytest.approx(9e-9)
+        assert rows[0].threshold == pytest.approx(0.8)
+
+    def test_table_formats(self, graph):
+        table = corner_sweep_table(graph, ScenarioSet.corners())
+        assert "corner sweep" in table
+        assert "slow" in table and "typical" in table
+
+
+class TestDerateSensitivity:
+    def test_all_knobs_hurt_when_derated_up(self, graph):
+        sensitivities = derate_sensitivity(graph)
+        assert set(sensitivities) == {"r_derate", "c_derate", "drive_derate"}
+        for knob, slope in sensitivities.items():
+            assert slope <= 0.0, knob
+
+    def test_capacitance_dominates_resistance_here(self, graph):
+        # Every stage delay carries a C term; the wire-R term only multiplies
+        # downstream C, so |d slack / d c_derate| >= |d slack / d r_derate|.
+        sensitivities = derate_sensitivity(graph)
+        assert abs(sensitivities["c_derate"]) >= abs(sensitivities["r_derate"])
+
+    def test_delta_validation(self, graph):
+        with pytest.raises(ValueError):
+            derate_sensitivity(graph, delta=0.0)

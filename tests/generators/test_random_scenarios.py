@@ -1,0 +1,48 @@
+"""Tests for the seed-stable random scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import random_scenarios
+
+
+class TestRandomScenarios:
+    def test_seed_stability(self):
+        a = random_scenarios(16, seed=3)
+        b = random_scenarios(16, seed=3)
+        np.testing.assert_array_equal(a.r_derates, b.r_derates)
+        np.testing.assert_array_equal(a.c_derates, b.c_derates)
+        np.testing.assert_array_equal(a.drive_derates, b.drive_derates)
+        assert a.names == b.names
+
+    def test_different_seeds_differ(self):
+        a = random_scenarios(16, seed=3)
+        b = random_scenarios(16, seed=4)
+        assert not np.array_equal(a.r_derates, b.r_derates)
+
+    def test_corners_lead_the_batch(self):
+        scenarios = random_scenarios(8, seed=0, corner_spread=0.2)
+        assert scenarios.names[:3] == ["typical", "slow", "fast"]
+        assert scenarios[0].r_derate == 1.0
+        assert scenarios[1].r_derate == pytest.approx(1.2)
+        assert scenarios[2].r_derate == pytest.approx(1.0 / 1.2)
+
+    def test_small_counts_truncate_corners(self):
+        assert random_scenarios(1, seed=0).names == ["typical"]
+        assert random_scenarios(2, seed=0).names == ["typical", "slow"]
+
+    def test_all_derates_positive(self):
+        scenarios = random_scenarios(64, seed=12)
+        assert np.all(scenarios.r_derates > 0)
+        assert np.all(scenarios.c_derates > 0)
+        assert np.all(scenarios.drive_derates > 0)
+
+    def test_no_overrides_emitted(self):
+        for scenario in random_scenarios(10, seed=1):
+            assert scenario.clock_period is None
+            assert scenario.threshold is None
+            assert not scenario.net_scale
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            random_scenarios(0)

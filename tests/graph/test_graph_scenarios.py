@@ -1,0 +1,264 @@
+"""Scenario-batched DesignDB/TimingGraph vs per-scenario single-engine runs."""
+
+import numpy as np
+import pytest
+
+from repro.generators import random_design
+from repro.graph import DesignDB, TimingGraph
+from repro.scenarios import (
+    Scenario,
+    ScenarioSet,
+    scaled_design,
+    scaled_parasitics,
+)
+from repro.sta.delaycalc import DelayModel
+from repro.sta.parasitics import lumped
+
+MODELS = (DelayModel.ELMORE, DelayModel.UPPER_BOUND, DelayModel.LOWER_BOUND)
+PERIOD = 1.6e-9
+THRESHOLD = 0.5
+INPUT_DRIVE = 120.0
+
+SCENARIOS = ScenarioSet(
+    [
+        Scenario("nom"),
+        Scenario("slow", r_derate=1.25, c_derate=1.2, drive_derate=1.3),
+        Scenario("fast", r_derate=0.8, c_derate=0.85, drive_derate=0.75),
+        Scenario("tight", threshold=0.7, clock_period=2.4e-9),
+        Scenario("netted", net_scale={"n4": 1.6, "n11": 0.6}),
+    ]
+)
+
+
+def reference_graph(design, parasitics, scenario):
+    """The single-scenario engine on scenario-materialized inputs."""
+    return TimingGraph(
+        scaled_design(design, scenario),
+        {
+            name: scaled_parasitics(record, scenario)
+            for name, record in parasitics.items()
+        },
+        clock_period=scenario.clock_period or PERIOD,
+        threshold=THRESHOLD if scenario.threshold is None else scenario.threshold,
+        input_drive_resistance=INPUT_DRIVE * scenario.drive_derate,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    design, parasitics = random_design(48, seed=21, sequential_fraction=0.2)
+    graph = TimingGraph(
+        design,
+        dict(parasitics),
+        clock_period=PERIOD,
+        threshold=THRESHOLD,
+        input_drive_resistance=INPUT_DRIVE,
+    )
+    return design, parasitics, graph
+
+
+class TestDesignDBScenarios:
+    def test_sink_table_matches_per_scenario_databases(self, workload):
+        design, parasitics, graph = workload
+        table = graph.db.solve_scenarios(SCENARIOS)
+        assert table.scenario_count == len(SCENARIOS)
+        assert table.nets == graph.db.sinks.nets
+        for index, scenario in enumerate(SCENARIOS):
+            reference = DesignDB(
+                scaled_design(design, scenario),
+                {
+                    name: scaled_parasitics(record, scenario)
+                    for name, record in parasitics.items()
+                },
+                input_drive_resistance=INPUT_DRIVE * scenario.drive_derate,
+            ).sinks
+            np.testing.assert_allclose(
+                table.tde[index], reference.tde, rtol=1e-12, atol=0
+            )
+            np.testing.assert_allclose(
+                table.tre[index], reference.tre, rtol=1e-12, atol=0
+            )
+            np.testing.assert_allclose(table.tp[index], reference.tp, rtol=1e-12, atol=0)
+
+    def test_nominal_row_equals_single_scenario_table(self, workload):
+        _, _, graph = workload
+        table = graph.db.solve_scenarios(ScenarioSet([Scenario("nom")]))
+        np.testing.assert_allclose(
+            table.tde[0], graph.db.sinks.tde, rtol=1e-12, atol=0
+        )
+        np.testing.assert_allclose(table.tp[0], graph.db.sinks.tp, rtol=1e-12, atol=0)
+
+
+class TestTimingGraphScenarios:
+    def test_worst_slack_and_verdicts_match_loop(self, workload):
+        design, parasitics, graph = workload
+        report = graph.analyze_scenarios(SCENARIOS)
+        for index, scenario in enumerate(SCENARIOS):
+            reference = reference_graph(design, parasitics, scenario)
+            for column, model in enumerate(MODELS):
+                want = reference.worst_slack(model)
+                got = report.worst_slack[index, column]
+                assert abs(got - want) <= 1e-12 * max(abs(want), 1e-18), (
+                    scenario.name,
+                    model,
+                )
+            assert report.verdicts[index] == reference.certify().name
+
+    def test_critical_paths_match_loop(self, workload):
+        design, parasitics, graph = workload
+        report = graph.analyze_scenarios(SCENARIOS)
+        for index, scenario in enumerate(SCENARIOS):
+            reference = reference_graph(design, parasitics, scenario)
+            want = reference.critical_path(DelayModel.UPPER_BOUND)
+            got = report.critical_paths[index]
+            assert [segment.location for segment in got] == [
+                segment.location for segment in want
+            ]
+            assert [segment.arc for segment in got] == [segment.arc for segment in want]
+
+    def test_report_helpers(self, workload):
+        _, _, graph = workload
+        report = graph.analyze_scenarios(SCENARIOS)
+        assert report.scenario_count == len(SCENARIOS)
+        worst = report.worst_scenario(DelayModel.UPPER_BOUND)
+        assert report.worst_slack_of(worst) == report.worst_slack[worst, 1]
+        assert report.worst_slack_of("slow") == report.worst_slack[1, 1]
+        payload = report.to_dict()
+        assert len(payload["scenarios"]) == len(SCENARIOS)
+        assert payload["verdict"] == report.overall_verdict
+        assert payload["scenarios"][3]["clock_period"] == pytest.approx(2.4e-9)
+
+    def test_scenario_analysis_after_incremental_edits(self, workload):
+        design, parasitics, graph = workload
+        graph.arrivals_matrix  # solve before editing
+        edited = dict(parasitics)
+        nets = graph.db.timed_nets()
+        for net, capacitance in ((nets[2], 5e-14), (nets[7], 1e-15)):
+            edit = lumped(net, capacitance)
+            edited[net] = edit
+            graph.update_net(net, edit)
+        report = graph.analyze_scenarios(SCENARIOS)
+        for index, scenario in enumerate(SCENARIOS):
+            reference = reference_graph(design, edited, scenario)
+            for column, model in enumerate(MODELS):
+                want = reference.worst_slack(model)
+                got = report.worst_slack[index, column]
+                assert abs(got - want) <= 1e-12 * max(abs(want), 1e-18)
+
+    def test_scenario_pin_slacks_shape_and_nominal_row(self, workload):
+        _, _, graph = workload
+        slacks = graph.scenario_pin_slacks(SCENARIOS, DelayModel.UPPER_BOUND)
+        single = graph.pin_slacks(DelayModel.UPPER_BOUND)
+        for pin, values in slacks.items():
+            assert values.shape == (len(SCENARIOS),)
+            want = single[pin]
+            if np.isfinite(want):
+                assert values[0] == pytest.approx(want, rel=1e-12)
+            else:
+                assert not np.isfinite(values[0])
+
+
+class TestWhatIfSwaps:
+    def test_whatif_matches_actual_swap(self, workload):
+        from repro.opt.sizing import next_drive_strength
+        from repro.sta.cells import standard_cell_library
+
+        design, parasitics, _ = workload
+        library = standard_cell_library()
+        graph = TimingGraph(
+            design,
+            dict(parasitics),
+            clock_period=PERIOD,
+            threshold=THRESHOLD,
+            input_drive_resistance=INPUT_DRIVE,
+        )
+        swaps = []
+        for name, record in sorted(graph.db.instances.items()):
+            stronger = next_drive_strength(record.cell, library)
+            if stronger is not None:
+                swaps.append((name, stronger))
+            if len(swaps) == 5:
+                break
+        predicted = graph.whatif_resize_worst_slack(swaps, DelayModel.UPPER_BOUND)
+        before = {name: graph.db.instances[name].cell for name, _ in swaps}
+        for index, (name, cell) in enumerate(swaps):
+            trial = TimingGraph(
+                design,
+                dict(parasitics),
+                clock_period=PERIOD,
+                threshold=THRESHOLD,
+                input_drive_resistance=INPUT_DRIVE,
+            )
+            trial.resize_instance(name, cell)
+            want = trial.worst_slack(DelayModel.UPPER_BOUND)
+            assert predicted[index] == pytest.approx(want, rel=1e-9)
+            trial.resize_instance(name, before[name])  # restore shared Instance
+
+    def test_whatif_sees_clock_pin_load_on_timed_net(self):
+        """A DFF clocked from a gate output (a *timed* net) presents its
+        input capacitance there; the batched what-if must apply the swap's
+        capacitance delta on that net exactly like resize_instance does."""
+        from repro.sta.cells import standard_cell_library
+        from repro.sta.netlist import Design
+        from repro.sta.parasitics import lumped
+
+        library = standard_cell_library()
+        design = Design("gated_clock")
+        design.add_primary_input("pi")
+        design.add_primary_input("d")
+        design.add_instance("u_gate", library["BUF_X1"], A="pi", Y="g")
+        design.add_instance("u_ff", library["DFF_X1"], D="d", CK="g", Q="q")
+        design.add_instance("u_sink", library["INV_X1"], A="q", Y="out")
+        design.add_primary_output("out")
+        parasitics = {
+            net: lumped(net, 2e-14) for net in ("pi", "d", "g", "q", "out")
+        }
+        graph = TimingGraph(
+            design,
+            dict(parasitics),
+            clock_period=PERIOD,
+            input_drive_resistance=INPUT_DRIVE,
+        )
+        assert "g" in graph.db.timed_nets()  # the clock pin's net is timed
+        swaps = [("u_ff", library["DFF_X2"])]
+        predicted = graph.whatif_resize_worst_slack(swaps, DelayModel.UPPER_BOUND)
+        trial = TimingGraph(
+            design,
+            dict(parasitics),
+            clock_period=PERIOD,
+            input_drive_resistance=INPUT_DRIVE,
+        )
+        trial.resize_instance("u_ff", library["DFF_X2"])
+        want = trial.worst_slack(DelayModel.UPPER_BOUND)
+        trial.resize_instance("u_ff", library["DFF_X1"])  # restore shared cell
+        assert predicted[0] == pytest.approx(want, rel=1e-9)
+
+    def test_unknown_net_scale_is_rejected(self, workload):
+        _, _, graph = workload
+        from repro.core.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError, match="no_such_net"):
+            graph.db.solve_scenarios(
+                ScenarioSet([Scenario("typo", net_scale={"no_such_net": 2.0})])
+            )
+
+    def test_whatif_does_not_mutate(self, workload):
+        from repro.opt.sizing import next_drive_strength
+        from repro.sta.cells import standard_cell_library
+
+        _, _, graph = workload
+        library = standard_cell_library()
+        before = graph.worst_slack(DelayModel.UPPER_BOUND)
+        cells = {
+            name: record.cell.name for name, record in graph.db.instances.items()
+        }
+        swaps = [
+            (name, next_drive_strength(record.cell, library))
+            for name, record in sorted(graph.db.instances.items())
+            if next_drive_strength(record.cell, library) is not None
+        ][:4]
+        graph.whatif_resize_worst_slack(swaps)
+        assert graph.worst_slack(DelayModel.UPPER_BOUND) == before
+        assert {
+            name: record.cell.name for name, record in graph.db.instances.items()
+        } == cells

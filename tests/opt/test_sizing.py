@@ -77,6 +77,28 @@ class TestSizing:
         with pytest.raises(ValueError):
             size_driver_for_deadline(pla_factory(10), PAPER_SUPERBUFFER, deadline=0.0)
 
+    def test_zero_refinement_steps_returns_grid_answer(self):
+        result = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7,
+            refinement_steps=0,
+        )
+        assert result.feasible
+        assert result.guaranteed_delay <= 0.8e-9
+        # No refinement: the chosen scale is the smallest passing sweep point.
+        passing = [s for s, d in result.sweep if d <= 0.8e-9]
+        assert result.scale == min(passing)
+
+    def test_refinement_tightens_the_grid_answer(self):
+        coarse = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7,
+            refinement_steps=0,
+        )
+        refined = size_driver_for_deadline(
+            pla_factory(20), PAPER_SUPERBUFFER, deadline=0.8e-9, threshold=0.7,
+        )
+        assert refined.scale <= coarse.scale
+        assert refined.guaranteed_delay <= 0.8e-9
+
 
 class TestSizeValidatingFactories:
     def test_factory_that_rejects_unprobed_sizes_still_sweeps(self):

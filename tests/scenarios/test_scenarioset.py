@@ -1,0 +1,150 @@
+"""Tests for the scenario vocabulary: Scenario, ScenarioSet, ParameterPlane."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.networks import figure7_tree
+from repro.scenarios import (
+    ParameterPlane,
+    Scenario,
+    ScenarioSet,
+    scaled_cell,
+    scaled_parasitics,
+    scaled_tree,
+)
+from repro.sta.cells import standard_cell_library
+from repro.sta.parasitics import lumped, rc_tree_parasitics
+
+
+class TestScenario:
+    def test_defaults_are_nominal(self):
+        scenario = Scenario("nom")
+        assert scenario.r_derate == 1.0
+        assert scenario.c_derate == 1.0
+        assert scenario.drive_derate == 1.0
+        assert scenario.clock_period is None
+        assert scenario.threshold is None
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            Scenario("bad", r_derate=0.0)
+        with pytest.raises(AnalysisError):
+            Scenario("bad", c_derate=-1.0)
+        with pytest.raises(AnalysisError):
+            Scenario("bad", threshold=1.0)
+        with pytest.raises(AnalysisError):
+            Scenario("bad", clock_period=0.0)
+        with pytest.raises(AnalysisError):
+            Scenario("bad", net_scale={"n1": 0.0})
+
+    def test_dict_round_trip(self):
+        scenario = Scenario(
+            "slow", r_derate=1.2, c_derate=1.1, drive_derate=1.3,
+            clock_period=2e-9, threshold=0.6, net_scale={"n1": 1.4},
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(AnalysisError):
+            Scenario.from_dict({"name": "x", "voltage": 1.2})
+
+
+class TestScenarioSet:
+    def test_compiled_arrays(self):
+        scenarios = ScenarioSet(
+            [Scenario("a"), Scenario("b", r_derate=1.5, c_derate=0.8, drive_derate=2.0)]
+        )
+        np.testing.assert_array_equal(scenarios.r_derates, [1.0, 1.5])
+        np.testing.assert_array_equal(scenarios.c_derates, [1.0, 0.8])
+        np.testing.assert_array_equal(scenarios.drive_derates, [1.0, 2.0])
+
+    def test_overrides_fall_back_to_defaults(self):
+        scenarios = ScenarioSet(
+            [Scenario("a"), Scenario("b", threshold=0.7, clock_period=3e-9)]
+        )
+        np.testing.assert_array_equal(scenarios.thresholds(0.5), [0.5, 0.7])
+        np.testing.assert_array_equal(scenarios.clock_periods(1e-9), [1e-9, 3e-9])
+
+    def test_net_scale_matrix(self):
+        scenarios = ScenarioSet([Scenario("a"), Scenario("b", net_scale={"n2": 1.5})])
+        matrix = scenarios.net_scales(["n1", "n2"])
+        np.testing.assert_array_equal(matrix, [[1.0, 1.0], [1.0, 1.5]])
+
+    def test_unique_names_required(self):
+        with pytest.raises(AnalysisError):
+            ScenarioSet([Scenario("x"), Scenario("x")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ScenarioSet([])
+
+    def test_sequence_protocol(self):
+        scenarios = ScenarioSet.corners()
+        assert len(scenarios) == 3
+        assert scenarios[1].name == "slow"
+        assert [s.name for s in scenarios] == scenarios.names
+        assert scenarios[:2].names == ["typical", "slow"]
+
+    def test_monte_carlo_is_seed_stable(self):
+        a = ScenarioSet.monte_carlo(8, seed=5)
+        b = ScenarioSet.monte_carlo(8, seed=5)
+        c = ScenarioSet.monte_carlo(8, seed=6)
+        np.testing.assert_array_equal(a.r_derates, b.r_derates)
+        assert not np.array_equal(a.r_derates, c.r_derates)
+
+    def test_set_dict_round_trip(self):
+        scenarios = ScenarioSet.corners()
+        again = ScenarioSet.from_dict(scenarios.to_dict())
+        assert again.names == scenarios.names
+        np.testing.assert_array_equal(again.r_derates, scenarios.r_derates)
+
+    def test_from_dict_accepts_bare_list(self):
+        scenarios = ScenarioSet.from_dict([{"name": "only", "r_derate": 1.1}])
+        assert scenarios.names == ["only"]
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(AnalysisError):
+            ScenarioSet.from_dict("nope")
+
+    def test_tree_plane(self):
+        plane = ScenarioSet.corners().tree_plane()
+        assert isinstance(plane, ParameterPlane)
+        assert plane.count == 3
+
+
+class TestMaterialization:
+    def test_scaled_cell(self):
+        cell = standard_cell_library()["INV_X1"]
+        scaled = scaled_cell(cell, Scenario("s", c_derate=2.0, drive_derate=0.5))
+        assert scaled.input_capacitance == pytest.approx(2.0 * cell.input_capacitance)
+        assert scaled.drive_resistance == pytest.approx(0.5 * cell.drive_resistance)
+        assert scaled.intrinsic_delay == cell.intrinsic_delay
+
+    def test_scaled_tree_scales_every_element(self):
+        tree = figure7_tree()
+        scaled = scaled_tree(tree, 2.0, 3.0)
+        assert scaled.nodes == tree.nodes
+        assert scaled.outputs == tree.outputs
+        assert scaled.total_resistance == pytest.approx(2.0 * tree.total_resistance)
+        assert scaled.total_capacitance == pytest.approx(3.0 * tree.total_capacitance)
+        for name in tree.nodes:
+            edge = tree.parent_edge(name)
+            if edge is not None:
+                assert scaled.parent_edge(name).is_distributed == edge.is_distributed
+
+    def test_scaled_parasitics_applies_net_scale_to_wire_only(self):
+        record = lumped("n1", 4e-15)
+        scenario = Scenario("s", c_derate=1.5, net_scale={"n1": 2.0})
+        assert scaled_parasitics(record, scenario).lumped_capacitance == pytest.approx(
+            4e-15 * 1.5 * 2.0
+        )
+
+    def test_scaled_parasitics_keeps_pin_bindings(self):
+        tree = figure7_tree()
+        record = rc_tree_parasitics("n1", tree, {"u1/A": "out"})
+        scaled = scaled_parasitics(record, Scenario("s", r_derate=1.3))
+        assert scaled.pin_nodes == {"u1/A": "out"}
+        assert scaled.tree.total_resistance == pytest.approx(
+            1.3 * tree.total_resistance
+        )

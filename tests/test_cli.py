@@ -168,3 +168,105 @@ class TestTimingCommand:
         )
         loaded = json.loads(capsys.readouterr().out)
         assert loaded["worst_slack"]["elmore"] < bare["worst_slack"]["elmore"]
+
+    def test_indeterminate_verdict_sets_exit_code_2(self, capsys, design_files):
+        """A period between the two guaranteed bounds is INDETERMINATE -> 2."""
+        netlist, spef = design_files
+        main(["timing", "--netlist", netlist, "--spef", spef, "--period", "5e-9"])
+        first = json.loads(capsys.readouterr().out)
+        # Worst guaranteed-latest/-earliest arrivals from the slack report.
+        latest = 5e-9 - first["worst_slack"]["upper_bound"]
+        earliest = 5e-9 - first["worst_slack"]["lower_bound"]
+        assert earliest < latest
+        period = 0.5 * (earliest + latest)
+        status = main(
+            ["timing", "--netlist", netlist, "--spef", spef, "--period", str(period)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "INDETERMINATE"
+        assert status == 2
+
+    def test_model_selects_critical_path_model(self, capsys, design_files):
+        netlist, spef = design_files
+        status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--model", "elmore",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["model"] == "elmore"
+        # The traced path's endpoint arrival matches the Elmore worst slack.
+        arrival = payload["critical_path"][-1]["arrival"]
+        assert arrival == pytest.approx(5e-9 - payload["worst_slack"]["elmore"])
+
+
+class TestTimingCorners:
+    @pytest.fixture
+    def corners_file(self, tmp_path):
+        spec = {
+            "scenarios": [
+                {"name": "typical"},
+                {
+                    "name": "slow",
+                    "r_derate": 1.3,
+                    "c_derate": 1.25,
+                    "drive_derate": 1.3,
+                },
+                {"name": "relaxed", "clock_period": 1e-6, "threshold": 0.7},
+            ]
+        }
+        path = tmp_path / "corners.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    @pytest.fixture
+    def design_files(self, tmp_path):
+        design, parasitics = random_design(30, seed=5)
+        netlist = tmp_path / "design.json"
+        write_design(design, netlist)
+        trees = {
+            name: record.tree
+            for name, record in parasitics.items()
+            if record.tree is not None
+        }
+        spef = tmp_path / "design.spef"
+        write_spef(trees, spef)
+        return str(netlist), str(spef)
+
+    def test_per_scenario_results_in_report(self, capsys, design_files, corners_file):
+        netlist, spef = design_files
+        status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--corners", corners_file,
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        names = [record["name"] for record in payload["scenarios"]]
+        assert names == ["typical", "slow", "relaxed"]
+        for record in payload["scenarios"]:
+            assert set(record["worst_slack"]) == {
+                "elmore", "upper_bound", "lower_bound",
+            }
+            assert record["verdict"] == "PASS"
+        slow = payload["scenarios"][1]
+        typical = payload["scenarios"][0]
+        assert slow["worst_slack"]["upper_bound"] < typical["worst_slack"]["upper_bound"]
+        assert payload["scenarios"][2]["clock_period"] == pytest.approx(1e-6)
+
+    def test_overall_verdict_drives_exit_code(self, capsys, design_files, corners_file):
+        netlist, spef = design_files
+        status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "1e-12", "--corners", corners_file,
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        # The relaxed 1us corner passes, but any failing corner fails the run.
+        assert payload["scenarios"][2]["verdict"] == "PASS"
+        assert payload["verdict"] == "FAIL"
+        assert status == 1
