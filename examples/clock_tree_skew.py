@@ -17,11 +17,17 @@ deliberate load imbalance, and reports:
 Run with:  python examples/clock_tree_skew.py
 """
 
+import os
+
 from repro.apps.clocktree import clock_skew_report, h_tree
 from repro.core.timeconstants import characteristic_times
 from repro.mos.drivers import DriverModel
 from repro.simulate.state_space import exact_step_response
 from repro.utils.tables import format_table
+
+# REPRO_EXAMPLE_FAST=1 (set by the examples smoke test) lowers simulation
+# resolution; every step and printed table stays the same.
+SEGMENTS = 6 if os.environ.get("REPRO_EXAMPLE_FAST") == "1" else 20
 
 
 def report_tree(title, tree, threshold=0.5):
@@ -92,7 +98,7 @@ def main() -> None:
     # Cross-check the slowest leaf against the exact simulator.
     leaf = baseline.slowest_leaf
     times = characteristic_times(unbalanced, leaf)
-    exact = exact_step_response(unbalanced, segments_per_line=20).delay(leaf, 0.5)
+    exact = exact_step_response(unbalanced, segments_per_line=SEGMENTS).delay(leaf, 0.5)
     print(
         f"exact 50% arrival at {leaf}: {exact * 1e12:.2f} ps, inside "
         f"[{baseline.earliest[leaf] * 1e12:.2f}, {baseline.latest[leaf] * 1e12:.2f}] ps "

@@ -16,6 +16,8 @@ acceptance criterion throughout:
 Run with:  python examples/repeater_insertion.py
 """
 
+import os
+
 from repro.core.bounds import delay_bounds
 from repro.core.timeconstants import characteristic_times
 from repro.core.tree import RCTree
@@ -25,6 +27,11 @@ from repro.opt.buffering import Repeater, buffered_line_delay, optimal_buffer_co
 from repro.opt.sizing import size_driver_for_deadline, sweep_driver_sizes
 from repro.simulate.state_space import exact_step_response
 from repro.utils.tables import format_table
+
+# REPRO_EXAMPLE_FAST=1 (set by the examples smoke test) lowers simulation
+# resolution; every step and printed table stays the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+SEGMENTS = 8 if FAST else 40
 
 # A 4 mm poly-ish line: 8 kohm, 1.6 pF, driving a 50 fF receiver.
 LINE_RESISTANCE = 8.0e3
@@ -51,8 +58,8 @@ def step_1_how_slow_is_it() -> None:
     tree = line_tree(DRIVER)
     times = characteristic_times(tree, "out")
     bounds = delay_bounds(times, THRESHOLD)
-    exact = exact_step_response(tree, segments_per_line=40).delay("out", THRESHOLD)
-    estimates = estimate_all(tree, "out", THRESHOLD, segments_per_line=40, exact=exact)
+    exact = exact_step_response(tree, segments_per_line=SEGMENTS).delay("out", THRESHOLD)
+    estimates = estimate_all(tree, "out", THRESHOLD, segments_per_line=SEGMENTS, exact=exact)
     print(f"Unbuffered line against a {DEADLINE * 1e9:.1f} ns budget:")
     print(format_table(
         ["estimator", "50% delay (ns)", "guaranteed?"],

@@ -15,6 +15,8 @@ and also exercises the interchange paths a real flow would use:
 Run with:  python examples/spice_validation.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core.bounds import BoundedResponse
@@ -30,6 +32,12 @@ from repro.spicefmt.reader import spice_to_tree
 from repro.spicefmt.writer import tree_to_spice
 from repro.spef.writer import tree_to_spef
 from repro.utils.units import format_engineering
+
+# REPRO_EXAMPLE_FAST=1 (set by the examples smoke test) trades simulation
+# resolution for runtime; the workflow and the printed sections are the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+SEGMENTS = 8 if FAST else 30
+STEPS = 400 if FAST else 3000
 
 
 def build_net():
@@ -90,7 +98,7 @@ def main() -> None:
     horizon = 8.0 * times.tp
     grid = np.linspace(0.0, horizon, 200)
 
-    modal = exact_step_response(tree, segments_per_line=30)
+    modal = exact_step_response(tree, segments_per_line=SEGMENTS)
     exact = np.asarray(modal.voltage(output, grid))
     lower = np.asarray(bounded.vmin(grid))
     upper = np.asarray(bounded.vmax(grid))
@@ -103,7 +111,7 @@ def main() -> None:
     print(f"envelope violations: lower {check.worst_lower_violation:.2e}, "
           f"upper {check.worst_upper_violation:.2e} (negative = inside)")
 
-    transient = transient_step_response(tree, horizon, steps=3000, segments_per_line=30)
+    transient = transient_step_response(tree, horizon, steps=STEPS, segments_per_line=SEGMENTS)
     disagreement = max_abs_error(modal.waveform(output, horizon, 300), transient.waveform(output))
     print(f"modal vs trapezoidal engines: max difference {disagreement:.2e} V")
     print()

@@ -108,6 +108,12 @@ from repro.graph import (
     ScenarioTimingReport,
     TimingGraph,
 )
+from repro.parallel import (
+    available_backends,
+    default_job_count,
+    register_backend,
+    solve_forest_batch,
+)
 from repro.scenarios import (
     ParameterPlane,
     Scenario,
@@ -171,6 +177,11 @@ __all__ = [
     "ParameterPlane",
     "scaled_design",
     "scaled_parasitics",
+    # parallel execution (sharded multi-core solves)
+    "available_backends",
+    "default_job_count",
+    "register_backend",
+    "solve_forest_batch",
     # algebra
     "TwoPort",
     "urc",

@@ -55,9 +55,22 @@ class CornerRow:
         )
 
 
-def corner_sweep(graph, scenarios: ScenarioSet) -> List[CornerRow]:
-    """Summarize every corner of ``scenarios`` from one batched analysis."""
-    report = graph.analyze_scenarios(scenarios, with_critical_paths=False)
+def corner_sweep(
+    graph,
+    scenarios: ScenarioSet,
+    *,
+    engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> List[CornerRow]:
+    """Summarize every corner of ``scenarios`` from one batched analysis.
+
+    ``engine`` / ``jobs`` select the :mod:`repro.parallel` backend the
+    underlying forest solve runs on (``None`` auto-selects by sweep size);
+    the rows are identical for every backend.
+    """
+    report = graph.analyze_scenarios(
+        scenarios, with_critical_paths=False, engine=engine, jobs=jobs
+    )
     rows: List[CornerRow] = []
     for index, name in enumerate(report.scenario_names):
         worst = {
@@ -78,9 +91,15 @@ def corner_sweep(graph, scenarios: ScenarioSet) -> List[CornerRow]:
     return rows
 
 
-def corner_sweep_table(graph, scenarios: ScenarioSet) -> str:
+def corner_sweep_table(
+    graph,
+    scenarios: ScenarioSet,
+    *,
+    engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> str:
     """The corner sweep as a formatted report table (worst slack in ns)."""
-    rows = corner_sweep(graph, scenarios)
+    rows = corner_sweep(graph, scenarios, engine=engine, jobs=jobs)
     return format_table(
         ["corner", "slack upper (ns)", "slack elmore (ns)", "slack lower (ns)",
          "spread (ns)", "verdict"],

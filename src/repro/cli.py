@@ -29,8 +29,11 @@ Subcommands
     ``--corners FILE.json`` additionally analyses a whole
     :class:`~repro.scenarios.ScenarioSet` (named corners with R/C/drive
     derates, per-net scales, threshold/period overrides) in one batched pass
-    and reports per-scenario results.  Exit status 1 when the (overall)
-    verdict is FAIL, 2 when it is INDETERMINATE.
+    and reports per-scenario results; ``--jobs N`` runs that sweep on the
+    sharded multi-core engine (:mod:`repro.parallel`) with ``N`` worker
+    processes (``--jobs 1`` forces the serial backend; the default
+    auto-selects by sweep size).  Exit status 1 when the (overall) verdict
+    is FAIL, 2 when it is INDETERMINATE.
 """
 
 from __future__ import annotations
@@ -140,7 +143,14 @@ def _cmd_timing(args: argparse.Namespace) -> int:
 
         with open(args.corners, "r", encoding="utf-8") as handle:
             scenarios = ScenarioSet.from_dict(json.load(handle))
-        scenario_report = graph.analyze_scenarios(scenarios, path_model=model)
+        # --jobs pins the parallel backend explicitly; the default leaves
+        # engine auto-selection (by sweep size) to repro.parallel.
+        engine = None
+        if args.jobs is not None:
+            engine = "numpy" if args.jobs == 1 else "process"
+        scenario_report = graph.analyze_scenarios(
+            scenarios, path_model=model, engine=engine, jobs=args.jobs
+        )
         report["scenarios"] = scenario_report.to_dict()["scenarios"]
         verdict = scenario_report.overall_verdict
         report["verdict"] = verdict
@@ -219,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON scenario-set file; analyse every corner in one batched pass",
     )
     timing.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the corner-sweep solve; requires "
+        "--corners (1 = serial; default: auto-select the sharded engine "
+        "by sweep size)",
+    )
+    timing.add_argument(
         "--model", default="upper_bound",
         choices=["elmore", "upper_bound", "lower_bound"],
         help="delay model the critical path is traced under",
@@ -236,6 +252,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "command", None) == "expression" and args.threshold is None:
         args.threshold = [0.5, 0.9]
+    if getattr(args, "jobs", None) is not None and getattr(args, "corners", None) is None:
+        # Silently running serial after the user asked for workers would be
+        # worse than refusing: --jobs parallelizes the corner sweep only.
+        parser.error("timing: --jobs requires --corners (it parallelizes the corner sweep)")
     return args.func(args)
 
 

@@ -71,7 +71,12 @@ from repro.core.exceptions import (
 from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
-from repro.flat.scenarios import ScenarioTimes, as_node_matrix, sweep_scenarios
+from repro.flat.scenarios import (
+    ScenarioTimes,
+    as_node_matrix,
+    level_buckets,
+    sweep_scenarios,
+)
 
 __all__ = ["FlatTree", "FlatTimes"]
 
@@ -230,9 +235,7 @@ class FlatTree:
         Stable sort by depth keeps preorder (== attachment) order per level.
         """
         if self._levels_cache is None:
-            order = np.argsort(self._depth, kind="stable")
-            counts = np.bincount(self._depth)
-            self._levels_cache = list(np.split(order, np.cumsum(counts)[:-1]))
+            self._levels_cache = level_buckets(self._depth)
         return self._levels_cache
 
     @property
@@ -649,6 +652,10 @@ class FlatTree:
         nc = as_node_matrix(node_c, self._node_c, s)
         rkk, c_down, tde, tre = sweep_scenarios(self._levels, self._parent, er, ec, nc)
         rkk_parent = rkk[np.maximum(self._parent, 0)]
+        # The root has no parent edge; zero its gathered row so a plane that
+        # puts elements on the root edge (only reachable through trusted
+        # from_arrays construction) stays consistent with the forest kernel.
+        rkk_parent[self._parent < 0] = 0.0
         tp = (rkk * nc + (rkk_parent + er / 2.0) * ec).sum(axis=0)
         total = nc.sum(axis=0) + ec.sum(axis=0)
         return ScenarioTimes(

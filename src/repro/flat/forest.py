@@ -25,11 +25,7 @@ from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
 from repro.flat.flattree import FlatTimes, FlatTree, _scenario_count
-from repro.flat.scenarios import (
-    ScenarioForestTimes,
-    as_node_matrix,
-    sweep_scenarios,
-)
+from repro.flat.scenarios import ScenarioForestTimes, level_buckets
 
 __all__ = ["FlatForest", "ForestTimes"]
 
@@ -86,9 +82,7 @@ class FlatForest:
 
     def _rebucket(self) -> None:
         # Global level buckets: stable sort keeps per-tree preorder within a level.
-        order = np.argsort(self._depth, kind="stable")
-        counts = np.bincount(self._depth)
-        self._levels = list(np.split(order, np.cumsum(counts)[:-1]))
+        self._levels = level_buckets(self._depth)
 
     @classmethod
     def from_rctrees(cls, trees: Iterable[RCTree]) -> "FlatForest":
@@ -219,6 +213,24 @@ class FlatForest:
             )
         return self._times
 
+    @property
+    def structure(self):
+        """The forest's topology bundle for :mod:`repro.parallel` engines.
+
+        Built fresh on every access from the *current* arrays (and the
+        cached level buckets), so incremental splices
+        (:meth:`replace_tree`) are always reflected -- the parallel layer
+        caches nothing about a forest.
+        """
+        from repro.parallel import ForestStructure
+
+        return ForestStructure(
+            parent=self._parent,
+            depth=self._depth,
+            offsets=self._offsets,
+            levels=self._levels,
+        )
+
     def solve_batch(
         self,
         edge_r=None,
@@ -226,6 +238,9 @@ class FlatForest:
         node_c=None,
         *,
         count: Optional[int] = None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        scenario_chunk: Optional[int] = None,
     ) -> ScenarioForestTimes:
         """Characteristic times of every tree under ``S`` parameterizations.
 
@@ -236,19 +251,24 @@ class FlatForest:
         per-tree ``T_P`` and total-capacitance reductions become segmented
         sums over the member offsets.  The single-scenario solve cache is
         neither read nor invalidated.
+
+        ``engine`` selects a :mod:`repro.parallel` backend by name
+        (``"numpy"`` serial, ``"process"`` sharded workers; ``None``
+        auto-selects by sweep size), ``jobs`` caps the worker count, and
+        ``scenario_chunk`` overrides the bounded-memory chunk width.  Every
+        backend returns numerically identical results.
         """
+        from repro.parallel import solve_forest_batch
+
         s = _scenario_count(count, edge_r, edge_c, node_c)
-        er = as_node_matrix(edge_r, self._edge_r, s)
-        ec = as_node_matrix(edge_c, self._edge_c, s)
-        nc = as_node_matrix(node_c, self._node_c, s)
-        rkk, c_down, tde, tre = sweep_scenarios(self._levels, self._parent, er, ec, nc)
-        rkk_parent = rkk[np.maximum(self._parent, 0)]
-        tp_terms = rkk * nc + (rkk_parent + er / 2.0) * ec
-        starts = self._offsets[:-1]
-        tp = np.add.reduceat(tp_terms, starts, axis=0)
-        total = np.add.reduceat(nc + ec, starts, axis=0)
-        return ScenarioForestTimes(
-            tp=tp.T, tde=tde.T, tre=tre.T, ree=rkk.T, total_capacitance=total.T
+        return solve_forest_batch(
+            self.structure,
+            (self._edge_r, self._edge_c, self._node_c),
+            (edge_r, edge_c, node_c),
+            s,
+            engine=engine,
+            jobs=jobs,
+            scenario_chunk=scenario_chunk,
         )
 
     def times_for(self, tree_index: int) -> FlatTimes:

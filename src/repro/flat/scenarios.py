@@ -27,7 +27,28 @@ import numpy as np
 
 from repro.core.exceptions import AnalysisError
 
-__all__ = ["ScenarioTimes", "ScenarioForestTimes", "sweep_scenarios", "as_node_matrix"]
+__all__ = [
+    "ScenarioTimes",
+    "ScenarioForestTimes",
+    "sweep_scenarios",
+    "as_node_matrix",
+    "level_buckets",
+]
+
+
+def level_buckets(depth: np.ndarray) -> List[np.ndarray]:
+    """Node indices grouped by depth, one array per level.
+
+    The stable sort keeps preorder (== attachment) order within each level;
+    every level-sweep consumer -- :class:`~repro.flat.flattree.FlatTree`,
+    :class:`~repro.flat.forest.FlatForest` and the sharded workers of
+    :mod:`repro.parallel.engine` -- builds its buckets through this one
+    helper, which is what keeps their per-level scatter order (and thus
+    bitwise results) identical.
+    """
+    order = np.argsort(depth, kind="stable")
+    counts = np.bincount(depth)
+    return list(np.split(order, np.cumsum(counts)[:-1]))
 
 
 @dataclass(frozen=True)

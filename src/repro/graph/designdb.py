@@ -393,7 +393,13 @@ class DesignDB:
             )
         return self._scenario_layout_cache
 
-    def solve_scenarios(self, scenarios) -> ScenarioSinkTable:
+    def solve_scenarios(
+        self,
+        scenarios,
+        *,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+    ) -> ScenarioSinkTable:
         """Characteristic times of every sink pin under every scenario.
 
         One scenario-batched forest solve replaces the per-scenario re-ingest
@@ -403,6 +409,10 @@ class DesignDB:
         :meth:`repro.flat.FlatForest.solve_batch` sweeps all scenarios at
         once.  Row order matches :attr:`sinks`; results always reflect the
         database's *current* state (incremental edits included).
+
+        ``engine`` / ``jobs`` select the :mod:`repro.parallel` execution
+        backend for the forest solve (``None`` auto-selects by sweep size);
+        results are identical for every backend.
         """
         sinks = self._sinks
         names = list(scenarios.names)
@@ -431,16 +441,25 @@ class DesignDB:
         layout = self._scenario_layout()
         forest = self.forest
         net_scale = scenarios.net_scales(self._timed_net_order)  # (S, trees)
-        node_scale = net_scale[:, forest._tree_id]  # (S, N)
-        r_factor = scenarios.r_derates[:, np.newaxis] * node_scale
-        r_factor[:, layout.drive_nodes] = scenarios.drive_derates[:, np.newaxis]
-        c_derate = scenarios.c_derates[:, np.newaxis]
-        wire_factor = c_derate * node_scale
+        # Factor planes are built node-major -- (N, S), the kernels' own
+        # orientation -- and passed as transposed views: the serial engine's
+        # contiguity pass and the process engine's shared-plane fill both
+        # then cost zero / one memcpy instead of an (S, N) transpose.
+        node_scale = net_scale.T[forest._tree_id]  # (N, S)
+        r_factor = node_scale * scenarios.r_derates[np.newaxis, :]
+        r_factor[layout.drive_nodes, :] = scenarios.drive_derates[np.newaxis, :]
+        c_derate = scenarios.c_derates[np.newaxis, :]
+        wire_factor = node_scale * c_derate
         times = forest.solve_batch(
-            edge_r=forest._edge_r * r_factor,
-            edge_c=forest._edge_c * wire_factor,
-            node_c=layout.wire_c * wire_factor + layout.pin_c * c_derate,
+            edge_r=(forest._edge_r[:, np.newaxis] * r_factor).T,
+            edge_c=(forest._edge_c[:, np.newaxis] * wire_factor).T,
+            node_c=(
+                layout.wire_c[:, np.newaxis] * wire_factor
+                + layout.pin_c[:, np.newaxis] * c_derate
+            ).T,
             count=s,
+            engine=engine,
+            jobs=jobs,
         )
         return ScenarioSinkTable(
             scenario_names=names,
@@ -470,8 +489,10 @@ class DesignDB:
             raise AnalysisError("the design has no timed nets to evaluate")
         offsets = forest._offsets
         s = len(swaps)
-        edge_r = np.repeat(forest._edge_r[np.newaxis, :], s, axis=0)
-        node_c = np.repeat(forest._node_c[np.newaxis, :], s, axis=0)
+        # Node-major working planes, returned as transposed views (see
+        # solve_scenarios): the solve engines consume them copy-free.
+        edge_r = np.repeat(forest._edge_r[:, np.newaxis], s, axis=1).T
+        node_c = np.repeat(forest._node_c[:, np.newaxis], s, axis=1).T
         for row, (instance, cell) in enumerate(swaps):
             record = self._instances.get(instance)
             if record is None:

@@ -700,6 +700,8 @@ class TimingGraph:
         *,
         path_model: DelayModel = DelayModel.UPPER_BOUND,
         with_critical_paths: bool = True,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> ScenarioTimingReport:
         """Propagate every scenario and every delay model in one levelized pass.
 
@@ -710,8 +712,13 @@ class TimingGraph:
         the ternary verdict (against each scenario's own clock period) and
         the critical path under ``path_model`` come out together.  The
         graph's cached single-scenario arrivals are untouched.
+
+        ``engine`` / ``jobs`` pick the :mod:`repro.parallel` backend for the
+        forest solve (``None`` auto-selects by sweep size; the levelized
+        propagation itself stays in-process) -- see the CLI's
+        ``timing --jobs``.  Results are backend-independent.
         """
-        table = self._db.solve_scenarios(scenarios)
+        table = self._db.solve_scenarios(scenarios, engine=engine, jobs=jobs)
         s = table.scenario_count
         thresholds = scenarios.thresholds(self._threshold)
         periods = scenarios.clock_periods(self._clock_period)
@@ -777,15 +784,21 @@ class TimingGraph:
         )
 
     def scenario_pin_slacks(
-        self, scenarios, model: DelayModel = DelayModel.UPPER_BOUND
+        self,
+        scenarios,
+        model: DelayModel = DelayModel.UPPER_BOUND,
+        *,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> Dict[str, np.ndarray]:
         """Per-pin slack vectors over the scenario axis, one delay model.
 
         Runs the forward *and* backward levelized sweeps over the scenario
         tensor and returns ``required - arrival`` per pin as an ``(S,)``
         array (``+inf`` off every endpoint cone), keyed by pin name.
+        ``engine`` / ``jobs`` select the forest-solve backend.
         """
-        table = self._db.solve_scenarios(scenarios)
+        table = self._db.solve_scenarios(scenarios, engine=engine, jobs=jobs)
         thresholds = scenarios.thresholds(self._threshold)
         periods = scenarios.clock_periods(self._clock_period)
         column = _MODEL_COLUMN[model]

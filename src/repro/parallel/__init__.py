@@ -1,0 +1,59 @@
+"""Sharded multi-core execution for the scenario-batched solvers.
+
+The Penfield-Rubinstein passes are linear-time and embarrassingly parallel
+across trees and scenarios; this layer turns that into wall-clock speed:
+
+* :mod:`repro.parallel.sharding` -- pure planners: contiguous, node-balanced
+  tree shards and bounded scenario chunks;
+* :mod:`repro.parallel.backends` -- the kernel-backend registry (``"numpy"``
+  serial reference, ``"process"`` sharded workers) and the size-threshold
+  auto-selection every ``engine=`` parameter funnels through;
+* :mod:`repro.parallel.engine` -- the execution engine itself:
+  ``multiprocessing.shared_memory``-backed element/result planes, cached
+  worker pools, and bitwise-identical results regardless of backend.
+
+Callers never import this package directly for normal use -- they pass
+``engine=`` / ``jobs=`` to :meth:`repro.flat.FlatForest.solve_batch`,
+:meth:`repro.graph.DesignDB.solve_scenarios`,
+:meth:`repro.graph.TimingGraph.analyze_scenarios`,
+:func:`repro.apps.corners.corner_sweep` or the CLI's ``timing --jobs``.
+The layer map lives in ``docs/architecture.md``.
+"""
+
+from repro.parallel.backends import (
+    AUTO_PROCESS_CELLS,
+    KernelBackend,
+    available_backends,
+    default_job_count,
+    get_backend,
+    register_backend,
+    resolve_engine,
+)
+from repro.parallel.engine import (
+    ForestStructure,
+    shutdown_pools,
+    solve_forest_batch,
+)
+from repro.parallel.sharding import (
+    DEFAULT_CHUNK_CELLS,
+    plan_shards,
+    scenario_chunks,
+    shard_node_ranges,
+)
+
+__all__ = [
+    "AUTO_PROCESS_CELLS",
+    "DEFAULT_CHUNK_CELLS",
+    "ForestStructure",
+    "KernelBackend",
+    "available_backends",
+    "default_job_count",
+    "get_backend",
+    "plan_shards",
+    "register_backend",
+    "resolve_engine",
+    "scenario_chunks",
+    "shard_node_ranges",
+    "shutdown_pools",
+    "solve_forest_batch",
+]

@@ -1,0 +1,148 @@
+"""Kernel-backend registry: how a scenario-batched forest solve executes.
+
+A *backend* is a strategy for running the characteristic-time level sweeps
+over the ``(N, S)`` element planes of a forest:
+
+* ``"numpy"`` -- the serial vectorized kernels, in-process.  Always
+  available, always the reference; small sweeps stay here because process
+  fan-out costs more than it saves.
+* ``"process"`` -- the sharded multi-core engine
+  (:mod:`repro.parallel.engine`): the forest is split into contiguous,
+  node-balanced shards (:func:`repro.parallel.sharding.plan_shards`) and
+  solved by worker processes over ``multiprocessing.shared_memory`` planes.
+
+Callers normally pass ``engine=None`` (or ``"auto"``) and let
+:func:`resolve_engine` pick: the process backend is selected only when the
+sweep is big enough (``nodes x scenarios >= AUTO_PROCESS_CELLS``) and more
+than one worker is actually usable.  An *explicit* ``engine="process"`` is
+always honoured (with however many workers are available) so parity tests
+exercise the sharded path even on one core.
+
+The registry is open: :func:`register_backend` lets an experiment register
+e.g. a thread-pool or GPU strategy under a new name without touching the
+call sites, which all go through ``engine="<name>"`` string selection.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.exceptions import AnalysisError
+
+__all__ = [
+    "AUTO_PROCESS_CELLS",
+    "KernelBackend",
+    "available_backends",
+    "default_job_count",
+    "get_backend",
+    "register_backend",
+    "resolve_engine",
+]
+
+#: Smallest ``nodes x scenarios`` plane for which ``engine=None`` escalates
+#: to the process backend: below this the serial kernels finish in a few
+#: milliseconds and worker dispatch would only add latency.
+AUTO_PROCESS_CELLS = 1 << 19
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One registered execution strategy for the scenario-batched solve.
+
+    ``solver`` has the engine signature ``solver(structure, base, planes,
+    count, jobs, chunk)`` (see :func:`repro.parallel.engine.solve_forest_batch`,
+    which dispatches to it); ``parallel`` marks backends that fan out to
+    workers and therefore consume a ``jobs`` count.
+    """
+
+    name: str
+    solver: Callable
+    parallel: bool
+    description: str = ""
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str,
+    solver: Callable,
+    *,
+    parallel: bool,
+    description: str = "",
+) -> KernelBackend:
+    """Register (or replace) a named backend and return its record."""
+    if not name or name == "auto":
+        raise AnalysisError(f"backend name {name!r} is reserved")
+    backend = KernelBackend(
+        name=name, solver=solver, parallel=parallel, description=description
+    )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name; unknown names list the alternatives."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise AnalysisError(
+            f"unknown engine {name!r}; available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def default_job_count() -> int:
+    """Usable worker count: the CPU affinity mask when the OS exposes one."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _in_daemon_worker() -> bool:
+    """True inside a daemonic (pool) worker, where children cannot be forked."""
+    return bool(multiprocessing.current_process().daemon)
+
+
+def resolve_engine(
+    engine: Optional[str] = None,
+    *,
+    cells: int = 0,
+    jobs: Optional[int] = None,
+) -> Tuple[KernelBackend, int]:
+    """Pick the backend and worker count for a sweep of ``cells`` elements.
+
+    ``engine=None`` / ``"auto"`` selects ``"process"`` only when the plane is
+    at least :data:`AUTO_PROCESS_CELLS` cells, more than one worker is usable
+    (``jobs`` when given, else :func:`default_job_count`) and the caller is
+    not itself a daemonic worker; otherwise ``"numpy"``.  Explicit names are
+    honoured as-is (except inside a daemonic worker, where the process
+    backend silently degrades to serial -- nested pools cannot exist).
+    Returns ``(backend, jobs)`` with ``jobs`` meaningful only for parallel
+    backends.
+    """
+    if jobs is not None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    name = engine if engine is not None else "auto"
+    if name == "auto":
+        workers = jobs if jobs is not None else default_job_count()
+        escalate = (
+            workers >= 2 and cells >= AUTO_PROCESS_CELLS and not _in_daemon_worker()
+        )
+        name = "process" if escalate and "process" in _REGISTRY else "numpy"
+    backend = get_backend(name)
+    if not backend.parallel:
+        return backend, 1
+    if _in_daemon_worker():
+        return get_backend("numpy"), 1
+    return backend, jobs if jobs is not None else default_job_count()

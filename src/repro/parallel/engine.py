@@ -1,0 +1,566 @@
+"""The sharded multi-core solve engine behind ``engine="process"``.
+
+:func:`solve_forest_batch` is the single entry point every scenario-batched
+caller funnels through (:meth:`repro.flat.FlatForest.solve_batch` delegates
+here, which carries :meth:`repro.graph.DesignDB.solve_scenarios`,
+:meth:`repro.graph.TimingGraph.analyze_scenarios`,
+:func:`repro.apps.corners.corner_sweep` and the CLI's ``timing --jobs``
+along).  It normalizes the element planes, picks a backend through
+:func:`repro.parallel.backends.resolve_engine`, and runs the paper's two
+characteristic-time passes chunk by chunk over the scenario axis.
+
+Execution model of the process backend
+--------------------------------------
+
+* The forest is partitioned into contiguous, node-balanced shards
+  (:func:`repro.parallel.sharding.plan_shards`).  Because every tree's nodes
+  are contiguous and no level sweep ever reads across tree boundaries, a
+  shard solve is **bitwise identical** to the same trees' rows of a
+  whole-forest solve -- the 1e-12 parity the tests pin is really exact
+  equality.
+* Two ``multiprocessing.shared_memory`` blocks carry everything the
+  workers touch, both node-major (the kernels' orientation): a transient
+  input block with the structure arrays (``parent``, ``depth``) and the
+  current chunk's element planes, and a result block whose five planes are
+  returned to the caller as zero-copy transposed views.  Workers attach by
+  name and read/write their ``[node_lo, node_hi)`` slice -- no element or
+  result data is ever pickled, and no transpose happens on the worker path.
+* The scenario axis is processed in bounded chunks
+  (:func:`repro.parallel.sharding.scenario_chunks`): the shared planes are
+  allocated at chunk width and refilled per chunk, so a 256-scenario sweep
+  of a large design never materializes more than a few
+  :data:`~repro.parallel.sharding.DEFAULT_CHUNK_CELLS`-sized planes at once.
+* Worker pools are cached per worker count and reused across solves (fork
+  cost is paid once, not per sweep); nothing about a *forest* is cached
+  anywhere in this module, so incremental edits
+  (:meth:`~repro.flat.FlatForest.replace_tree`,
+  :meth:`~repro.graph.DesignDB.update_net`) invalidate exactly as they do
+  for the serial path -- the next solve simply reads the forest's current
+  arrays.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+from repro.flat.scenarios import ScenarioForestTimes, level_buckets, sweep_scenarios
+from repro.parallel.backends import register_backend, resolve_engine
+from repro.parallel.sharding import plan_shards, scenario_chunks, shard_node_ranges
+
+__all__ = ["ForestStructure", "solve_forest_batch", "shutdown_pools"]
+
+
+@dataclass(frozen=True)
+class ForestStructure:
+    """The topology arrays a forest solve needs, independent of element values.
+
+    ``parent`` uses global node indices (``-1`` for each tree's root),
+    ``depth`` is the per-node level, ``offsets`` the cumulative node counts
+    (``offsets[t]`` = first node of tree ``t``).  ``levels`` may carry the
+    forest's precomputed level buckets to skip re-deriving them; the arrays
+    are *referenced*, not copied, so a structure taken from a live forest
+    always reflects its current (post-splice) layout.
+    """
+
+    parent: np.ndarray
+    depth: np.ndarray
+    offsets: np.ndarray
+    levels: Optional[List[np.ndarray]] = None
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes across the forest."""
+        return int(self.parent.shape[0])
+
+    @property
+    def tree_count(self) -> int:
+        """Number of member trees."""
+        return int(len(self.offsets) - 1)
+
+
+def normalize_plane(values, n: int, count: int):
+    """Validate one scenario plane without materializing the ``(N, S)`` matrix.
+
+    Returns ``None`` (use base values), a ``(S,)`` per-scenario vector, or a
+    ``(S, N)`` matrix -- the same shapes
+    :func:`repro.flat.scenarios.as_node_matrix` accepts, but kept in their
+    compact form so chunked execution can slice scenarios lazily.
+    """
+    if values is None:
+        return None
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 1:
+        if array.shape[0] != count:
+            raise AnalysisError(
+                f"scenario vector has {array.shape[0]} entries, expected {count}"
+            )
+        return array
+    if array.shape != (count, n):
+        raise AnalysisError(
+            f"scenario plane has shape {array.shape}, expected ({count}, {n})"
+        )
+    return array
+
+
+def _chunk_matrix(values, base: np.ndarray, lo: int, hi: int, n: int) -> np.ndarray:
+    """The node-major ``(N, hi-lo)`` effective element matrix for [lo, hi).
+
+    Copy-free when the caller's plane is already node-major underneath (an
+    ``(S, N)`` array that is a transposed view of a C-contiguous ``(N, S)``
+    matrix, the layout :meth:`repro.graph.DesignDB.solve_scenarios` builds);
+    otherwise one materialization, exactly like the pre-parallel
+    ``as_node_matrix`` path.
+    """
+    w = hi - lo
+    if values is None:
+        return np.ascontiguousarray(np.broadcast_to(base[:, np.newaxis], (n, w)))
+    if values.ndim == 1:
+        return np.ascontiguousarray(np.broadcast_to(values[np.newaxis, lo:hi], (n, w)))
+    return np.ascontiguousarray(values[lo:hi].T)
+
+
+def _fill_node_chunk(out: np.ndarray, values, base: np.ndarray, lo: int, hi: int) -> None:
+    """Write the node-major ``(N, hi-lo)`` element matrix into a shared plane.
+
+    For a plane that is a transposed node-major view this is one straight
+    memcpy; broadcast forms are cheap strided fills.
+    """
+    if values is None:
+        out[:] = base[:, np.newaxis]
+    elif values.ndim == 1:
+        out[:] = values[np.newaxis, lo:hi]
+    else:
+        np.copyto(out, values[lo:hi].T)
+
+
+def _solve_range(
+    parent: np.ndarray,
+    levels: Sequence[np.ndarray],
+    starts: np.ndarray,
+    er: np.ndarray,
+    ec: np.ndarray,
+    nc: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The forest kernel over one contiguous node range.
+
+    ``parent`` must be range-local (roots ``-1``), ``starts`` the local
+    first-node index of each member tree.  Returns ``(ree, tde, tre, tp,
+    total)`` with the node-indexed arrays shaped like ``er`` and the
+    per-tree reductions shaped ``(trees, S)``.  The arithmetic -- including
+    the per-tree ``reduceat`` order -- is exactly the whole-forest kernel's,
+    which is what makes shard results bitwise identical to serial results.
+    """
+    rkk, _, tde, tre = sweep_scenarios(levels, parent, er, ec, nc)
+    rkk_parent = rkk[np.maximum(parent, 0)]
+    # A root has no parent edge: its gathered "parent" row above is whatever
+    # node sits at local index 0, which differs between a whole-forest solve
+    # and a shard solve.  Base forests keep root edge elements at zero so the
+    # term vanishes either way, but solve_batch accepts arbitrary planes --
+    # zero the root rows explicitly so every node range, sharded or not,
+    # computes the identical (and well-defined) T_P contribution.
+    rkk_parent[parent < 0] = 0.0
+    tp_terms = rkk * nc + (rkk_parent + er / 2.0) * ec
+    tp = np.add.reduceat(tp_terms, starts, axis=0)
+    total = np.add.reduceat(nc + ec, starts, axis=0)
+    return rkk, tde, tre, tp, total
+
+
+# ----------------------------------------------------------------------
+# Serial backend ("numpy")
+# ----------------------------------------------------------------------
+def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+    """Chunked serial execution of the forest kernel (the reference path)."""
+    n = structure.node_count
+    trees = structure.tree_count
+    parent = structure.parent
+    levels = structure.levels
+    if levels is None:
+        levels = level_buckets(structure.depth)
+    starts = np.asarray(structure.offsets[:-1], dtype=np.int64)
+    chunks = scenario_chunks(count, n, chunk=chunk)
+    base_er, base_ec, base_nc = base
+    plane_er, plane_ec, plane_nc = planes
+
+    if len(chunks) == 1:
+        # Whole sweep fits one working set: solve in place, return views.
+        er = _chunk_matrix(plane_er, base_er, 0, count, n)
+        ec = _chunk_matrix(plane_ec, base_ec, 0, count, n)
+        nc = _chunk_matrix(plane_nc, base_nc, 0, count, n)
+        ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+        return ScenarioForestTimes(
+            tp=tp.T, tde=tde.T, tre=tre.T, ree=ree.T, total_capacitance=total.T
+        )
+
+    out_tde = np.empty((n, count))
+    out_tre = np.empty((n, count))
+    out_ree = np.empty((n, count))
+    out_tp = np.empty((trees, count))
+    out_total = np.empty((trees, count))
+    for lo, hi in chunks:
+        er = _chunk_matrix(plane_er, base_er, lo, hi, n)
+        ec = _chunk_matrix(plane_ec, base_ec, lo, hi, n)
+        nc = _chunk_matrix(plane_nc, base_nc, lo, hi, n)
+        ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+        out_ree[:, lo:hi] = ree
+        out_tde[:, lo:hi] = tde
+        out_tre[:, lo:hi] = tre
+        out_tp[:, lo:hi] = tp
+        out_total[:, lo:hi] = total
+    return ScenarioForestTimes(
+        tp=out_tp.T,
+        tde=out_tde.T,
+        tre=out_tre.T,
+        ree=out_ree.T,
+        total_capacitance=out_total.T,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded process backend ("process")
+# ----------------------------------------------------------------------
+#: Transient input block: structure arrays plus the current chunk's element
+#: planes.  Everything is **node-major** ``(N, width)`` -- the kernel's own
+#: orientation -- so workers operate on direct slices with no transposes,
+#: and a caller plane that is node-major underneath refills as one memcpy.
+_IN_FIELDS = ("parent", "depth", "er", "ec", "nc")
+#: Result block: full-sweep, node-major; returned zero-copy as the ``.T``
+#: views of the :class:`~repro.flat.scenarios.ScenarioForestTimes` (the
+#: serial path returns transposed views of its working arrays too).
+_OUT_FIELDS = ("ree", "tde", "tre", "tp", "total")
+
+
+def _block_layout(fields, shapes) -> Dict[str, Tuple[int, Tuple[int, ...], str]]:
+    """Byte offset, shape and dtype of each field inside one shared block."""
+    layout: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+    offset = 0
+    for field in fields:
+        shape, dtype = shapes[field]
+        layout[field] = (offset, shape, dtype)
+        offset += int(np.prod(shape)) * np.dtype(dtype).itemsize
+    layout["__size__"] = (offset, (), "")
+    return layout
+
+
+def _in_layout(n: int, width: int):
+    return _block_layout(
+        _IN_FIELDS,
+        {
+            "parent": ((n,), "int64"),
+            "depth": ((n,), "int64"),
+            "er": ((n, width), "float64"),
+            "ec": ((n, width), "float64"),
+            "nc": ((n, width), "float64"),
+        },
+    )
+
+
+def _out_layout(n: int, trees: int, count: int):
+    return _block_layout(
+        _OUT_FIELDS,
+        {
+            "ree": ((n, count), "float64"),
+            "tde": ((n, count), "float64"),
+            "tre": ((n, count), "float64"),
+            "tp": ((trees, count), "float64"),
+            "total": ((trees, count), "float64"),
+        },
+    )
+
+
+def _views(buffer, layout, fields) -> Dict[str, np.ndarray]:
+    """Numpy views of every field of a shared block.
+
+    Built with :func:`np.frombuffer` deliberately: unlike
+    ``np.ndarray(buffer=...)`` (whose ``base`` bypasses the memoryview and
+    holds no PEP-3118 export), a ``frombuffer`` view keeps a real buffer
+    export open, so a premature ``SharedMemory.close()`` raises
+    ``BufferError`` instead of unmapping pages a live array still reads.
+    """
+    views: Dict[str, np.ndarray] = {}
+    for field in fields:
+        offset, shape, dtype = layout[field]
+        count = int(np.prod(shape)) if shape else 0
+        views[field] = np.frombuffer(
+            buffer, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+    return views
+
+
+def _release_block(shm: shared_memory.SharedMemory) -> None:
+    """Release a block we created, tolerating still-live numpy views.
+
+    If views still export the buffer, ``close()`` raises ``BufferError``;
+    the mapping then lives exactly as long as the last view (the memoryview
+    keeps the mmap alive, the OS frees the pages on its collection), and
+    the ``SharedMemory`` destructor is disarmed so it cannot retry.  The
+    name is unlinked either way, so nothing persists past the process.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+class _ResultBlock:
+    """Owns the result shared-memory block for its numpy views' lifetime.
+
+    The views handed back to the caller hold buffer exports that keep the
+    mapping alive; when the holder (stashed on the returned record) is
+    collected -- or at interpreter exit, whichever comes first -- the block
+    is released via :func:`_release_block`.
+    """
+
+    def __init__(self, size: int):
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+        self._finalizer = weakref.finalize(self, _release_block, self.shm)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adopting cleanup responsibility.
+
+    Before Python 3.13 every attach registers the segment with a
+    ``resource_tracker``.  Under the ``fork`` start method the worker shares
+    the creator's tracker, so the duplicate registration is a harmless
+    set-dedupe and must be left alone (unregistering here would break the
+    creator's own unlink).  Under ``spawn``/``forkserver`` the worker has its
+    *own* tracker, which would warn about -- and eventually unlink -- a
+    segment the creator still owns, so there the registration is undone.
+    """
+    block = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:  # pragma: no cover - non-fork platforms, version-dependent
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:
+            pass
+    return block
+
+
+def _solve_shard_into(
+    in_buf, out_buf, n, trees, count, width, w, lo, t_lo, t_hi, n_lo, n_hi, offsets_local
+) -> None:
+    """Solve one shard's node range for one chunk; views scoped to this frame.
+
+    Both blocks are node-major, so the kernel runs on direct slices of the
+    input planes and writes straight into columns ``[lo, lo+w)`` of the
+    result block -- no transposes anywhere on this path.
+    """
+    ins = _views(in_buf, _in_layout(n, width), _IN_FIELDS)
+    outs = _views(out_buf, _out_layout(n, trees, count), _OUT_FIELDS)
+    parent = ins["parent"][n_lo:n_hi].copy()
+    parent[parent >= 0] -= n_lo
+    levels = level_buckets(ins["depth"][n_lo:n_hi])
+    starts = np.asarray(offsets_local, dtype=np.int64) - n_lo
+    er = ins["er"][n_lo:n_hi, :w]
+    ec = ins["ec"][n_lo:n_hi, :w]
+    nc = ins["nc"][n_lo:n_hi, :w]
+    ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+    outs["ree"][n_lo:n_hi, lo : lo + w] = ree
+    outs["tde"][n_lo:n_hi, lo : lo + w] = tde
+    outs["tre"][n_lo:n_hi, lo : lo + w] = tre
+    outs["tp"][t_lo:t_hi, lo : lo + w] = tp
+    outs["total"][t_lo:t_hi, lo : lo + w] = total
+
+
+#: Worker-side single-slot attachment cache for the parent's (cached,
+#: stable-named) input block: re-attaching per task would re-mmap the same
+#: segment over and over.  Result blocks are fresh-named per solve and are
+#: attached/closed per task instead.
+_WORKER_IN: List[Tuple[str, shared_memory.SharedMemory]] = []
+
+
+def _attach_input(name: str) -> shared_memory.SharedMemory:
+    """Attach the input block, reusing the mapping while the name is stable."""
+    if _WORKER_IN and _WORKER_IN[0][0] == name:
+        return _WORKER_IN[0][1]
+    while _WORKER_IN:
+        _, old = _WORKER_IN.pop()
+        try:
+            old.close()
+        except BufferError:  # pragma: no cover - views die with the task
+            pass
+    block = _attach(name)
+    _WORKER_IN.append((name, block))
+    return block
+
+
+def _solve_shard_task(args) -> None:
+    """Worker body: attach the shared blocks and solve one shard inside them."""
+    in_name, out_name = args[0], args[1]
+    in_block = _attach_input(in_name)
+    out_block = _attach(out_name)
+    try:
+        _solve_shard_into(in_block.buf, out_block.buf, *args[2:])
+    finally:
+        try:
+            # The happy path has dropped every numpy view by now; on an
+            # error path the in-flight traceback may still pin buffer
+            # exports -- let the real error propagate instead of masking
+            # it, the mapping dies with the task anyway.
+            out_block.close()
+        except BufferError:  # pragma: no cover - error path only
+            pass
+
+
+#: Parent-side single-slot cache for the transient input block: reused
+#: across solves while big enough, so steady-state sweeps skip segment
+#: creation and first-touch page faults.  (The solve path is not
+#: re-entrant -- one in-flight sharded solve per process, which nesting
+#: prevention in ``resolve_engine`` already guarantees.)
+_IN_CACHE: List[shared_memory.SharedMemory] = []
+
+
+def _input_block(size: int) -> shared_memory.SharedMemory:
+    """Get-or-create the cached input block with at least ``size`` bytes."""
+    if _IN_CACHE and _IN_CACHE[0].size >= size:
+        return _IN_CACHE[0]
+    while _IN_CACHE:
+        _release_block(_IN_CACHE.pop())
+    block = shared_memory.SharedMemory(create=True, size=size)
+    _IN_CACHE.append(block)
+    return block
+
+
+def _release_input_cache() -> None:
+    """Unlink the cached input block (registered with :mod:`atexit`)."""
+    while _IN_CACHE:
+        _release_block(_IN_CACHE.pop())
+
+
+atexit.register(_release_input_cache)
+
+_POOLS: Dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _pool(jobs: int):
+    """A cached worker pool of the given size (fork cost paid once)."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = multiprocessing.get_context().Pool(processes=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (registered with :mod:`atexit`)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _solve_process(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+    """Sharded execution over shared-memory planes (see the module docstring)."""
+    n = structure.node_count
+    trees = structure.tree_count
+    offsets = np.asarray(structure.offsets, dtype=np.int64)
+    shards = plan_shards(offsets, jobs)
+    if len(shards) == 1:
+        return _solve_numpy(structure, base, planes, count, 1, chunk)
+    ranges = shard_node_ranges(offsets, shards)
+    chunks = scenario_chunks(count, n, chunk=chunk)
+    width = chunks[0][1] - chunks[0][0]
+    base_er, base_ec, base_nc = base
+    plane_er, plane_ec, plane_nc = planes
+
+    out_layout = _out_layout(n, trees, count)
+    holder = _ResultBlock(out_layout["__size__"][0])
+    outs = _views(holder.shm.buf, out_layout, _OUT_FIELDS)
+
+    in_layout = _in_layout(n, width)
+    block = _input_block(in_layout["__size__"][0])
+    ins = _views(block.buf, in_layout, _IN_FIELDS)
+    ins["parent"][:] = structure.parent
+    ins["depth"][:] = structure.depth
+    pool = _pool(len(shards))
+    for lo, hi in chunks:
+        w = hi - lo
+        _fill_node_chunk(ins["er"][:, :w], plane_er, base_er, lo, hi)
+        _fill_node_chunk(ins["ec"][:, :w], plane_ec, base_ec, lo, hi)
+        _fill_node_chunk(ins["nc"][:, :w], plane_nc, base_nc, lo, hi)
+        tasks = [
+            (
+                block.name, holder.shm.name, n, trees, count, width, w, lo,
+                t_lo, t_hi, n_lo, n_hi,
+                offsets[t_lo:t_hi].tolist(),
+            )
+            for (t_lo, t_hi), (n_lo, n_hi) in zip(shards, ranges)
+        ]
+        pool.map(_solve_shard_task, tasks, chunksize=1)
+    times = ScenarioForestTimes(
+        tp=outs["tp"].T,
+        tde=outs["tde"].T,
+        tre=outs["tre"].T,
+        ree=outs["ree"].T,
+        total_capacitance=outs["total"].T,
+    )
+    # The arrays are zero-copy views into the result block; pin its owner to
+    # the record so the mapping lives exactly as long as the results do.
+    object.__setattr__(times, "_shared_block", holder)
+    return times
+
+
+register_backend(
+    "numpy",
+    _solve_numpy,
+    parallel=False,
+    description="serial vectorized kernels, in-process (the reference path)",
+)
+register_backend(
+    "process",
+    _solve_process,
+    parallel=True,
+    description="node-balanced shards solved by worker processes over "
+    "shared-memory element/result planes",
+)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def solve_forest_batch(
+    structure: ForestStructure,
+    base: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    planes: Tuple,
+    count: int,
+    *,
+    engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+    scenario_chunk: Optional[int] = None,
+) -> ScenarioForestTimes:
+    """Solve every tree of a forest under ``count`` scenarios.
+
+    ``base`` carries the forest's resident ``(edge_r, edge_c, node_c)``
+    arrays; ``planes`` the caller's overrides in
+    :meth:`~repro.flat.FlatTree.solve_batch` form (``None`` / ``(S,)`` /
+    ``(S, N)`` each).  ``engine`` selects a registered backend by name
+    (``None`` auto-selects by sweep size), ``jobs`` caps the worker count of
+    parallel backends, and ``scenario_chunk`` overrides the bounded-memory
+    chunk width.  Every backend returns numerically identical
+    :class:`~repro.flat.scenarios.ScenarioForestTimes` -- backend choice is
+    an execution detail, never a semantics change.
+    """
+    count = int(count)
+    if count < 1:
+        raise AnalysisError(f"scenario count must be >= 1, got {count}")
+    n = structure.node_count
+    planes = tuple(normalize_plane(plane, n, count) for plane in planes)
+    backend, jobs = resolve_engine(engine, cells=n * count, jobs=jobs)
+    return backend.solver(structure, base, planes, count, jobs, scenario_chunk)

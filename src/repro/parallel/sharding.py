@@ -1,0 +1,100 @@
+"""Shard and chunk planning for the parallel solve engine.
+
+Two axes get partitioned:
+
+* **trees -> shards** (:func:`plan_shards`): a :class:`~repro.flat.FlatForest`
+  stores its member trees contiguously, so a shard is a *contiguous run of
+  whole trees* -- equivalently one ``[node_lo, node_hi)`` slice of every
+  concatenated element array.  Shards are balanced by **total node count**
+  (the solve is linear in nodes), not by tree count: one 500-node clock tree
+  costs as much as 100 five-node signal nets.  Contiguity is what makes the
+  shared-memory handoff a pair of slice bounds instead of an index list.
+
+* **scenarios -> chunks** (:func:`scenario_chunks`): the scenario-batched
+  kernels materialize ``(N, S)`` working planes; chunking the scenario axis
+  caps that working set at roughly :data:`DEFAULT_CHUNK_CELLS` elements per
+  plane, so a (2k-instance x 256-scenario) sweep runs as a few bounded
+  passes instead of one allocation proportional to ``N x S``.
+
+Both planners are pure functions of sizes -- they hold no state, so they are
+always consistent with the forest's *current* layout (after
+:meth:`~repro.flat.FlatForest.replace_tree` splices, the next call simply
+sees the new offsets).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+
+__all__ = ["DEFAULT_CHUNK_CELLS", "plan_shards", "scenario_chunks", "shard_node_ranges"]
+
+#: Target cells (nodes x scenarios) per working plane before the scenario
+#: axis is chunked: 2**21 doubles == 16 MiB per (N, S) float64 plane.
+DEFAULT_CHUNK_CELLS = 1 << 21
+
+
+def plan_shards(offsets: Sequence[int], jobs: int) -> List[Tuple[int, int]]:
+    """Partition a forest's trees into ``<= jobs`` contiguous, balanced shards.
+
+    ``offsets`` is the forest's cumulative node-count array (``offsets[t]`` is
+    the global index of tree ``t``'s first node, ``offsets[-1]`` the total
+    node count).  Returns ``[(tree_lo, tree_hi), ...]`` half-open tree-index
+    ranges whose node counts are as even as contiguity allows: cut ``k`` is
+    placed at the tree boundary nearest ``total_nodes * k / jobs``.  Every
+    shard is non-empty; fewer than ``jobs`` shards come back only when there
+    are fewer trees than jobs.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    trees = len(offsets) - 1
+    if trees < 1:
+        raise AnalysisError("cannot shard an empty forest")
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, trees)
+    total = int(offsets[-1])
+    bounds = [0]
+    for cut in range(1, jobs):
+        target = total * cut / jobs
+        boundary = int(np.searchsorted(offsets, target, side="left"))
+        # Keep every shard non-empty: at least one tree behind this cut and
+        # enough trees ahead for the remaining shards.
+        boundary = max(bounds[-1] + 1, min(boundary, trees - (jobs - cut)))
+        bounds.append(boundary)
+    bounds.append(trees)
+    return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+
+def shard_node_ranges(
+    offsets: Sequence[int], shards: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """The global ``[node_lo, node_hi)`` slice of each tree shard."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return [(int(offsets[lo]), int(offsets[hi])) for lo, hi in shards]
+
+
+def scenario_chunks(
+    count: int, node_count: int, *, chunk: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split ``count`` scenarios into evenly sized ``[lo, hi)`` chunks.
+
+    With ``chunk=None`` the width is chosen so one ``(N, chunk)`` float64
+    plane stays near :data:`DEFAULT_CHUNK_CELLS` elements; pass an explicit
+    ``chunk`` to override (tests pin small chunks to exercise the loop).
+    The requested width is an upper bound -- the actual widths are balanced
+    (``ceil(count / pieces)``) so the last chunk is never a sliver.
+    """
+    if count < 1:
+        raise AnalysisError(f"scenario count must be >= 1, got {count}")
+    if chunk is None:
+        width = max(1, DEFAULT_CHUNK_CELLS // max(int(node_count), 1))
+    else:
+        width = int(chunk)
+        if width < 1:
+            raise AnalysisError(f"scenario_chunk must be >= 1, got {chunk}")
+    pieces = -(-count // width)  # ceil
+    width = -(-count // pieces)
+    return [(lo, min(lo + width, count)) for lo in range(0, count, width)]

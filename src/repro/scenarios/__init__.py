@@ -112,6 +112,7 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "Scenario":
+        """Parse one scenario object of the CLI's ``--corners`` JSON schema."""
         known = {
             "name", "r_derate", "c_derate", "drive_derate",
             "clock_period", "threshold", "net_scale",

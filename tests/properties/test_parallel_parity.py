@@ -1,0 +1,108 @@
+"""Property test: backend choice is never a semantics change.
+
+For random designs, random scenario sets and random shard/chunk
+configurations, ``engine="process"`` must produce the same results as
+``engine="numpy"`` -- pinned here at the documented 1e-12 relative
+tolerance, though the engine's sharding actually guarantees bitwise
+equality (shard solves never read across tree boundaries and keep the
+per-tree reduction order).  The equivalence must survive random incremental
+edit sequences (``update_net`` lumped/tree swaps, ``resize_instance`` cell
+swaps): the sharded path reads the forest's current arrays at solve time
+and caches nothing, so it invalidates exactly like the serial path.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import RCTree
+from repro.generators import random_design, random_scenarios
+from repro.graph import TimingGraph
+from repro.sta.cells import standard_cell_library
+from repro.sta.parasitics import lumped, rc_tree_parasitics
+
+LIBRARY = standard_cell_library()
+FIELDS = ("tp", "tde", "tre", "total_capacitance")
+
+
+def _assert_backend_parity(db, scenarios, rng):
+    jobs = rng.randint(2, 4)
+    serial = db.solve_scenarios(scenarios, engine="numpy")
+    parallel = db.solve_scenarios(scenarios, engine="process", jobs=jobs)
+    for name in FIELDS:
+        want = getattr(serial, name)
+        got = getattr(parallel, name)
+        assert got.shape == want.shape, name
+        scale = np.maximum(np.abs(want), 1e-18)
+        assert np.all(np.abs(got - want) <= 1e-12 * scale), (
+            name,
+            float(np.max(np.abs(got - want) / scale)),
+            jobs,
+        )
+
+
+def _random_edit(rng, graph):
+    nets = graph.db.timed_nets()
+    kind = rng.randrange(3)
+    if kind == 0:
+        net = rng.choice(nets)
+        graph.update_net(net, lumped(net, rng.uniform(1e-16, 8e-14)))
+    elif kind == 1:
+        net = rng.choice(nets)
+        loads = [str(load) for load in graph.db.nets[net].loads]
+        tree = RCTree("root")
+        previous = "root"
+        for index in range(rng.randint(1, 3)):
+            name = f"w{index}"
+            tree.add_line(
+                previous, name, rng.uniform(30.0, 600.0), rng.uniform(1e-15, 2e-14)
+            )
+            previous = name
+        pin_nodes = {}
+        for pin in loads:
+            tree.add_resistor(previous, pin, rng.uniform(10.0, 100.0))
+            tree.mark_output(pin)
+            pin_nodes[pin] = pin
+        graph.update_net(net, rc_tree_parasitics(net, tree, pin_nodes))
+    else:
+        instances = sorted(graph.db.instances)
+        name = rng.choice(instances)
+        cell = graph.db.instances[name].cell
+        prefix, _, _ = cell.name.rpartition("_X")
+        strength = (
+            rng.choice([1, 2, 4]) if not cell.is_sequential else rng.choice([1, 2])
+        )
+        replacement = LIBRARY.get(f"{prefix}_X{strength}")
+        if replacement is not None:
+            graph.resize_instance(name, replacement)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 2**20), st.integers(0, 2**20))
+def test_process_engine_equals_numpy_engine(design_seed, sweep_seed):
+    design, parasitics = random_design(40, seed=design_seed, sequential_fraction=0.2)
+    rng = random.Random(sweep_seed)
+    graph = TimingGraph(
+        design,
+        dict(parasitics),
+        clock_period=1.4e-9,
+        input_drive_resistance=140.0,
+    )
+    scenarios = random_scenarios(1 + rng.randrange(8), seed=rng.randrange(2**20))
+    _assert_backend_parity(graph.db, scenarios, rng)
+
+    # The sharded path must track incremental state exactly: edit, re-batch.
+    graph.arrivals_matrix  # make the edits exercise the incremental path
+    for _ in range(4):
+        _random_edit(rng, graph)
+    _assert_backend_parity(graph.db, scenarios, rng)
+
+    # And the design-level report must agree too, post-edits.
+    serial = graph.analyze_scenarios(scenarios, with_critical_paths=False)
+    parallel = graph.analyze_scenarios(
+        scenarios, with_critical_paths=False, engine="process", jobs=2
+    )
+    assert np.array_equal(serial.worst_slack, parallel.worst_slack)
+    assert serial.verdicts == parallel.verdicts

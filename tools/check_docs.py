@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Docs link-check: every module, file anchor and link in the docs must exist.
+"""Docs health-check: links must resolve and the core API must be documented.
 
 Scans ``README.md`` and every ``docs/*.md`` for
 
@@ -11,6 +11,13 @@ Scans ``README.md`` and every ``docs/*.md`` for
 * relative markdown links (``[text](docs/paper_map.md)``) -- the target file
   must exist.
 
+Additionally audits the engine-layer packages (:data:`DOCSTRING_PACKAGES`:
+``repro.flat``, ``repro.graph``, ``repro.scenarios``, ``repro.parallel``)
+for **missing docstrings**: every public module-level function and class --
+and every public method/property of those classes -- defined in one of
+those packages must carry one, so the generated ``docs/api.md`` can never
+silently degrade into a list of bare signatures.
+
 Exits non-zero with a report of every broken reference.  Run from the
 repository root (CI does); also exercised as ``tests/docs/test_docs_links.py``.
 """
@@ -18,12 +25,17 @@ repository root (CI does); also exercised as ``tests/docs/test_docs_links.py``.
 from __future__ import annotations
 
 import importlib
+import inspect
+import pkgutil
 import re
 import sys
 from pathlib import Path
 from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages whose public API must be fully docstringed.
+DOCSTRING_PACKAGES = ("repro.flat", "repro.graph", "repro.scenarios", "repro.parallel")
 
 #: repro.foo.bar or repro.foo.bar.attr (the attr is resolved when present).
 MODULE_REF = re.compile(r"\brepro(?:\.\w+)+")
@@ -80,6 +92,66 @@ def check_markdown_link(source: Path, link: str) -> str:
     return ""
 
 
+def _docstring_package_modules() -> List[str]:
+    """Every module of the audited packages, the packages themselves included."""
+    names: List[str] = []
+    for package_name in DOCSTRING_PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        search = getattr(package, "__path__", None)
+        if search is None:
+            continue
+        for info in pkgutil.walk_packages(search, prefix=package_name + "."):
+            if not info.name.rsplit(".", 1)[-1].startswith("_"):
+                names.append(info.name)
+    return names
+
+
+def _missing_member_docstrings(cls, module_name: str) -> List[str]:
+    problems: List[str] = []
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        target = member
+        if isinstance(member, property):
+            target = member.fget
+        elif isinstance(member, (classmethod, staticmethod)):
+            target = member.__func__
+        elif not inspect.isfunction(member):
+            continue
+        if target is None or not inspect.getdoc(target):
+            problems.append(
+                f"{module_name}.{cls.__name__}.{name}: public member has no docstring"
+            )
+    return problems
+
+
+def check_docstrings() -> List[str]:
+    """Missing-docstring report for the packages in :data:`DOCSTRING_PACKAGES`."""
+    problems: List[str] = []
+    for module_name in _docstring_package_modules():
+        module = importlib.import_module(module_name)
+        if not inspect.getdoc(module):
+            problems.append(f"{module_name}: module has no docstring")
+        for name, value in sorted(vars(module).items()):
+            if name.startswith("_"):
+                continue
+            if getattr(value, "__module__", None) != module_name:
+                continue
+            if inspect.isfunction(value):
+                if not inspect.getdoc(value):
+                    problems.append(
+                        f"{module_name}.{name}: public function has no docstring"
+                    )
+            elif inspect.isclass(value):
+                if not inspect.getdoc(value):
+                    problems.append(
+                        f"{module_name}.{name}: public class has no docstring"
+                    )
+                problems.extend(_missing_member_docstrings(value, module_name))
+    return problems
+
+
 def collect_failures() -> List[Tuple[Path, str]]:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     failures: List[Tuple[Path, str]] = []
@@ -112,13 +184,26 @@ def collect_failures() -> List[Tuple[Path, str]]:
 def main() -> int:
     failures = collect_failures()
     docs = doc_files()
+    status = 0
     if failures:
         print(f"docs link-check: {len(failures)} broken reference(s):")
         for doc, problem in failures:
             print(f"  {doc.relative_to(REPO_ROOT)}: {problem}")
-        return 1
-    print(f"docs link-check: OK ({len(docs)} files checked)")
-    return 0
+        status = 1
+    else:
+        print(f"docs link-check: OK ({len(docs)} files checked)")
+    missing = check_docstrings()
+    if missing:
+        print(f"docstring check: {len(missing)} missing docstring(s):")
+        for problem in missing:
+            print(f"  {problem}")
+        status = 1
+    else:
+        print(
+            "docstring check: OK "
+            f"({', '.join(DOCSTRING_PACKAGES)} fully documented)"
+        )
+    return status
 
 
 if __name__ == "__main__":
