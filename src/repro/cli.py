@@ -32,8 +32,10 @@ Subcommands
     and reports per-scenario results; ``--jobs N`` runs that sweep on the
     sharded multi-core engine (:mod:`repro.parallel`) with ``N`` worker
     processes (``--jobs 1`` forces the serial backend; the default
-    auto-selects by sweep size).  Exit status 1 when the (overall) verdict
-    is FAIL, 2 when it is INDETERMINATE.
+    auto-selects by sweep size), and ``--engine NAME`` pins a registered
+    kernel backend outright (``auto``, ``numpy``, ``process``,
+    ``contract``), overriding the ``--jobs``-derived choice.  Exit status 1
+    when the (overall) verdict is FAIL, 2 when it is INDETERMINATE.
 """
 
 from __future__ import annotations
@@ -143,10 +145,13 @@ def _cmd_timing(args: argparse.Namespace) -> int:
 
         with open(args.corners, "r", encoding="utf-8") as handle:
             scenarios = ScenarioSet.from_dict(json.load(handle))
-        # --jobs pins the parallel backend explicitly; the default leaves
-        # engine auto-selection (by sweep size) to repro.parallel.
+        # --engine pins a backend outright; --jobs alone pins the parallel
+        # backend; the default leaves engine auto-selection (by sweep size
+        # and depth pathology) to repro.parallel.
         engine = None
-        if args.jobs is not None:
+        if args.engine is not None and args.engine != "auto":
+            engine = args.engine
+        elif args.jobs is not None:
             engine = "numpy" if args.jobs == 1 else "process"
         scenario_report = graph.analyze_scenarios(
             scenarios, path_model=model, engine=engine, jobs=args.jobs
@@ -235,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         "by sweep size)",
     )
     timing.add_argument(
+        "--engine", default=None,
+        choices=["auto", "numpy", "process", "contract"],
+        help="kernel backend for the corner-sweep solve; requires --corners "
+        "(default: auto-select by sweep size and depth; overrides the "
+        "--jobs-derived choice)",
+    )
+    timing.add_argument(
         "--model", default="upper_bound",
         choices=["elmore", "upper_bound", "lower_bound"],
         help="delay model the critical path is traced under",
@@ -256,6 +268,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Silently running serial after the user asked for workers would be
         # worse than refusing: --jobs parallelizes the corner sweep only.
         parser.error("timing: --jobs requires --corners (it parallelizes the corner sweep)")
+    if getattr(args, "engine", None) is not None and getattr(args, "corners", None) is None:
+        parser.error("timing: --engine requires --corners (it selects the corner-sweep kernel)")
     return args.func(args)
 
 

@@ -16,6 +16,9 @@ at once with a handful of vectorized sweeps:
 * scenario batching -- ``solve_batch`` on both classes runs the same level
   sweeps over ``(S, N)`` element planes, evaluating corners, derates and
   what-if candidates side by side (:mod:`repro.flat.scenarios`);
+* :mod:`repro.flat.contraction` -- the pointer-jumping twin of the level
+  sweeps: O(log N) contraction rounds regardless of topology, the kernel
+  behind ``engine="contract"`` for chain-heavy forests;
 * :mod:`repro.flat.batchbounds` -- eqs. (8)-(17) evaluated over
   (sinks x thresholds) matrices in one numpy call.
 
@@ -32,6 +35,13 @@ from repro.flat.batchbounds import (
     voltage_bounds_batch,
     voltage_lower_bound_batch,
     voltage_upper_bound_batch,
+)
+from repro.flat.contraction import (
+    jump_schedule,
+    last_round_count,
+    path_sums,
+    subtree_sums,
+    sweep_scenarios_contract,
 )
 from repro.flat.flattree import FlatTimes, FlatTree
 from repro.flat.forest import FlatForest, ForestTimes
@@ -50,4 +60,9 @@ __all__ = [
     "voltage_bounds_batch",
     "voltage_lower_bound_batch",
     "voltage_upper_bound_batch",
+    "jump_schedule",
+    "last_round_count",
+    "path_sums",
+    "subtree_sums",
+    "sweep_scenarios_contract",
 ]

@@ -253,10 +253,11 @@ class FlatForest:
         neither read nor invalidated.
 
         ``engine`` selects a :mod:`repro.parallel` backend by name
-        (``"numpy"`` serial, ``"process"`` sharded workers; ``None``
-        auto-selects by sweep size), ``jobs`` caps the worker count, and
-        ``scenario_chunk`` overrides the bounded-memory chunk width.  Every
-        backend returns numerically identical results.
+        (``"numpy"`` serial, ``"process"`` sharded workers, ``"contract"``
+        pointer jumping; ``None`` auto-selects by sweep size and depth
+        pathology), ``jobs`` caps the worker count, and ``scenario_chunk``
+        overrides the bounded-memory chunk width.  Every backend returns
+        numerically identical results (to 1e-12 for ``"contract"``).
         """
         from repro.parallel import solve_forest_batch
 

@@ -10,13 +10,23 @@ over the ``(N, S)`` element planes of a forest:
   (:mod:`repro.parallel.engine`): the forest is split into contiguous,
   node-balanced shards (:func:`repro.parallel.sharding.plan_shards`) and
   solved by worker processes over ``multiprocessing.shared_memory`` planes.
+* ``"contract"`` -- the pointer-jumping tree-contraction kernels
+  (:mod:`repro.flat.contraction`): O(log N) rounds regardless of depth, the
+  cure for chain-heavy forests where the level sweeps degenerate into one
+  numpy call per level.
 
 Callers normally pass ``engine=None`` (or ``"auto"``) and let
-:func:`resolve_engine` pick: the process backend is selected only when the
-sweep is big enough (``nodes x scenarios >= AUTO_PROCESS_CELLS``) and more
-than one worker is actually usable.  An *explicit* ``engine="process"`` is
-always honoured (with however many workers are available) so parity tests
-exercise the sharded path even on one core.
+:func:`resolve_engine` pick: depth-pathological forests
+(``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO``) go to the contraction
+kernels, and otherwise the process backend is selected only when the sweep
+is big enough (``nodes x scenarios >= AUTO_PROCESS_CELLS``) and more than
+one worker is actually usable.  An *explicit* ``engine="process"`` /
+``"contract"`` is always honoured (the former with however many workers
+are available) so parity tests exercise every path even on one core.
+
+Every solve records which backend it chose (:func:`last_selection`), and
+setting ``REPRO_ENGINE_LOG=1`` additionally prints one line per solve to
+stderr -- the observability knob for "why was this sweep slow?".
 
 The registry is open: :func:`register_backend` lets an experiment register
 e.g. a thread-pool or GPU strategy under a new name without touching the
@@ -25,27 +35,46 @@ call sites, which all go through ``engine="<name>"`` string selection.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import AnalysisError
 
 __all__ = [
     "AUTO_PROCESS_CELLS",
+    "CONTRACT_DEPTH_RATIO",
     "KernelBackend",
     "available_backends",
     "default_job_count",
     "get_backend",
+    "last_selection",
+    "record_selection",
     "register_backend",
     "resolve_engine",
+    "should_contract",
 ]
 
 #: Smallest ``nodes x scenarios`` plane for which ``engine=None`` escalates
 #: to the process backend: below this the serial kernels finish in a few
 #: milliseconds and worker dispatch would only add latency.
 AUTO_PROCESS_CELLS = 1 << 19
+
+#: Depth-pathology threshold: ``engine=None`` picks the contraction kernels
+#: when ``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO``.  Bushy forests sit
+#: near ratio 1-4 and stay on the level sweeps (fewer, cheaper rounds);
+#: chains and URC ladders reach ratios in the hundreds where O(log N)
+#: contraction rounds win outright.  The process backend's shard workers
+#: apply the same test per shard.  Tunable: benchmarks may lower it, and
+#: tests monkeypatch it to force either side of the decision.
+CONTRACT_DEPTH_RATIO = 32.0
+
+#: Environment variable that, when set to a non-empty value other than
+#: ``"0"``, makes every solve print its engine selection to stderr.
+ENGINE_LOG_ENV = "REPRO_ENGINE_LOG"
 
 
 @dataclass(frozen=True)
@@ -112,22 +141,95 @@ def _in_daemon_worker() -> bool:
     return bool(multiprocessing.current_process().daemon)
 
 
+def should_contract(depth: int, nodes: int) -> bool:
+    """True when a forest is depth-pathological for the level sweeps.
+
+    The level sweeps cost O(depth) numpy calls; the contraction kernels cost
+    ``O(log2(nodes))`` rounds of slightly heavier work.  The crossover is
+    where ``depth / log2(nodes)`` clears :data:`CONTRACT_DEPTH_RATIO` --
+    read at call time so tuning (or monkeypatching) the threshold takes
+    effect immediately.
+    """
+    if nodes < 2 or depth < 2:
+        return False
+    return depth / math.log2(nodes) >= CONTRACT_DEPTH_RATIO
+
+
+#: Single-slot record of the most recent engine selection (see
+#: :func:`record_selection` / :func:`last_selection`).
+_LAST_SELECTION: List[Dict[str, object]] = []
+
+
+def record_selection(
+    requested: Optional[str],
+    resolved: str,
+    *,
+    nodes: int = 0,
+    scenarios: int = 0,
+    depth: int = 0,
+    jobs: int = 1,
+) -> None:
+    """Note which backend a solve chose; print it when the log knob is on.
+
+    Called by :func:`repro.parallel.engine.solve_forest_batch` after every
+    resolution.  The record is readable back via :func:`last_selection`;
+    with ``REPRO_ENGINE_LOG=1`` in the environment a one-line report also
+    goes to stderr, so long pipelines can show which engine every solve
+    picked without any code change.
+    """
+    record = {
+        "requested": requested if requested is not None else "auto",
+        "engine": resolved,
+        "nodes": int(nodes),
+        "scenarios": int(scenarios),
+        "depth": int(depth),
+        "jobs": int(jobs),
+    }
+    _LAST_SELECTION[:] = [record]
+    flag = os.environ.get(ENGINE_LOG_ENV, "")
+    if flag and flag != "0":
+        print(
+            "repro.engine: engine={engine} (requested={requested}) "
+            "nodes={nodes} scenarios={scenarios} depth={depth} jobs={jobs}".format(
+                **record
+            ),
+            file=sys.stderr,
+        )
+
+
+def last_selection() -> Optional[Dict[str, object]]:
+    """The most recent engine-selection record, or ``None`` before any solve.
+
+    Keys: ``requested`` (the caller's ``engine=`` value, ``"auto"`` when it
+    was left to the resolver), ``engine`` (the backend that actually ran),
+    ``nodes``, ``scenarios``, ``depth`` and ``jobs``.  This is the
+    programmatic face of the ``REPRO_ENGINE_LOG`` knob, used by the
+    auto-selection tests.
+    """
+    return dict(_LAST_SELECTION[0]) if _LAST_SELECTION else None
+
+
 def resolve_engine(
     engine: Optional[str] = None,
     *,
     cells: int = 0,
     jobs: Optional[int] = None,
+    nodes: int = 0,
+    depth: int = 0,
 ) -> Tuple[KernelBackend, int]:
     """Pick the backend and worker count for a sweep of ``cells`` elements.
 
-    ``engine=None`` / ``"auto"`` selects ``"process"`` only when the plane is
-    at least :data:`AUTO_PROCESS_CELLS` cells, more than one worker is usable
-    (``jobs`` when given, else :func:`default_job_count`) and the caller is
-    not itself a daemonic worker; otherwise ``"numpy"``.  Explicit names are
-    honoured as-is (except inside a daemonic worker, where the process
-    backend silently degrades to serial -- nested pools cannot exist).
-    Returns ``(backend, jobs)`` with ``jobs`` meaningful only for parallel
-    backends.
+    ``engine=None`` / ``"auto"`` first checks the depth pathology: a forest
+    with ``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO`` (see
+    :func:`should_contract`) goes to the ``"contract"`` kernels, whose round
+    count is O(log N) instead of O(depth).  Otherwise ``"process"`` is
+    selected only when the plane is at least :data:`AUTO_PROCESS_CELLS`
+    cells, more than one worker is usable (``jobs`` when given, else
+    :func:`default_job_count`) and the caller is not itself a daemonic
+    worker; the default remains ``"numpy"``.  Explicit names are honoured
+    as-is (except inside a daemonic worker, where the process backend
+    silently degrades to serial -- nested pools cannot exist).  Returns
+    ``(backend, jobs)`` with ``jobs`` meaningful only for parallel backends.
     """
     if jobs is not None:
         jobs = int(jobs)
@@ -139,7 +241,12 @@ def resolve_engine(
         escalate = (
             workers >= 2 and cells >= AUTO_PROCESS_CELLS and not _in_daemon_worker()
         )
-        name = "process" if escalate and "process" in _REGISTRY else "numpy"
+        if "contract" in _REGISTRY and should_contract(depth, nodes):
+            name = "contract"
+        elif escalate and "process" in _REGISTRY:
+            name = "process"
+        else:
+            name = "numpy"
     backend = get_backend(name)
     if not backend.parallel:
         return backend, 1

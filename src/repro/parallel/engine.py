@@ -51,8 +51,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.exceptions import AnalysisError
+from repro.flat.contraction import jump_schedule, sweep_scenarios_contract
 from repro.flat.scenarios import ScenarioForestTimes, level_buckets, sweep_scenarios
-from repro.parallel.backends import register_backend, resolve_engine
+from repro.parallel.backends import (
+    record_selection,
+    register_backend,
+    resolve_engine,
+    should_contract,
+)
 from repro.parallel.sharding import plan_shards, scenario_chunks, shard_node_ranges
 
 __all__ = ["ForestStructure", "solve_forest_batch", "shutdown_pools"]
@@ -148,17 +154,25 @@ def _solve_range(
     er: np.ndarray,
     ec: np.ndarray,
     nc: np.ndarray,
+    sweep=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """The forest kernel over one contiguous node range.
 
     ``parent`` must be range-local (roots ``-1``), ``starts`` the local
     first-node index of each member tree.  Returns ``(ree, tde, tre, tp,
     total)`` with the node-indexed arrays shaped like ``er`` and the
-    per-tree reductions shaped ``(trees, S)``.  The arithmetic -- including
-    the per-tree ``reduceat`` order -- is exactly the whole-forest kernel's,
-    which is what makes shard results bitwise identical to serial results.
+    per-tree reductions shaped ``(trees, S)``.  With the default level
+    sweeps the arithmetic -- including the per-tree ``reduceat`` order --
+    is exactly the whole-forest kernel's, which is what makes shard results
+    bitwise identical to serial results; ``sweep`` substitutes an
+    alternative two-pass kernel with the :func:`sweep_scenarios` signature
+    minus ``levels`` (the contraction kernel), which keeps the documented
+    1e-12 parity instead.
     """
-    rkk, _, tde, tre = sweep_scenarios(levels, parent, er, ec, nc)
+    if sweep is None:
+        rkk, _, tde, tre = sweep_scenarios(levels, parent, er, ec, nc)
+    else:
+        rkk, _, tde, tre = sweep(parent, er, ec, nc)
     rkk_parent = rkk[np.maximum(parent, 0)]
     # A root has no parent edge: its gathered "parent" row above is whatever
     # node sits at local index 0, which differs between a whole-forest solve
@@ -174,15 +188,21 @@ def _solve_range(
 
 
 # ----------------------------------------------------------------------
-# Serial backend ("numpy")
+# Serial backends ("numpy" and "contract")
 # ----------------------------------------------------------------------
-def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
-    """Chunked serial execution of the forest kernel (the reference path)."""
+def _solve_serial(structure, base, planes, count, chunk, sweep=None) -> ScenarioForestTimes:
+    """Chunked in-process execution of the forest kernel.
+
+    ``sweep=None`` runs the level sweeps (the ``"numpy"`` reference path);
+    a ``sweep`` callable substitutes another two-pass kernel -- the
+    contraction backend passes the pointer-jumping sweeps with their jump
+    schedule baked in, so chunked solves pay the topology pass once.
+    """
     n = structure.node_count
     trees = structure.tree_count
     parent = structure.parent
     levels = structure.levels
-    if levels is None:
+    if levels is None and sweep is None:
         levels = level_buckets(structure.depth)
     starts = np.asarray(structure.offsets[:-1], dtype=np.int64)
     chunks = scenario_chunks(count, n, chunk=chunk)
@@ -194,7 +214,9 @@ def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestT
         er = _chunk_matrix(plane_er, base_er, 0, count, n)
         ec = _chunk_matrix(plane_ec, base_ec, 0, count, n)
         nc = _chunk_matrix(plane_nc, base_nc, 0, count, n)
-        ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+        ree, tde, tre, tp, total = _solve_range(
+            parent, levels, starts, er, ec, nc, sweep=sweep
+        )
         return ScenarioForestTimes(
             tp=tp.T, tde=tde.T, tre=tre.T, ree=ree.T, total_capacitance=total.T
         )
@@ -208,7 +230,9 @@ def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestT
         er = _chunk_matrix(plane_er, base_er, lo, hi, n)
         ec = _chunk_matrix(plane_ec, base_ec, lo, hi, n)
         nc = _chunk_matrix(plane_nc, base_nc, lo, hi, n)
-        ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+        ree, tde, tre, tp, total = _solve_range(
+            parent, levels, starts, er, ec, nc, sweep=sweep
+        )
         out_ree[:, lo:hi] = ree
         out_tde[:, lo:hi] = tde
         out_tre[:, lo:hi] = tre
@@ -220,6 +244,32 @@ def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestT
         tre=out_tre.T,
         ree=out_ree.T,
         total_capacitance=out_total.T,
+    )
+
+
+def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+    """Chunked serial execution of the level sweeps (the reference path)."""
+    return _solve_serial(structure, base, planes, count, chunk)
+
+
+def _contract_sweep(parent: np.ndarray):
+    """The contraction kernel with its jump schedule precomputed.
+
+    The schedule depends only on topology, so one pass serves every
+    scenario chunk of a solve (and every element plane of a shard).
+    """
+    schedule = jump_schedule(parent)
+
+    def sweep(parent_, er, ec, nc):
+        return sweep_scenarios_contract(parent_, er, ec, nc, schedule=schedule)
+
+    return sweep
+
+
+def _solve_contract(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+    """Chunked serial execution of the pointer-jumping contraction kernels."""
+    return _solve_serial(
+        structure, base, planes, count, chunk, sweep=_contract_sweep(structure.parent)
     )
 
 
@@ -357,7 +407,12 @@ def _solve_shard_into(
 
     Both blocks are node-major, so the kernel runs on direct slices of the
     input planes and writes straight into columns ``[lo, lo+w)`` of the
-    result block -- no transposes anywhere on this path.
+    result block -- no transposes anywhere on this path.  Each shard picks
+    its own kernel: a depth-pathological shard (per
+    :func:`repro.parallel.backends.should_contract`) runs the contraction
+    sweeps -- 1e-12-equal to, but not bitwise-identical with, the level
+    sweeps -- so one deep chain inside an otherwise bushy design cannot
+    serialize its worker.
     """
     ins = _views(in_buf, _in_layout(n, width), _IN_FIELDS)
     outs = _views(out_buf, _out_layout(n, trees, count), _OUT_FIELDS)
@@ -368,7 +423,12 @@ def _solve_shard_into(
     er = ins["er"][n_lo:n_hi, :w]
     ec = ins["ec"][n_lo:n_hi, :w]
     nc = ins["nc"][n_lo:n_hi, :w]
-    ree, tde, tre, tp, total = _solve_range(parent, levels, starts, er, ec, nc)
+    sweep = None
+    if should_contract(len(levels) - 1, n_hi - n_lo):
+        sweep = _contract_sweep(parent)
+    ree, tde, tre, tp, total = _solve_range(
+        parent, levels, starts, er, ec, nc, sweep=sweep
+    )
     outs["ree"][n_lo:n_hi, lo : lo + w] = ree
     outs["tde"][n_lo:n_hi, lo : lo + w] = tde
     outs["tre"][n_lo:n_hi, lo : lo + w] = tre
@@ -530,6 +590,13 @@ register_backend(
     description="node-balanced shards solved by worker processes over "
     "shared-memory element/result planes",
 )
+register_backend(
+    "contract",
+    _solve_contract,
+    parallel=False,
+    description="pointer-jumping tree contraction: O(log N) rounds "
+    "regardless of depth, for chain-heavy forests",
+)
 
 
 # ----------------------------------------------------------------------
@@ -551,16 +618,29 @@ def solve_forest_batch(
     arrays; ``planes`` the caller's overrides in
     :meth:`~repro.flat.FlatTree.solve_batch` form (``None`` / ``(S,)`` /
     ``(S, N)`` each).  ``engine`` selects a registered backend by name
-    (``None`` auto-selects by sweep size), ``jobs`` caps the worker count of
-    parallel backends, and ``scenario_chunk`` overrides the bounded-memory
-    chunk width.  Every backend returns numerically identical
+    (``None`` auto-selects by sweep size and depth pathology), ``jobs``
+    caps the worker count of parallel backends, and ``scenario_chunk``
+    overrides the bounded-memory chunk width.  Every backend returns
+    numerically identical (to 1e-12; bitwise between ``"numpy"`` and
+    ``"process"`` on shallow shards)
     :class:`~repro.flat.scenarios.ScenarioForestTimes` -- backend choice is
-    an execution detail, never a semantics change.
+    an execution detail, never a semantics change.  The selection is
+    recorded (:func:`repro.parallel.backends.last_selection`) and reported
+    to stderr under ``REPRO_ENGINE_LOG=1``.
     """
     count = int(count)
     if count < 1:
         raise AnalysisError(f"scenario count must be >= 1, got {count}")
     n = structure.node_count
     planes = tuple(normalize_plane(plane, n, count) for plane in planes)
-    backend, jobs = resolve_engine(engine, cells=n * count, jobs=jobs)
+    if structure.levels is not None:
+        depth = len(structure.levels) - 1
+    else:
+        depth = int(structure.depth.max()) if n else 0
+    backend, jobs = resolve_engine(
+        engine, cells=n * count, jobs=jobs, nodes=n, depth=depth
+    )
+    record_selection(
+        engine, backend.name, nodes=n, scenarios=count, depth=depth, jobs=jobs
+    )
     return backend.solver(structure, base, planes, count, jobs, scenario_chunk)

@@ -93,3 +93,23 @@ class TestResolveEngine:
     def test_rejects_bad_jobs(self):
         with pytest.raises(AnalysisError):
             resolve_engine(None, cells=10, jobs=0)
+
+    def test_depth_pathology_picks_contract(self):
+        backend, jobs = resolve_engine(None, cells=4000, nodes=4000, depth=3999)
+        assert backend.name == "contract" and jobs == 1
+
+    def test_contract_beats_process_escalation(self, monkeypatch):
+        # A huge *and* deep sweep: the depth pathology wins the auto pick.
+        monkeypatch.setattr(backends_module, "default_job_count", lambda: 4)
+        backend, _ = resolve_engine(
+            None, cells=AUTO_PROCESS_CELLS * 8, nodes=100_000, depth=99_999
+        )
+        assert backend.name == "contract"
+
+    def test_shallow_forest_never_contracts(self):
+        backend, _ = resolve_engine(None, cells=4000, nodes=4000, depth=20)
+        assert backend.name == "numpy"
+
+    def test_explicit_contract_honoured(self):
+        backend, jobs = resolve_engine("contract", cells=1, nodes=4, depth=1)
+        assert backend.name == "contract" and jobs == 1

@@ -1,0 +1,113 @@
+"""The cross-engine parity matrix: every backend, every shape, every chunking.
+
+One parametrized sweep asserting that ``numpy`` x ``process`` x ``contract``
+(x worker counts x the scenario-chunk edge cases S=1, chunk=1, chunk>S)
+agree at 1e-12 relative tolerance on every topology class of
+``tests.properties.topologies`` -- and keep agreeing after forest-level
+``replace_tree`` splices.  (The design-level ECO axis -- ``update_net`` /
+``resize_instance`` between parity checks -- is covered by
+``test_parallel_parity.test_every_engine_agrees_on_pathological_topologies``.)
+
+The ``numpy`` level sweeps are the reference; disagreement anywhere in the
+matrix means a backend changed *semantics*, which the engine contract
+forbids regardless of how it schedules the arithmetic.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flat import FlatForest
+
+from tests.properties.topologies import (
+    TOPOLOGY_KINDS,
+    topology_flat_tree,
+    topology_forests,
+)
+
+FIELDS = ("tp", "tde", "tre", "ree", "total_capacitance")
+
+#: The engine x jobs arms compared against the ``numpy`` reference.
+ENGINE_ARMS = (
+    ("contract", None),
+    ("process", 2),
+    ("process", 3),
+)
+
+
+def _planes(forest, count, rng):
+    """Random (S, N) effective element planes around the forest's base values."""
+    n = forest.node_count
+    npr = np.random.default_rng(rng.randrange(2**32))
+
+    def plane(base):
+        return base[np.newaxis, :] * npr.uniform(0.5, 2.0, size=(count, n))
+
+    return plane(forest._edge_r), plane(forest._edge_c), plane(forest._node_c)
+
+
+def _chunk_cases(count):
+    """The scenario-chunk edge cases: default, chunk=1, chunk>S, and S itself."""
+    return (None, 1, count + 3, count)
+
+
+def _assert_matrix(forest, count, rng):
+    er, ec, nc = _planes(forest, count, rng)
+    want = forest.solve_batch(er, ec, nc, engine="numpy")
+    for engine, jobs in ENGINE_ARMS:
+        for chunk in _chunk_cases(count):
+            got = forest.solve_batch(
+                er, ec, nc, engine=engine, jobs=jobs, scenario_chunk=chunk
+            )
+            for name in FIELDS:
+                a = getattr(want, name)
+                b = getattr(got, name)
+                assert a.shape == b.shape, (engine, chunk, name)
+                scale = np.maximum(np.abs(a), 1e-30)
+                assert np.all(np.abs(b - a) <= 1e-12 * scale), (
+                    engine,
+                    jobs,
+                    chunk,
+                    name,
+                    float(np.max(np.abs(b - a) / scale)),
+                )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    forest=topology_forests(min_trees=2, max_trees=4, max_nodes=60),
+    count=st.sampled_from((1, 3, 7)),
+    seed=st.integers(0, 2**20),
+)
+def test_engine_matrix_agrees_on_every_topology(forest, count, seed):
+    """All engine/jobs/chunk arms equal the level sweeps on mixed-shape forests.
+
+    ``count=1`` pins the S=1 edge, and ``_chunk_cases`` sweeps chunk=1 /
+    chunk>S / chunk=S for every arm, so the bounded-memory chunking loop is
+    exercised on both its degenerate and its no-op configurations.
+    """
+    _assert_matrix(forest, count, random.Random(seed))
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    forest=topology_forests(min_trees=2, max_trees=3, max_nodes=40),
+    seed=st.integers(0, 2**20),
+)
+def test_engine_matrix_survives_replace_tree(forest, seed):
+    """Parity holds after splicing a member tree to a different shape class.
+
+    ``replace_tree`` changes node counts, depths and level buckets in place;
+    every backend reads the forest's *current* arrays at solve time, so the
+    matrix must agree both before and after the splice.
+    """
+    rng = random.Random(seed)
+    _assert_matrix(forest, 3, rng)
+    index = rng.randrange(len(forest))
+    replacement = topology_flat_tree(
+        rng.choice(TOPOLOGY_KINDS), rng.randint(2, 80), seed=rng.randrange(2**20)
+    )
+    forest.replace_tree(index, replacement)
+    _assert_matrix(forest, 3, rng)

@@ -15,6 +15,7 @@ from repro.core.tree import RCTree
 from repro.flat import FlatTree
 
 from tests.properties.strategies import capacitances, rc_trees, resistances
+from tests.properties.topologies import topology_trees
 
 RTOL = 1e-12
 
@@ -38,6 +39,18 @@ def _assert_parity(tree: RCTree, flat: FlatTree, solve_full: bool):
 @given(tree=rc_trees(max_nodes=60, allow_distributed=True))
 def test_flat_matches_dict_engine(tree):
     """Compile-and-solve parity on mixed lumped/distributed trees."""
+    _assert_parity(tree, FlatTree.from_tree(tree), solve_full=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=topology_trees(max_nodes=80))
+def test_flat_matches_dict_engine_on_adversarial_topologies(tree):
+    """Parity holds on every shape class (chains, stars, ladders, ...).
+
+    ``rc_trees`` draws bushy O(log N)-depth trees; this variant sweeps the
+    pathological shapes from ``tests.properties.topologies`` so the depth
+    extremes the engines special-case stay oracle-pinned.
+    """
     _assert_parity(tree, FlatTree.from_tree(tree), solve_full=True)
 
 

@@ -23,24 +23,30 @@ from repro.graph import TimingGraph
 from repro.sta.cells import standard_cell_library
 from repro.sta.parasitics import lumped, rc_tree_parasitics
 
+from tests.properties.topologies import TOPOLOGY_KINDS, pathological_net
+
 LIBRARY = standard_cell_library()
 FIELDS = ("tp", "tde", "tre", "total_capacitance")
 
 
-def _assert_backend_parity(db, scenarios, rng):
-    jobs = rng.randint(2, 4)
+def _assert_engine_parity(db, scenarios, engine, jobs=None):
     serial = db.solve_scenarios(scenarios, engine="numpy")
-    parallel = db.solve_scenarios(scenarios, engine="process", jobs=jobs)
+    other = db.solve_scenarios(scenarios, engine=engine, jobs=jobs)
     for name in FIELDS:
         want = getattr(serial, name)
-        got = getattr(parallel, name)
+        got = getattr(other, name)
         assert got.shape == want.shape, name
         scale = np.maximum(np.abs(want), 1e-18)
         assert np.all(np.abs(got - want) <= 1e-12 * scale), (
             name,
+            engine,
             float(np.max(np.abs(got - want) / scale)),
             jobs,
         )
+
+
+def _assert_backend_parity(db, scenarios, rng):
+    _assert_engine_parity(db, scenarios, "process", jobs=rng.randint(2, 4))
 
 
 def _random_edit(rng, graph):
@@ -106,3 +112,45 @@ def test_process_engine_equals_numpy_engine(design_seed, sweep_seed):
     )
     assert np.array_equal(serial.worst_slack, parallel.worst_slack)
     assert serial.verdicts == parallel.verdicts
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 2**20), st.integers(0, 2**20))
+def test_every_engine_agrees_on_pathological_topologies(design_seed, sweep_seed):
+    """numpy, process and contract agree on adversarial-shape parasitics.
+
+    Nets are respliced to chains, stars, ladders etc.
+    (``tests.properties.topologies``) before and between parity checks, so
+    the explicit ``engine="contract"`` path and the per-shard kernel choice
+    inside ``engine="process"`` both face depth extremes with live ECO
+    state.
+    """
+    design, parasitics = random_design(24, seed=design_seed, sequential_fraction=0.2)
+    rng = random.Random(sweep_seed)
+    graph = TimingGraph(
+        design,
+        dict(parasitics),
+        clock_period=1.4e-9,
+        input_drive_resistance=140.0,
+    )
+    graph.arrivals_matrix  # make the edits exercise the incremental path
+    nets = graph.db.timed_nets()
+    for net in rng.sample(nets, min(4, len(nets))):
+        loads = [str(load) for load in graph.db.nets[net].loads]
+        graph.update_net(
+            net,
+            pathological_net(
+                net,
+                loads,
+                kind=rng.choice(TOPOLOGY_KINDS),
+                nodes=rng.randint(2, 60),
+                seed=rng.randrange(2**20),
+            ),
+        )
+    scenarios = random_scenarios(1 + rng.randrange(6), seed=rng.randrange(2**20))
+    _assert_engine_parity(graph.db, scenarios, "contract")
+    _assert_engine_parity(graph.db, scenarios, "process", jobs=rng.randint(2, 4))
+    for _ in range(3):
+        _random_edit(rng, graph)
+    _assert_engine_parity(graph.db, scenarios, "contract")
+    _assert_engine_parity(graph.db, scenarios, "process", jobs=rng.randint(2, 4))

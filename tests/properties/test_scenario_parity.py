@@ -25,6 +25,8 @@ from repro.sta.cells import standard_cell_library
 from repro.sta.delaycalc import DelayModel
 from repro.sta.parasitics import lumped, rc_tree_parasitics
 
+from tests.properties.topologies import TOPOLOGY_KINDS, pathological_net
+
 MODELS = (DelayModel.ELMORE, DelayModel.UPPER_BOUND, DelayModel.LOWER_BOUND)
 LIBRARY = standard_cell_library()
 PERIOD = 1.4e-9
@@ -137,4 +139,41 @@ def test_scenario_batch_equals_single_engine_loop(design_seed, sweep_seed):
     graph.arrivals_matrix  # ensure edits exercise the incremental path
     for _ in range(4):
         _random_edit(rng, graph, parasitics)
+    _assert_scenario_parity(graph, design, parasitics, scenarios)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 2**20), st.integers(0, 2**20))
+def test_scenario_batch_on_pathological_topologies(design_seed, sweep_seed):
+    """Scenario parity survives nets rewired to adversarial shapes.
+
+    Several nets of a random design are respliced with chains, stars,
+    ladders etc. (``tests.properties.topologies``), so the batched solve's
+    engine choice faces depth-pathological parasitics while the
+    per-scenario oracle loop stays shape-agnostic.
+    """
+    design, parasitics = random_design(24, seed=design_seed, sequential_fraction=0.2)
+    parasitics = dict(parasitics)
+    rng = random.Random(sweep_seed)
+    graph = TimingGraph(
+        design,
+        dict(parasitics),
+        clock_period=PERIOD,
+        threshold=THRESHOLD,
+        input_drive_resistance=INPUT_DRIVE,
+    )
+    graph.arrivals_matrix  # ensure edits exercise the incremental path
+    nets = graph.db.timed_nets()
+    for net in rng.sample(nets, min(4, len(nets))):
+        loads = [str(load) for load in graph.db.nets[net].loads]
+        edit = pathological_net(
+            net,
+            loads,
+            kind=rng.choice(TOPOLOGY_KINDS),
+            nodes=rng.randint(2, 40),
+            seed=rng.randrange(2**20),
+        )
+        parasitics[net] = edit
+        graph.update_net(net, edit)
+    scenarios = _scenario_set(rng, nets)
     _assert_scenario_parity(graph, design, parasitics, scenarios)

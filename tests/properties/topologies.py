@@ -1,0 +1,222 @@
+"""Adversarial-topology generators shared by the cross-engine property tests.
+
+``random_tree`` / ``random_forest`` draw bushy trees whose depth grows like
+O(log N) -- friendly territory for the level sweeps.  The kernels' hard
+cases are *shapes*: pure chains (maximal depth), stars (maximal fanout),
+caterpillars (deep spine with leaves at every level), balanced and random
+binary trees, and the paper's uniform-RC ladder (every edge a distributed
+URC line).  This module builds each shape two ways from one seed:
+
+* :func:`topology_flat_tree` -- straight into parent-index arrays via
+  :meth:`~repro.flat.FlatTree.from_arrays`; the fast supply for forest-level
+  engine-matrix tests and the 10k-node regression cases;
+* :func:`topology_rc_tree` -- the same network as a dict-based
+  :class:`~repro.core.tree.RCTree`, for oracle parity against
+  :mod:`repro.core` and for splicing pathological parasitics into design
+  nets (``rc_tree_parasitics``).
+
+The hypothesis strategies (:func:`topology_kinds`, :func:`topology_trees`,
+:func:`topology_forests`) are adopted by the flat-, scenario- and
+parallel-parity suites and by ``test_engine_matrix.py``, so every engine is
+exercised on every shape class, not just ``random_forest``.
+"""
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.tree import RCTree
+from repro.flat import FlatForest, FlatTree
+from repro.sta.parasitics import rc_tree_parasitics
+
+#: Every shape class the suites sweep.  ``chain`` and ``urc_ladder`` are the
+#: depth-pathological ones that trigger the contraction engine; the rest pin
+#: that shallow and mixed shapes keep choosing (and agreeing with) the level
+#: sweeps.
+TOPOLOGY_KINDS = (
+    "chain",
+    "star",
+    "caterpillar",
+    "balanced",
+    "random_binary",
+    "urc_ladder",
+)
+
+#: Element-value ranges: a few orders of magnitude, matching
+#: ``strategies.RandomTreeConfig``-style supplies so parity comparisons stay
+#: well conditioned.
+R_RANGE = (1.0, 1000.0)
+C_RANGE = (1e-15, 1e-12)
+
+
+def topology_parents(kind, nodes, rng):
+    """The parent-index list (root ``-1`` at index 0) of one shape class.
+
+    ``nodes`` is the total node count including the root.  Topology only --
+    element values are drawn separately so the same shape can carry many
+    value sets.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    parent = [-1]
+    if kind in ("chain", "urc_ladder"):
+        parent += [index - 1 for index in range(1, nodes)]
+    elif kind == "star":
+        parent += [0] * (nodes - 1)
+    elif kind == "caterpillar":
+        # Even indices extend the spine, odd indices hang a leaf off it.
+        spine = 0
+        for index in range(1, nodes):
+            if index % 2 == 1:
+                parent.append(spine)
+                spine = index
+            else:
+                parent.append(spine)
+    elif kind == "balanced":
+        parent += [(index - 1) // 2 for index in range(1, nodes)]
+    elif kind == "random_binary":
+        open_slots = [0, 0]
+        for index in range(1, nodes):
+            pick = rng.randrange(len(open_slots))
+            open_slots[pick], open_slots[-1] = open_slots[-1], open_slots[pick]
+            parent.append(open_slots.pop())
+            open_slots += [index, index]
+    else:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    return parent
+
+
+def topology_elements(kind, nodes, rng):
+    """Seeded ``(edge_r, edge_c, node_c)`` value lists for one shape.
+
+    The ``urc_ladder`` class puts all capacitance on the edges (a pure
+    distributed ladder, Section 4 of the paper); every other class mixes
+    lumped node capacitors with occasional distributed lines, and always
+    ends up with positive total capacitance.
+    """
+    edge_r = [0.0]
+    edge_c = [0.0]
+    node_c = [0.0]
+    for _ in range(1, nodes):
+        edge_r.append(rng.uniform(*R_RANGE))
+        if kind == "urc_ladder" or rng.random() < 0.3:
+            edge_c.append(rng.uniform(*C_RANGE))
+        else:
+            edge_c.append(0.0)
+        if kind != "urc_ladder" and rng.random() < 0.8:
+            node_c.append(rng.uniform(*C_RANGE))
+        else:
+            node_c.append(0.0)
+    if sum(edge_c) + sum(node_c) <= 0.0:
+        node_c[-1] = rng.uniform(*C_RANGE)
+    return edge_r, edge_c, node_c
+
+
+def topology_flat_tree(kind, nodes, seed=0):
+    """One shape compiled straight into a :class:`~repro.flat.FlatTree`.
+
+    Array-native (no dict tree in between), so 10k-node chains build in
+    milliseconds -- the supply for the regression and benchmark cases.
+    """
+    rng = random.Random(seed)
+    parent = topology_parents(kind, nodes, rng)
+    edge_r, edge_c, node_c = topology_elements(kind, nodes, rng)
+    return FlatTree.from_arrays(
+        parent,
+        edge_r,
+        edge_c,
+        node_c,
+        names=["in"] + [f"n{index}" for index in range(1, nodes)],
+    )
+
+
+def topology_rc_tree(kind, nodes, seed=0):
+    """The same network as :func:`topology_flat_tree`, as a dict-based RCTree.
+
+    Identical seed => identical parents and element values, so dict-engine
+    oracle results are directly comparable with the flat build.  Leaves are
+    marked as outputs (the common load situation).
+    """
+    rng = random.Random(seed)
+    parent = topology_parents(kind, nodes, rng)
+    edge_r, edge_c, node_c = topology_elements(kind, nodes, rng)
+    names = ["in"] + [f"n{index}" for index in range(1, nodes)]
+    tree = RCTree("in")
+    for index in range(1, nodes):
+        if edge_c[index] > 0.0:
+            tree.add_line(names[parent[index]], names[index], edge_r[index], edge_c[index])
+        else:
+            tree.add_resistor(names[parent[index]], names[index], edge_r[index])
+        if node_c[index] > 0.0:
+            tree.add_capacitor(names[index], node_c[index])
+    if tree.total_capacitance <= 0.0:
+        tree.add_capacitor(names[-1], rng.uniform(*C_RANGE))
+    for leaf in tree.leaves():
+        tree.mark_output(leaf)
+    return tree
+
+
+def pathological_net(net, loads, kind="chain", nodes=20, seed=0):
+    """Parasitics for ``net``: a pathological-shape tree feeding its loads.
+
+    The shape's deepest node becomes the tap point; every load pin hangs off
+    it through a small resistor.  Splicing these into a random design turns
+    the design-level scenario/parallel parity suites into adversarial-shape
+    suites without touching their scenario machinery.
+    """
+    rng = random.Random(seed)
+    parent = topology_parents(kind, nodes, rng)
+    edge_r, edge_c, node_c = topology_elements(kind, nodes, rng)
+    names = ["root"] + [f"w{index}" for index in range(1, nodes)]
+    tree = RCTree("root")
+    for index in range(1, nodes):
+        if edge_c[index] > 0.0:
+            tree.add_line(names[parent[index]], names[index], edge_r[index], edge_c[index])
+        else:
+            tree.add_resistor(names[parent[index]], names[index], edge_r[index])
+        if node_c[index] > 0.0:
+            tree.add_capacitor(names[index], node_c[index])
+    depth = [0] * nodes
+    for index in range(1, nodes):
+        depth[index] = depth[parent[index]] + 1
+    tip = names[max(range(nodes), key=depth.__getitem__)]
+    pin_nodes = {}
+    for pin in loads:
+        tree.add_resistor(tip, pin, rng.uniform(10.0, 100.0))
+        tree.mark_output(pin)
+        pin_nodes[pin] = pin
+    if tree.total_capacitance <= 0.0:
+        tree.add_capacitor(tip, rng.uniform(*C_RANGE))
+    return rc_tree_parasitics(net, tree, pin_nodes)
+
+
+def topology_kinds():
+    """Strategy over the shape-class names."""
+    return st.sampled_from(TOPOLOGY_KINDS)
+
+
+@st.composite
+def topology_trees(draw, min_nodes=2, max_nodes=80):
+    """Strategy: one dict-based RCTree of a random shape class and seed."""
+    kind = draw(topology_kinds())
+    nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return topology_rc_tree(kind, nodes, seed)
+
+
+@st.composite
+def topology_forests(draw, min_trees=1, max_trees=4, min_nodes=2, max_nodes=80):
+    """Strategy: a FlatForest mixing several shape classes.
+
+    Mixed-shape forests are the sharded engine's adversarial case: one deep
+    chain next to bushy neighbours forces the per-shard kernel choice to
+    differ across workers within a single solve.
+    """
+    count = draw(st.integers(min_value=min_trees, max_value=max_trees))
+    members = []
+    for _ in range(count):
+        kind = draw(topology_kinds())
+        nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+        seed = draw(st.integers(min_value=0, max_value=2**20))
+        members.append(topology_flat_tree(kind, nodes, seed))
+    return FlatForest(members)

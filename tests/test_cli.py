@@ -270,3 +270,42 @@ class TestTimingCorners:
         assert payload["scenarios"][2]["verdict"] == "PASS"
         assert payload["verdict"] == "FAIL"
         assert status == 1
+
+    @pytest.mark.parametrize("engine", ["auto", "numpy", "contract"])
+    def test_engine_flag_reaches_solver_with_identical_results(
+        self, capsys, design_files, corners_file, engine
+    ):
+        """--engine pins the kernel backend; every backend reports alike."""
+        from repro.parallel import last_selection
+
+        netlist, spef = design_files
+        base_args = [
+            "timing", "--netlist", netlist, "--spef", spef,
+            "--period", "5e-9", "--corners", corners_file,
+        ]
+        status = main(base_args)
+        reference = json.loads(capsys.readouterr().out)
+        assert status == 0
+        status = main(base_args + ["--engine", engine])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        record = last_selection()
+        assert record["requested"] == (engine if engine != "auto" else "auto")
+        if engine == "contract":
+            assert record["engine"] == "contract"
+        for got, want in zip(payload["scenarios"], reference["scenarios"]):
+            for model, slack in want["worst_slack"].items():
+                assert got["worst_slack"][model] == pytest.approx(
+                    slack, rel=1e-12, abs=1e-21
+                )
+
+    def test_engine_requires_corners(self, capsys, design_files):
+        netlist, _ = design_files
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "timing", "--netlist", netlist, "--period", "5e-9",
+                    "--engine", "contract",
+                ]
+            )
+        assert "--engine requires --corners" in capsys.readouterr().err
