@@ -58,7 +58,7 @@ much less -- see ``docs/performance.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -72,6 +72,7 @@ from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
 from repro.flat.scenarios import (
+    PlaneInput,
     ScenarioTimes,
     as_node_matrix,
     level_buckets,
@@ -81,7 +82,7 @@ from repro.flat.scenarios import (
 __all__ = ["FlatTree", "FlatTimes"]
 
 
-def _scenario_count(count, *planes) -> int:
+def _scenario_count(count: Optional[int], *planes: PlaneInput) -> int:
     """Infer the scenario count from the first non-``None`` plane."""
     if count is not None:
         return int(count)
@@ -152,7 +153,7 @@ class FlatTree:
         is_output: np.ndarray,
         _depth: Optional[Sequence[int]] = None,
         _trusted: bool = False,
-    ):
+    ) -> None:
         self._names: List[str] = list(names)
         self._index_cache: Optional[Dict[str, int]] = None
         self._extent_cache: Optional[np.ndarray] = None
@@ -605,8 +606,8 @@ class FlatTree:
             edge_c = self._edge_c
             c_down = self._c_down
             rkk = self._rkk
-            tde = np.zeros(n)
-            tr_num = np.zeros(n)
+            tde = np.zeros(n, dtype=np.float64)
+            tr_num = np.zeros(n, dtype=np.float64)
             for level in self._levels[1:]:
                 p = parent[level]
                 r = edge_r[level]
@@ -616,7 +617,9 @@ class FlatTree:
                 rp = rkk[p]
                 tde[level] = tde[p] + r * (below + lc / 2.0)
                 tr_num[level] = tr_num[p] + (rk * rk - rp * rp) * below + (rp * r + r * r / 3.0) * lc
-            tre = np.divide(tr_num, rkk, out=np.zeros(n), where=rkk > 0.0)
+            tre = np.divide(
+                tr_num, rkk, out=np.zeros(n, dtype=np.float64), where=rkk > 0.0
+            )
             self._times = FlatTimes(
                 tp=self._compute_tp(),
                 tde=tde,
@@ -628,9 +631,9 @@ class FlatTree:
 
     def solve_batch(
         self,
-        edge_r=None,
-        edge_c=None,
-        node_c=None,
+        edge_r: PlaneInput = None,
+        edge_c: PlaneInput = None,
+        node_c: PlaneInput = None,
         *,
         count: Optional[int] = None,
     ) -> ScenarioTimes:
@@ -662,7 +665,7 @@ class FlatTree:
             tp=tp, tde=tde.T, tre=tre.T, ree=rkk.T, total_capacitance=total
         )
 
-    def solve_scenarios(self, scenarios) -> ScenarioTimes:
+    def solve_scenarios(self, scenarios: Any) -> ScenarioTimes:
         """Apply a scenario plane's derates to this tree and solve, batched.
 
         ``scenarios`` is a :class:`repro.scenarios.ParameterPlane` (fields
@@ -797,9 +800,9 @@ class FlatTree:
 
     def delay_bounds_batch(
         self,
-        thresholds,
+        thresholds: Union[Sequence[float], np.ndarray],
         outputs: Optional[Iterable[Union[str, int]]] = None,
-    ):
+    ) -> Tuple[List[str], np.ndarray, np.ndarray]:
         """Eqs. (13)-(17) for a (sinks x thresholds) matrix in one numpy call.
 
         Returns ``(names, lower, upper)`` where the bound arrays have shape
@@ -818,9 +821,9 @@ class FlatTree:
 
     def voltage_bounds_batch(
         self,
-        sample_times,
+        sample_times: Union[Sequence[float], np.ndarray],
         outputs: Optional[Iterable[Union[str, int]]] = None,
-    ):
+    ) -> Tuple[List[str], np.ndarray, np.ndarray]:
         """Eqs. (8)-(12) for a (sinks x times) matrix in one numpy call.
 
         Returns ``(names, vmin, vmax)`` with shape ``(len(names), len(times))``.

@@ -17,7 +17,16 @@ and bulk scoring of generated trees
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -25,7 +34,10 @@ from repro.core.timeconstants import CharacteristicTimes
 from repro.core.tree import RCTree
 from repro.flat.batchbounds import delay_bounds_batch, voltage_bounds_batch
 from repro.flat.flattree import FlatTimes, FlatTree, _scenario_count
-from repro.flat.scenarios import ScenarioForestTimes, level_buckets
+from repro.flat.scenarios import PlaneInput, ScenarioForestTimes, level_buckets
+
+if TYPE_CHECKING:  # runtime import stays inside `structure` (layer order)
+    from repro.parallel.engine import ForestStructure
 
 __all__ = ["FlatForest", "ForestTimes"]
 
@@ -48,7 +60,7 @@ class ForestTimes:
 class FlatForest:
     """A batch of flat trees analysed with shared vectorized passes."""
 
-    def __init__(self, trees: Sequence[FlatTree]):
+    def __init__(self, trees: Sequence[FlatTree]) -> None:
         if not trees:
             raise ValueError("a forest needs at least one tree")
         self._trees: List[FlatTree] = list(trees)
@@ -59,9 +71,9 @@ class FlatForest:
 
         parent = np.empty(self._n, dtype=np.int64)
         depth = np.empty(self._n, dtype=np.int64)
-        self._edge_r = np.empty(self._n)
-        self._edge_c = np.empty(self._n)
-        self._node_c = np.empty(self._n)
+        self._edge_r = np.empty(self._n, dtype=np.float64)
+        self._edge_c = np.empty(self._n, dtype=np.float64)
+        self._node_c = np.empty(self._n, dtype=np.float64)
         self._is_output = np.empty(self._n, dtype=bool)
         self._tree_id = np.empty(self._n, dtype=np.int64)
         for t, tree in enumerate(self._trees):
@@ -188,8 +200,8 @@ class FlatForest:
             for level in reversed(self._levels[1:]):
                 np.add.at(c_down, parent[level], c_down[level] + edge_c[level])
             # Moments.
-            tde = np.zeros(n)
-            tr_num = np.zeros(n)
+            tde = np.zeros(n, dtype=np.float64)
+            tr_num = np.zeros(n, dtype=np.float64)
             for level in self._levels[1:]:
                 p = parent[level]
                 r = edge_r[level]
@@ -199,7 +211,9 @@ class FlatForest:
                 rp = rkk[p]
                 tde[level] = tde[p] + r * (below + lc / 2.0)
                 tr_num[level] = tr_num[p] + (rk * rk - rp * rp) * below + (rp * r + r * r / 3.0) * lc
-            tre = np.divide(tr_num, rkk, out=np.zeros(n), where=rkk > 0.0)
+            tre = np.divide(
+                tr_num, rkk, out=np.zeros(n, dtype=np.float64), where=rkk > 0.0
+            )
             # Per-tree T_P and total capacitance via segmented sums.
             rkk_parent = rkk[np.maximum(parent, 0)]
             tp_terms = rkk * node_c + (rkk_parent + edge_r / 2.0) * edge_c
@@ -214,7 +228,7 @@ class FlatForest:
         return self._times
 
     @property
-    def structure(self):
+    def structure(self) -> "ForestStructure":
         """The forest's topology bundle for :mod:`repro.parallel` engines.
 
         Built fresh on every access from the *current* arrays (and the
@@ -233,9 +247,9 @@ class FlatForest:
 
     def solve_batch(
         self,
-        edge_r=None,
-        edge_c=None,
-        node_c=None,
+        edge_r: PlaneInput = None,
+        edge_c: PlaneInput = None,
+        node_c: PlaneInput = None,
         *,
         count: Optional[int] = None,
         engine: Optional[str] = None,
@@ -304,7 +318,11 @@ class FlatForest:
     # ------------------------------------------------------------------
     # Batched bounds over every output of every tree
     # ------------------------------------------------------------------
-    def delay_bounds_batch(self, thresholds, indices: Optional[np.ndarray] = None):
+    def delay_bounds_batch(
+        self,
+        thresholds: Union[Sequence[float], np.ndarray],
+        indices: Optional[np.ndarray] = None,
+    ) -> Tuple[List[Tuple[int, str]], np.ndarray, np.ndarray]:
         """Delay bound matrices for all marked outputs of all trees at once.
 
         Returns ``(labels, lower, upper)`` where ``labels`` is the
@@ -328,7 +346,11 @@ class FlatForest:
         )
         return labels, lower, upper
 
-    def voltage_bounds_batch(self, sample_times, indices: Optional[np.ndarray] = None):
+    def voltage_bounds_batch(
+        self,
+        sample_times: Union[Sequence[float], np.ndarray],
+        indices: Optional[np.ndarray] = None,
+    ) -> Tuple[List[Tuple[int, str]], np.ndarray, np.ndarray]:
         """Voltage bound matrices for all marked outputs of all trees at once."""
         times = self.solve()
         if indices is None:

@@ -21,11 +21,17 @@ candidates-as-scenarios optimization).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.exceptions import AnalysisError
+
+#: Scenario element planes accepted by the batch solvers and
+#: :func:`as_node_matrix`: ``None`` (use the base array for every scenario),
+#: a scalar, an ``(S,)`` per-scenario vector, or a full ``(S, N)`` matrix of
+#: effective element values.
+PlaneInput = Optional[Union[float, Sequence[float], np.ndarray]]
 
 __all__ = [
     "ScenarioTimes",
@@ -91,7 +97,7 @@ class ScenarioForestTimes:
         return self.tde.shape[0]
 
 
-def as_node_matrix(values, base: np.ndarray, count: int) -> np.ndarray:
+def as_node_matrix(values: PlaneInput, base: np.ndarray, count: int) -> np.ndarray:
     """Normalize a scenario plane to a contiguous ``(N, S)`` matrix.
 
     ``values`` may be ``None`` (use the base array for every scenario), a

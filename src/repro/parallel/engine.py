@@ -46,13 +46,18 @@ import multiprocessing
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.exceptions import AnalysisError
 from repro.flat.contraction import jump_schedule, sweep_scenarios_contract
-from repro.flat.scenarios import ScenarioForestTimes, level_buckets, sweep_scenarios
+from repro.flat.scenarios import (
+    PlaneInput,
+    ScenarioForestTimes,
+    level_buckets,
+    sweep_scenarios,
+)
 from repro.parallel.backends import (
     record_selection,
     register_backend,
@@ -62,6 +67,22 @@ from repro.parallel.backends import (
 from repro.parallel.sharding import plan_shards, scenario_chunks, shard_node_ranges
 
 __all__ = ["ForestStructure", "solve_forest_batch", "shutdown_pools"]
+
+#: A substitute two-pass kernel: ``(parent, er, ec, nc)`` node-major
+#: matrices in, ``(rkk, c_down, tde, tre)`` out (the contraction sweeps
+#: with their jump schedule baked in).
+SweepFn = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+]
+#: The forest's base element arrays, in ``(edge_r, edge_c, node_c)`` order.
+BasePlanes = Tuple[np.ndarray, np.ndarray, np.ndarray]
+#: Normalized scenario planes (outputs of :func:`normalize_plane`), same order.
+ScenarioPlanes = Tuple[
+    Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]
+]
+#: Field name -> (byte offset, shape, dtype) inside one shared block.
+BlockLayout = Dict[str, Tuple[int, Tuple[int, ...], str]]
 
 
 @dataclass(frozen=True)
@@ -92,7 +113,7 @@ class ForestStructure:
         return int(len(self.offsets) - 1)
 
 
-def normalize_plane(values, n: int, count: int):
+def normalize_plane(values: PlaneInput, n: int, count: int) -> Optional[np.ndarray]:
     """Validate one scenario plane without materializing the ``(N, S)`` matrix.
 
     Returns ``None`` (use base values), a ``(S,)`` per-scenario vector, or a
@@ -116,7 +137,9 @@ def normalize_plane(values, n: int, count: int):
     return array
 
 
-def _chunk_matrix(values, base: np.ndarray, lo: int, hi: int, n: int) -> np.ndarray:
+def _chunk_matrix(
+    values: Optional[np.ndarray], base: np.ndarray, lo: int, hi: int, n: int
+) -> np.ndarray:
     """The node-major ``(N, hi-lo)`` effective element matrix for [lo, hi).
 
     Copy-free when the caller's plane is already node-major underneath (an
@@ -133,7 +156,13 @@ def _chunk_matrix(values, base: np.ndarray, lo: int, hi: int, n: int) -> np.ndar
     return np.ascontiguousarray(values[lo:hi].T)
 
 
-def _fill_node_chunk(out: np.ndarray, values, base: np.ndarray, lo: int, hi: int) -> None:
+def _fill_node_chunk(
+    out: np.ndarray,
+    values: Optional[np.ndarray],
+    base: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
     """Write the node-major ``(N, hi-lo)`` element matrix into a shared plane.
 
     For a plane that is a transposed node-major view this is one straight
@@ -154,7 +183,7 @@ def _solve_range(
     er: np.ndarray,
     ec: np.ndarray,
     nc: np.ndarray,
-    sweep=None,
+    sweep: Optional[SweepFn] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """The forest kernel over one contiguous node range.
 
@@ -190,7 +219,14 @@ def _solve_range(
 # ----------------------------------------------------------------------
 # Serial backends ("numpy" and "contract")
 # ----------------------------------------------------------------------
-def _solve_serial(structure, base, planes, count, chunk, sweep=None) -> ScenarioForestTimes:
+def _solve_serial(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    chunk: Optional[int],
+    sweep: Optional[SweepFn] = None,
+) -> ScenarioForestTimes:
     """Chunked in-process execution of the forest kernel.
 
     ``sweep=None`` runs the level sweeps (the ``"numpy"`` reference path);
@@ -221,11 +257,11 @@ def _solve_serial(structure, base, planes, count, chunk, sweep=None) -> Scenario
             tp=tp.T, tde=tde.T, tre=tre.T, ree=ree.T, total_capacitance=total.T
         )
 
-    out_tde = np.empty((n, count))
-    out_tre = np.empty((n, count))
-    out_ree = np.empty((n, count))
-    out_tp = np.empty((trees, count))
-    out_total = np.empty((trees, count))
+    out_tde = np.empty((n, count), dtype=np.float64)
+    out_tre = np.empty((n, count), dtype=np.float64)
+    out_ree = np.empty((n, count), dtype=np.float64)
+    out_tp = np.empty((trees, count), dtype=np.float64)
+    out_total = np.empty((trees, count), dtype=np.float64)
     for lo, hi in chunks:
         er = _chunk_matrix(plane_er, base_er, lo, hi, n)
         ec = _chunk_matrix(plane_ec, base_ec, lo, hi, n)
@@ -247,12 +283,19 @@ def _solve_serial(structure, base, planes, count, chunk, sweep=None) -> Scenario
     )
 
 
-def _solve_numpy(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+def _solve_numpy(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    jobs: int,
+    chunk: Optional[int],
+) -> ScenarioForestTimes:
     """Chunked serial execution of the level sweeps (the reference path)."""
     return _solve_serial(structure, base, planes, count, chunk)
 
 
-def _contract_sweep(parent: np.ndarray):
+def _contract_sweep(parent: np.ndarray) -> SweepFn:
     """The contraction kernel with its jump schedule precomputed.
 
     The schedule depends only on topology, so one pass serves every
@@ -260,13 +303,22 @@ def _contract_sweep(parent: np.ndarray):
     """
     schedule = jump_schedule(parent)
 
-    def sweep(parent_, er, ec, nc):
+    def sweep(
+        parent_: np.ndarray, er: np.ndarray, ec: np.ndarray, nc: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         return sweep_scenarios_contract(parent_, er, ec, nc, schedule=schedule)
 
     return sweep
 
 
-def _solve_contract(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+def _solve_contract(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    jobs: int,
+    chunk: Optional[int],
+) -> ScenarioForestTimes:
     """Chunked serial execution of the pointer-jumping contraction kernels."""
     return _solve_serial(
         structure, base, planes, count, chunk, sweep=_contract_sweep(structure.parent)
@@ -287,7 +339,9 @@ _IN_FIELDS = ("parent", "depth", "er", "ec", "nc")
 _OUT_FIELDS = ("ree", "tde", "tre", "tp", "total")
 
 
-def _block_layout(fields, shapes) -> Dict[str, Tuple[int, Tuple[int, ...], str]]:
+def _block_layout(
+    fields: Sequence[str], shapes: Dict[str, Tuple[Tuple[int, ...], str]]
+) -> BlockLayout:
     """Byte offset, shape and dtype of each field inside one shared block."""
     layout: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
     offset = 0
@@ -299,7 +353,7 @@ def _block_layout(fields, shapes) -> Dict[str, Tuple[int, Tuple[int, ...], str]]
     return layout
 
 
-def _in_layout(n: int, width: int):
+def _in_layout(n: int, width: int) -> BlockLayout:
     return _block_layout(
         _IN_FIELDS,
         {
@@ -312,7 +366,7 @@ def _in_layout(n: int, width: int):
     )
 
 
-def _out_layout(n: int, trees: int, count: int):
+def _out_layout(n: int, trees: int, count: int) -> BlockLayout:
     return _block_layout(
         _OUT_FIELDS,
         {
@@ -325,7 +379,9 @@ def _out_layout(n: int, trees: int, count: int):
     )
 
 
-def _views(buffer, layout, fields) -> Dict[str, np.ndarray]:
+def _views(
+    buffer: memoryview, layout: BlockLayout, fields: Sequence[str]
+) -> Dict[str, np.ndarray]:
     """Numpy views of every field of a shared block.
 
     Built with :func:`np.frombuffer` deliberately: unlike
@@ -373,7 +429,7 @@ class _ResultBlock:
     is released via :func:`_release_block`.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self.shm = shared_memory.SharedMemory(create=True, size=size)
         self._finalizer = weakref.finalize(self, _release_block, self.shm)
 
@@ -401,7 +457,19 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def _solve_shard_into(
-    in_buf, out_buf, n, trees, count, width, w, lo, t_lo, t_hi, n_lo, n_hi, offsets_local
+    in_buf: memoryview,
+    out_buf: memoryview,
+    n: int,
+    trees: int,
+    count: int,
+    width: int,
+    w: int,
+    lo: int,
+    t_lo: int,
+    t_hi: int,
+    n_lo: int,
+    n_hi: int,
+    offsets_local: Sequence[int],
 ) -> None:
     """Solve one shard's node range for one chunk; views scoped to this frame.
 
@@ -458,7 +526,7 @@ def _attach_input(name: str) -> shared_memory.SharedMemory:
     return block
 
 
-def _solve_shard_task(args) -> None:
+def _solve_shard_task(args: Tuple[Any, ...]) -> None:
     """Worker body: attach the shared blocks and solve one shard inside them."""
     in_name, out_name = args[0], args[1]
     in_block = _attach_input(in_name)
@@ -506,7 +574,7 @@ atexit.register(_release_input_cache)
 _POOLS: Dict[int, "multiprocessing.pool.Pool"] = {}
 
 
-def _pool(jobs: int):
+def _pool(jobs: int) -> "multiprocessing.pool.Pool":
     """A cached worker pool of the given size (fork cost paid once)."""
     pool = _POOLS.get(jobs)
     if pool is None:
@@ -526,7 +594,14 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
-def _solve_process(structure, base, planes, count, jobs, chunk) -> ScenarioForestTimes:
+def _solve_process(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    jobs: int,
+    chunk: Optional[int],
+) -> ScenarioForestTimes:
     """Sharded execution over shared-memory planes (see the module docstring)."""
     n = structure.node_count
     trees = structure.tree_count
@@ -559,7 +634,9 @@ def _solve_process(structure, base, planes, count, jobs, chunk) -> ScenarioFores
             (
                 block.name, holder.shm.name, n, trees, count, width, w, lo,
                 t_lo, t_hi, n_lo, n_hi,
-                offsets[t_lo:t_hi].tolist(),
+                # Task payloads must be picklable plain objects; this is
+                # O(trees/shard) packing, not a per-node hot path.
+                offsets[t_lo:t_hi].tolist(),  # reprolint: disable=RL002
             )
             for (t_lo, t_hi), (n_lo, n_hi) in zip(shards, ranges)
         ]

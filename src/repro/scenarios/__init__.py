@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -83,7 +83,7 @@ class Scenario:
     threshold: Optional[float] = None
     net_scale: Mapping[str, float] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_factor("r_derate", self.r_derate)
         _require_factor("c_derate", self.c_derate)
         _require_factor("drive_derate", self.drive_derate)
@@ -137,7 +137,7 @@ class ParameterPlane:
     r_scale: np.ndarray
     c_scale: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "r_scale", np.atleast_1d(np.asarray(self.r_scale, dtype=float)))
         object.__setattr__(self, "c_scale", np.atleast_1d(np.asarray(self.c_scale, dtype=float)))
         if len(self.r_scale) != len(self.c_scale):
@@ -152,7 +152,7 @@ class ParameterPlane:
 class ScenarioSet(Sequence):
     """An ordered, named batch of scenarios compiled to broadcast arrays."""
 
-    def __init__(self, scenarios: Sequence[Scenario]):
+    def __init__(self, scenarios: Sequence[Scenario]) -> None:
         self._scenarios: List[Scenario] = list(scenarios)
         if not self._scenarios:
             raise AnalysisError("a scenario set needs at least one scenario")
@@ -172,7 +172,7 @@ class ScenarioSet(Sequence):
     def __iter__(self) -> Iterator[Scenario]:
         return iter(self._scenarios)
 
-    def __getitem__(self, index) -> Union[Scenario, "ScenarioSet"]:
+    def __getitem__(self, index: Union[int, slice]) -> Union[Scenario, "ScenarioSet"]:
         if isinstance(index, slice):
             return ScenarioSet(self._scenarios[index])
         return self._scenarios[index]
@@ -279,7 +279,7 @@ class ScenarioSet(Sequence):
         return cls(scenarios)
 
     @classmethod
-    def from_dict(cls, payload) -> "ScenarioSet":
+    def from_dict(cls, payload: Any) -> "ScenarioSet":
         """Parse the CLI's ``--corners`` JSON: a list, or ``{"scenarios": [...]}``."""
         if isinstance(payload, Mapping):
             payload = payload.get("scenarios")

@@ -1,0 +1,12 @@
+"""Make the repository root importable so ``tools.reprolint`` resolves.
+
+The root ``conftest.py`` only inserts ``src`` (the runtime packages);
+the linter lives in ``tools/`` next to it.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

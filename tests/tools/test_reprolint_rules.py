@@ -1,0 +1,528 @@
+"""Per-rule fixture tests: each rule fires on a seeded violation and stays
+silent on a compliant twin of the same shape.
+
+Fixtures are written under ``tmp_path`` at repo-like relative paths
+(``repro/flat/flattree.py`` etc.) so the suffix-based module matching in
+:class:`tools.reprolint.core.LintConfig` applies exactly as it does on
+the real tree.
+"""
+
+import textwrap
+
+import pytest
+
+from tools.reprolint.core import CacheContract, Finding, make_config, run_paths
+
+
+def lint(tmp_path, rel, source, config=None):
+    """Write ``source`` at ``tmp_path/rel`` and lint the tmp tree."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_paths([tmp_path], config=config or make_config(repo_root=tmp_path))
+
+
+def rules_fired(result):
+    """The set of rule ids among new findings."""
+    return {finding.rule for finding in result.findings}
+
+
+# ----------------------------------------------------------------------
+# RL001 kernel purity
+# ----------------------------------------------------------------------
+class TestKernelPurity:
+    def test_fires_on_node_loop_in_kernel_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/flattree.py",
+            """
+            def solve(parent, n):
+                total = 0.0
+                for i in range(n):
+                    total += parent[i]
+                return total
+            """,
+        )
+        assert "RL001" in rules_fired(result)
+
+    def test_fires_on_while_loop_in_kernel_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/engine.py",
+            """
+            def _solve_range(levels):
+                i = 0
+                while i < 10:
+                    i += 1
+            """,
+        )
+        assert "RL001" in rules_fired(result)
+
+    def test_silent_on_level_sweep_loop(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/scenarios.py",
+            """
+            def sweep_scenarios(levels, parent):
+                for level in levels[1:]:
+                    parent[level] = 0
+            """,
+        )
+        assert "RL001" not in rules_fired(result)
+
+    def test_silent_on_loop_in_compile_path(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/flattree.py",
+            """
+            def from_tree(nodes):
+                for node in nodes:
+                    node.visit()
+            """,
+        )
+        assert "RL001" not in rules_fired(result)
+
+    def test_silent_outside_kernel_modules(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/graph/designdb.py",
+            """
+            def solve(items):
+                for item in items:
+                    item.run()
+            """,
+        )
+        assert "RL001" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL002 dtype discipline
+# ----------------------------------------------------------------------
+class TestDtypeDiscipline:
+    def test_fires_on_dtypeless_allocation(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/forest.py",
+            """
+            import numpy as np
+
+            def build(n):
+                return np.empty(n)
+            """,
+        )
+        assert "RL002" in rules_fired(result)
+
+    def test_fires_on_tolist_in_kernel_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/engine.py",
+            """
+            def _solve_numpy(plane):
+                return plane.tolist()
+            """,
+        )
+        assert "RL002" in rules_fired(result)
+
+    def test_fires_on_float_scalarization_in_kernel_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/flattree.py",
+            """
+            def solve(plane):
+                return float(plane[0])
+            """,
+        )
+        assert "RL002" in rules_fired(result)
+
+    def test_silent_with_explicit_dtype_and_like_allocators(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/forest.py",
+            """
+            import numpy as np
+
+            def build(n, template):
+                a = np.zeros(n, dtype=np.float64)
+                b = np.zeros_like(template)
+                return a, b
+            """,
+        )
+        assert "RL002" not in rules_fired(result)
+
+    def test_silent_on_tolist_outside_kernel_functions(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/forest.py",
+            """
+            def summarize(plane):
+                return plane.tolist()
+            """,
+        )
+        assert "RL002" not in rules_fired(result)
+
+    def test_silent_outside_kernel_modules(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/graph/timinggraph.py",
+            """
+            import numpy as np
+
+            def build(n):
+                return np.empty(n)
+            """,
+        )
+        assert "RL002" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL003 shared-memory lifetime
+# ----------------------------------------------------------------------
+class TestShmLifetime:
+    def test_fires_on_ndarray_over_buffer(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/worker.py",
+            """
+            import numpy as np
+
+            def view(shm, n):
+                return np.ndarray((n,), dtype=np.float64, buffer=shm.buf)
+            """,
+        )
+        assert "RL003" in rules_fired(result)
+
+    def test_fires_on_unpaired_owning_allocation(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/blocks.py",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def allocate(nbytes):
+                return SharedMemory(create=True, size=nbytes)
+            """,
+        )
+        assert "RL003" in rules_fired(result)
+
+    def test_fires_on_unguarded_close_after_view(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/oops.py",
+            """
+            import numpy as np
+
+            def read(shm):
+                view = np.frombuffer(shm.buf, dtype=np.float64)
+                total = view.sum()
+                shm.close()
+                return total
+            """,
+        )
+        assert "RL003" in rules_fired(result)
+
+    def test_silent_on_finalize_paired_owner(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/blocks.py",
+            """
+            import weakref
+            from multiprocessing.shared_memory import SharedMemory
+
+            def _release(shm):
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                shm.unlink()
+
+            class Block:
+                def __init__(self, nbytes):
+                    self.shm = SharedMemory(create=True, size=nbytes)
+                    weakref.finalize(self, _release, self.shm)
+            """,
+        )
+        assert "RL003" not in rules_fired(result)
+
+    def test_silent_on_atexit_wired_cache_owner(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/cache.py",
+            """
+            import atexit
+            from multiprocessing.shared_memory import SharedMemory
+
+            _CACHE = {}
+
+            def _release(shm):
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+
+            def _release_all():
+                for shm in _CACHE.values():
+                    _release(shm)
+
+            atexit.register(_release_all)
+
+            def allocate(key, nbytes):
+                if key in _CACHE:
+                    _release(_CACHE.pop(key))
+                shm = SharedMemory(create=True, size=nbytes)
+                _CACHE[key] = shm
+                return shm
+            """,
+        )
+        assert "RL003" not in rules_fired(result)
+
+    def test_silent_on_attach_side_and_guarded_teardown(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/parallel/worker.py",
+            """
+            import numpy as np
+            from multiprocessing.shared_memory import SharedMemory
+
+            def work(name):
+                shm = SharedMemory(name=name)
+                view = np.frombuffer(shm.buf, dtype=np.float64)
+                total = view.sum()
+                del view
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                return total
+            """,
+        )
+        assert "RL003" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL004 cache invalidation
+# ----------------------------------------------------------------------
+CONTRACT = CacheContract(
+    module_suffix="repro/flat/cachy.py",
+    class_name="Cachy",
+    attrs=("_plane",),
+    caches=("_times",),
+    invalidators=("_rebucket",),
+    exempt_methods=("_builder",),
+)
+
+
+def lint_contract(tmp_path, source):
+    config = make_config(repo_root=tmp_path, contracts=(CONTRACT,))
+    return lint(tmp_path, "repro/flat/cachy.py", source, config=config)
+
+
+class TestCacheInvalidation:
+    def test_fires_on_plain_assignment_without_invalidation(self, tmp_path):
+        result = lint_contract(
+            tmp_path,
+            """
+            class Cachy:
+                def mutate(self, value):
+                    self._plane = value
+            """,
+        )
+        assert "RL004" in rules_fired(result)
+
+    def test_fires_on_subscript_assignment_without_invalidation(self, tmp_path):
+        result = lint_contract(
+            tmp_path,
+            """
+            class Cachy:
+                def mutate(self, i, value):
+                    self._plane[i] = value
+            """,
+        )
+        assert "RL004" in rules_fired(result)
+
+    def test_silent_when_cache_cleared(self, tmp_path):
+        result = lint_contract(
+            tmp_path,
+            """
+            class Cachy:
+                def mutate(self, value):
+                    self._plane = value
+                    self._times = None
+            """,
+        )
+        assert "RL004" not in rules_fired(result)
+
+    def test_silent_when_invalidator_called(self, tmp_path):
+        result = lint_contract(
+            tmp_path,
+            """
+            class Cachy:
+                def mutate(self, i, value):
+                    self._plane[i] = value
+                    self._rebucket()
+            """,
+        )
+        assert "RL004" not in rules_fired(result)
+
+    def test_init_and_exempt_methods_are_skipped(self, tmp_path):
+        result = lint_contract(
+            tmp_path,
+            """
+            class Cachy:
+                def __init__(self):
+                    self._plane = None
+                    self._times = None
+
+                def _builder(self, value):
+                    self._plane = value
+
+                def _rebucket(self):
+                    self._plane = self._plane
+            """,
+        )
+        assert "RL004" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL005 registry sync
+# ----------------------------------------------------------------------
+REGISTRY_SOURCE = """
+def register_backend(name, fn):
+    pass
+
+register_backend("numpy", None)
+register_backend("native", None)
+"""
+
+CLI_IN_SYNC = """
+def build(parser):
+    parser.add_argument("--engine", choices=["auto", "numpy", "native"])
+"""
+
+CLI_DRIFTED = """
+def build(parser):
+    parser.add_argument("--engine", choices=["auto", "numpy"])
+"""
+
+DOCS_IN_SYNC = '| `"numpy"` | one process |\n| `"native"` | compiled |\n'
+DOCS_DRIFTED = '| `"numpy"` | one process |\n'
+
+MATRIX_IN_SYNC = 'ARMS = ("numpy", "native")\n'
+MATRIX_DRIFTED = 'ARMS = ("numpy",)\n'
+
+
+def build_repo(tmp_path, cli, docs, matrix):
+    """A miniature repo with a registry module and its three mirrors."""
+    (tmp_path / "src/repro/parallel").mkdir(parents=True)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "tests/properties").mkdir(parents=True)
+    (tmp_path / "src/repro/parallel/engine.py").write_text(REGISTRY_SOURCE)
+    if cli is not None:
+        (tmp_path / "src/repro/cli.py").write_text(cli)
+    if docs is not None:
+        (tmp_path / "docs/architecture.md").write_text(docs)
+    if matrix is not None:
+        (tmp_path / "tests/properties/test_engine_matrix.py").write_text(matrix)
+    return run_paths(
+        [tmp_path / "src/repro/parallel"],
+        config=make_config(repo_root=tmp_path),
+    )
+
+
+class TestRegistrySync:
+    def test_fires_on_drift_in_every_mirror(self, tmp_path):
+        result = build_repo(tmp_path, CLI_DRIFTED, DOCS_DRIFTED, MATRIX_DRIFTED)
+        messages = [f.message for f in result.findings if f.rule == "RL005"]
+        assert len(messages) == 3
+        assert all("native" in message for message in messages)
+
+    def test_fires_on_missing_mirror_file(self, tmp_path):
+        result = build_repo(tmp_path, None, DOCS_IN_SYNC, MATRIX_IN_SYNC)
+        assert "RL005" in rules_fired(result)
+
+    def test_silent_when_mirrors_in_sync(self, tmp_path):
+        result = build_repo(tmp_path, CLI_IN_SYNC, DOCS_IN_SYNC, MATRIX_IN_SYNC)
+        assert "RL005" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL006 oracle pinning
+# ----------------------------------------------------------------------
+class TestBenchOracle:
+    def test_fires_on_measuring_test_without_assert(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            """
+            def test_speed(benchmark):
+                benchmark(lambda: 1 + 1)
+            """,
+        )
+        assert "RL006" in rules_fired(result)
+
+    def test_fires_when_measurement_hides_in_helper(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            """
+            import time
+
+            def _best(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+
+            def test_speed(report):
+                report["t"] = _best(lambda: 1 + 1)
+            """,
+        )
+        assert "RL006" in rules_fired(result)
+
+    def test_silent_when_parity_asserted_via_helper(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            """
+            import time
+
+            def _best(fn):
+                start = time.perf_counter()
+                out = fn()
+                return time.perf_counter() - start, out
+
+            def _check(result, oracle):
+                assert abs(result - oracle) < 1e-12
+
+            def test_speed(report):
+                elapsed, out = _best(lambda: 1 + 1)
+                _check(out, 2)
+            """,
+        )
+        assert "RL006" not in rules_fired(result)
+
+    def test_silent_on_non_measuring_test(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            """
+            def test_shapes():
+                data = [1, 2, 3]
+                total = sum(data)
+                return total
+            """,
+        )
+        assert "RL006" not in rules_fired(result)
+
+    def test_ignores_non_bench_modules(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "benchmarks/conftest.py",
+            """
+            def test_speed(benchmark):
+                benchmark(lambda: 1 + 1)
+            """,
+        )
+        assert "RL006" not in rules_fired(result)

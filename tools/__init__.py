@@ -1,0 +1,7 @@
+"""Repository tooling: docs checks, API-doc generation and :mod:`tools.reprolint`.
+
+This package exists so ``python -m tools.reprolint`` works from the
+repository root; the standalone scripts (``check_docs.py``,
+``gen_api_docs.py``) keep their direct ``python tools/<name>.py`` entry
+points.
+"""

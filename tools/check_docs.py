@@ -11,8 +11,9 @@ Scans ``README.md`` and every ``docs/*.md`` for
 * relative markdown links (``[text](docs/paper_map.md)``) -- the target file
   must exist.
 
-Additionally audits the engine-layer packages (:data:`DOCSTRING_PACKAGES`:
-``repro.flat``, ``repro.graph``, ``repro.scenarios``, ``repro.parallel``)
+Additionally audits the engine-layer packages and the linter
+(:data:`DOCSTRING_PACKAGES`: ``repro.flat``, ``repro.graph``,
+``repro.scenarios``, ``repro.parallel``, ``tools.reprolint``)
 for **missing docstrings**: every public module-level function and class --
 and every public method/property of those classes -- defined in one of
 those packages must carry one, so the generated ``docs/api.md`` can never
@@ -35,7 +36,13 @@ from typing import List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_PACKAGES = ("repro.flat", "repro.graph", "repro.scenarios", "repro.parallel")
+DOCSTRING_PACKAGES = (
+    "repro.flat",
+    "repro.graph",
+    "repro.scenarios",
+    "repro.parallel",
+    "tools.reprolint",
+)
 
 #: repro.foo.bar or repro.foo.bar.attr (the attr is resolved when present).
 MODULE_REF = re.compile(r"\brepro(?:\.\w+)+")
@@ -154,6 +161,8 @@ def check_docstrings() -> List[str]:
 
 def collect_failures() -> List[Tuple[Path, str]]:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    # tools.reprolint imports from the repository root, not src/.
+    sys.path.insert(0, str(REPO_ROOT))
     failures: List[Tuple[Path, str]] = []
     for doc in doc_files():
         text = doc.read_text(encoding="utf-8")

@@ -1,0 +1,171 @@
+"""RL003 -- shared-memory lifetime discipline.
+
+The PR 5 segfault class: a ``np.ndarray(buffer=shm.buf, ...)`` view
+holds **no** PEP-3118 buffer export, so unmapping the segment while the
+view is alive segfaults instead of raising.  ``np.frombuffer`` views
+hold a real export (premature ``close()`` raises ``BufferError``), and
+the engine pairs every owning ``SharedMemory`` block with a
+``weakref.finalize`` registration (or a cache whose releaser is wired to
+``atexit``) so segments are unlinked exactly once, after the last view
+dies.  Three checks keep that discipline:
+
+* **ndarray-over-buffer ban** -- any ``ndarray(...)`` call with a
+  ``buffer=`` keyword is flagged, anywhere in the tree.
+* **owner pairing** -- a function that calls
+  ``SharedMemory(create=True)`` must, in the same body, either register
+  a ``weakref.finalize`` or call a *releaser* (a module function that
+  itself calls ``.unlink()``) while the module wires a releaser via
+  ``atexit.register``.  Attach-side calls (no ``create=True``) are
+  workers borrowing a segment they don't own and are exempt.
+* **unguarded teardown** -- ``.close()`` / ``.unlink()`` lexically after
+  a ``np.frombuffer`` view in the same function is flagged unless the
+  teardown sits inside a ``try`` block (the BufferError-tolerant
+  release idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from tools.reprolint.core import LintConfig, Module, Rule
+
+
+def _call_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _function_defs(tree: ast.AST) -> List[ast.AST]:
+    """Every function definition in ``tree`` (any nesting depth)."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _creates_shm(call: ast.Call) -> bool:
+    """``SharedMemory(..., create=True)`` -- an owning allocation."""
+    if _call_name(call.func) != "SharedMemory":
+        return False
+    for kw in call.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _teardown_calls(func: ast.AST) -> List[Tuple[ast.Call, bool]]:
+    """``.close()`` / ``.unlink()`` calls in ``func`` with try-guard flag."""
+    found: List[Tuple[ast.Call, bool]] = []
+
+    def scan(node: ast.AST, in_try: bool) -> None:
+        if isinstance(node, ast.Call) and _call_name(node.func) in (
+            "close",
+            "unlink",
+        ) and isinstance(node.func, ast.Attribute):
+            found.append((node, in_try))
+        for child in ast.iter_child_nodes(node):
+            scan(child, in_try or isinstance(node, ast.Try))
+
+    for stmt in getattr(func, "body", []):
+        scan(stmt, False)
+    return found
+
+
+class ShmLifetimeRule(Rule):
+    """Enforce the frombuffer + finalize shared-memory discipline."""
+
+    rule_id = "RL003"
+    title = "shared-memory lifetime: frombuffer views + finalize pairing"
+    rationale = (
+        "np.ndarray(buffer=...) views hold no buffer export and segfault "
+        "on premature unmap; owning SharedMemory blocks must be paired "
+        "with weakref.finalize or an atexit-wired releaser."
+    )
+    node_types = ()
+
+    def finish_module(self, module: Module, config: LintConfig) -> None:
+        """Run all three lifetime checks over the parsed module."""
+        text = module.text
+        if "ndarray" not in text and "SharedMemory" not in text and (
+            "frombuffer" not in text
+        ):
+            return
+        tree = module.tree
+        # --- check 1: ndarray(buffer=...) anywhere -------------------
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "ndarray"
+                and any(kw.arg == "buffer" for kw in node.keywords)
+            ):
+                self.report(
+                    module,
+                    node,
+                    "`np.ndarray(buffer=...)` view holds no buffer export "
+                    "and segfaults on premature unmap; use `np.frombuffer` "
+                    "(+ reshape) so teardown raises BufferError instead",
+                )
+
+        # --- module-wide facts for checks 2 and 3 --------------------
+        has_atexit = any(
+            isinstance(node, ast.Call)
+            and _call_name(node.func) == "register"
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "atexit"
+            for node in ast.walk(tree)
+        )
+        releasers: Set[str] = set()
+        for func in _function_defs(tree):
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"
+                ):
+                    releasers.add(func.name)
+                    break
+
+        for func in _function_defs(tree):
+            calls: Dict[str, List[ast.Call]] = {}
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    calls.setdefault(_call_name(node.func), []).append(node)
+
+            # --- check 2: owning allocations must be paired ----------
+            owning = [
+                call for call in calls.get("SharedMemory", []) if _creates_shm(call)
+            ]
+            if owning:
+                has_finalize = bool(calls.get("finalize"))
+                calls_releaser = any(name in releasers for name in calls)
+                if not has_finalize and not (calls_releaser and has_atexit):
+                    self.report(
+                        module,
+                        owning[0],
+                        f"`{func.name}` allocates SharedMemory(create=True) "
+                        "without pairing it to a `weakref.finalize` (or an "
+                        "atexit-wired releaser); the segment can leak or be "
+                        "unlinked while views are live",
+                    )
+
+            # --- check 3: teardown after a live frombuffer view ------
+            views = calls.get("frombuffer", [])
+            if not views:
+                continue
+            first_view = min(view.lineno for view in views)
+            for call, guarded in _teardown_calls(func):
+                if call.lineno > first_view and not guarded:
+                    verb = _call_name(call.func)
+                    self.report(
+                        module,
+                        call,
+                        f"unguarded `.{verb}()` after a `np.frombuffer` view "
+                        "in the same function; release the view first or "
+                        "wrap teardown in try/except BufferError",
+                    )
