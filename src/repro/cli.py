@@ -34,8 +34,10 @@ Subcommands
     processes (``--jobs 1`` forces the serial backend; the default
     auto-selects by sweep size), and ``--engine NAME`` pins a registered
     kernel backend outright (``auto``, ``numpy``, ``process``,
-    ``contract``), overriding the ``--jobs``-derived choice.  Exit status 1
-    when the (overall) verdict is FAIL, 2 when it is INDETERMINATE.
+    ``contract``, ``native`` -- the last is the Numba JIT-compiled kernel
+    path, degrading to ``numpy`` where Numba is unavailable), overriding
+    the ``--jobs``-derived choice.  Exit status 1 when the (overall)
+    verdict is FAIL, 2 when it is INDETERMINATE.
 """
 
 from __future__ import annotations
@@ -241,10 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     timing.add_argument(
         "--engine", default=None,
-        choices=["auto", "numpy", "process", "contract"],
+        choices=["auto", "numpy", "process", "contract", "native"],
         help="kernel backend for the corner-sweep solve; requires --corners "
         "(default: auto-select by sweep size and depth; overrides the "
-        "--jobs-derived choice)",
+        "--jobs-derived choice; 'native' runs the JIT-compiled kernels and "
+        "falls back to 'numpy' without Numba)",
     )
     timing.add_argument(
         "--model", default="upper_bound",

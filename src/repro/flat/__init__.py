@@ -19,6 +19,10 @@ at once with a handful of vectorized sweeps:
 * :mod:`repro.flat.contraction` -- the pointer-jumping twin of the level
   sweeps: O(log N) contraction rounds regardless of topology, the kernel
   behind ``engine="contract"`` for chain-heavy forests;
+* :mod:`repro.flat.native` -- Numba JIT-compiled twins of both kernel
+  families (fused level sweeps, compiled contraction rounds), the kernel
+  behind ``engine="native"``; imported lazily, never a hard dependency,
+  degrading to the numpy kernels when Numba is absent;
 * :mod:`repro.flat.batchbounds` -- eqs. (8)-(17) evaluated over
   (sinks x thresholds) matrices in one numpy call.
 

@@ -7,14 +7,17 @@ across trees and scenarios; this layer turns that into wall-clock speed:
   tree shards and bounded scenario chunks;
 * :mod:`repro.parallel.backends` -- the kernel-backend registry (``"numpy"``
   serial reference, ``"process"`` sharded workers, ``"contract"``
-  pointer-jumping contraction for depth-pathological forests) and the
+  pointer-jumping contraction for depth-pathological forests, ``"native"``
+  Numba JIT-compiled kernels that degrade to numpy without Numba) and the
   size/depth auto-selection every ``engine=`` parameter funnels through,
   observable via :func:`last_selection` and ``REPRO_ENGINE_LOG=1``;
 * :mod:`repro.parallel.engine` -- the execution engine itself:
   ``multiprocessing.shared_memory``-backed element/result planes, cached
   worker pools, and numerically identical results regardless of backend
   (bitwise between ``"numpy"`` and ``"process"``, 1e-12 for
-  ``"contract"``).
+  ``"contract"`` and ``"native"``).  ``engine="native"`` with ``jobs>=2``
+  reuses the process machinery with the compiled kernel per shard, so
+  worker count and JIT compose multiplicatively.
 
 Callers never import this package directly for normal use -- they pass
 ``engine=`` / ``jobs=`` to :meth:`repro.flat.FlatForest.solve_batch`,
@@ -25,6 +28,7 @@ The layer map lives in ``docs/architecture.md``.
 """
 
 from repro.parallel.backends import (
+    AUTO_NATIVE_CELLS,
     AUTO_PROCESS_CELLS,
     CONTRACT_DEPTH_RATIO,
     KernelBackend,
@@ -50,6 +54,7 @@ from repro.parallel.sharding import (
 )
 
 __all__ = [
+    "AUTO_NATIVE_CELLS",
     "AUTO_PROCESS_CELLS",
     "CONTRACT_DEPTH_RATIO",
     "DEFAULT_CHUNK_CELLS",

@@ -14,15 +14,27 @@ over the ``(N, S)`` element planes of a forest:
   (:mod:`repro.flat.contraction`): O(log N) rounds regardless of depth, the
   cure for chain-heavy forests where the level sweeps degenerate into one
   numpy call per level.
+* ``"native"`` -- the Numba JIT-compiled kernels
+  (:mod:`repro.flat.native`): the same sweeps fused into compiled machine
+  code, run serially or per shard inside the process machinery (worker
+  count x JIT compose).  Numba is optional: when it is missing, disabled
+  (``REPRO_DISABLE_NATIVE=1``) or fails to compile, every ``"native"``
+  request degrades to ``"numpy"`` and the recorded selection says why.
 
 Callers normally pass ``engine=None`` (or ``"auto"``) and let
 :func:`resolve_engine` pick: depth-pathological forests
 (``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO``) go to the contraction
-kernels, and otherwise the process backend is selected only when the sweep
-is big enough (``nodes x scenarios >= AUTO_PROCESS_CELLS``) and more than
-one worker is actually usable.  An *explicit* ``engine="process"`` /
-``"contract"`` is always honoured (the former with however many workers
-are available) so parity tests exercise every path even on one core.
+kernels (compiled rounds when the native kernels are warm), sweeps of at
+least ``AUTO_NATIVE_CELLS`` cells go to the compiled kernels when those
+are usable, and the multi-process escalation (``nodes x scenarios >=
+AUTO_PROCESS_CELLS`` with more than one usable worker) runs the compiled
+kernels per shard when available, plain ``"process"`` otherwise.  An
+*explicit* ``engine="process"`` / ``"contract"`` / ``"native"`` is always
+honoured (parallel backends with however many workers are available) so
+parity tests exercise every path even on one core.  Worker counts are
+affinity-aware: :func:`default_job_count` reads the scheduling mask
+(``os.sched_getaffinity``), not the raw CPU count, so cgroup-capped
+containers never auto-pay process fan-out they cannot use.
 
 Every solve records which backend it chose (:func:`last_selection`), and
 setting ``REPRO_ENGINE_LOG=1`` additionally prints one line per solve to
@@ -45,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.exceptions import AnalysisError
 
 __all__ = [
+    "AUTO_NATIVE_CELLS",
     "AUTO_PROCESS_CELLS",
     "CONTRACT_DEPTH_RATIO",
     "KernelBackend",
@@ -62,6 +75,14 @@ __all__ = [
 #: to the process backend: below this the serial kernels finish in a few
 #: milliseconds and worker dispatch would only add latency.
 AUTO_PROCESS_CELLS = 1 << 19
+
+#: Smallest ``nodes x scenarios`` plane for which ``engine=None`` prefers
+#: the JIT-compiled kernels when they are usable.  Lower than
+#: :data:`AUTO_PROCESS_CELLS` because a compiled in-process sweep has no
+#: fan-out cost to amortize -- only the (cached, one-time) warm-up -- but
+#: still high enough that sub-millisecond sweeps skip the readiness probe
+#: entirely.
+AUTO_NATIVE_CELLS = 1 << 16
 
 #: Depth-pathology threshold: ``engine=None`` picks the contraction kernels
 #: when ``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO``.  Bushy forests sit
@@ -141,6 +162,22 @@ def _in_daemon_worker() -> bool:
     return bool(multiprocessing.current_process().daemon)
 
 
+def _native_ready() -> bool:
+    """Whether the JIT-compiled kernels are usable (lazy, import-safe probe).
+
+    Importing :mod:`repro.flat.native` is what pays the (one-time) Numba
+    import, so this is only called once a sweep is big enough to care; a
+    broken or absent installation simply reads as "not ready".  Module-level
+    indirection so the auto-selection tests can monkeypatch readiness
+    without a Numba installation.
+    """
+    try:
+        from repro.flat.native import native_ready
+    except Exception:  # pragma: no cover - native module always importable
+        return False
+    return native_ready()
+
+
 def should_contract(depth: int, nodes: int) -> bool:
     """True when a forest is depth-pathological for the level sweeps.
 
@@ -168,14 +205,18 @@ def record_selection(
     scenarios: int = 0,
     depth: int = 0,
     jobs: int = 1,
+    reason: str = "",
 ) -> None:
     """Note which backend a solve chose; print it when the log knob is on.
 
     Called by :func:`repro.parallel.engine.solve_forest_batch` after every
-    resolution.  The record is readable back via :func:`last_selection`;
-    with ``REPRO_ENGINE_LOG=1`` in the environment a one-line report also
-    goes to stderr, so long pipelines can show which engine every solve
-    picked without any code change.
+    resolution.  ``reason`` is non-empty only when the resolved backend is
+    not the requested one for a *capability* reason -- today, an explicit
+    ``engine="native"`` degrading to ``"numpy"`` because Numba is missing,
+    disabled or failed to compile.  The record is readable back via
+    :func:`last_selection`; with ``REPRO_ENGINE_LOG=1`` in the environment
+    a one-line report also goes to stderr, so long pipelines can show
+    which engine every solve picked without any code change.
     """
     record = {
         "requested": requested if requested is not None else "auto",
@@ -184,17 +225,20 @@ def record_selection(
         "scenarios": int(scenarios),
         "depth": int(depth),
         "jobs": int(jobs),
+        "reason": reason,
     }
     _LAST_SELECTION[:] = [record]
     flag = os.environ.get(ENGINE_LOG_ENV, "")
     if flag and flag != "0":
-        print(
+        line = (
             "repro.engine: engine={engine} (requested={requested}) "
             "nodes={nodes} scenarios={scenarios} depth={depth} jobs={jobs}".format(
                 **record
-            ),
-            file=sys.stderr,
+            )
         )
+        if reason:
+            line += f" reason={reason!r}"
+        print(line, file=sys.stderr)
 
 
 def last_selection() -> Optional[Dict[str, object]]:
@@ -202,9 +246,11 @@ def last_selection() -> Optional[Dict[str, object]]:
 
     Keys: ``requested`` (the caller's ``engine=`` value, ``"auto"`` when it
     was left to the resolver), ``engine`` (the backend that actually ran),
-    ``nodes``, ``scenarios``, ``depth`` and ``jobs``.  This is the
-    programmatic face of the ``REPRO_ENGINE_LOG`` knob, used by the
-    auto-selection tests.
+    ``nodes``, ``scenarios``, ``depth``, ``jobs`` and ``reason`` (empty
+    unless the request was degraded for a capability reason -- e.g. why a
+    ``"native"`` request ran on ``"numpy"``).  This is the programmatic
+    face of the ``REPRO_ENGINE_LOG`` knob, used by the auto-selection and
+    fallback tests.
     """
     return dict(_LAST_SELECTION[0]) if _LAST_SELECTION else None
 
@@ -221,14 +267,20 @@ def resolve_engine(
 
     ``engine=None`` / ``"auto"`` first checks the depth pathology: a forest
     with ``depth / log2(nodes) >= CONTRACT_DEPTH_RATIO`` (see
-    :func:`should_contract`) goes to the ``"contract"`` kernels, whose round
-    count is O(log N) instead of O(depth).  Otherwise ``"process"`` is
-    selected only when the plane is at least :data:`AUTO_PROCESS_CELLS`
-    cells, more than one worker is usable (``jobs`` when given, else
-    :func:`default_job_count`) and the caller is not itself a daemonic
-    worker; the default remains ``"numpy"``.  Explicit names are honoured
-    as-is (except inside a daemonic worker, where the process backend
-    silently degrades to serial -- nested pools cannot exist).  Returns
+    :func:`should_contract`) leaves the level sweeps -- for the compiled
+    contraction rounds of ``"native"`` when those are warm and the sweep
+    clears :data:`AUTO_NATIVE_CELLS`, else for the ``"contract"`` kernels,
+    whose round count is O(log N) instead of O(depth).  Otherwise a sweep
+    of at least :data:`AUTO_PROCESS_CELLS` cells with more than one usable
+    worker (``jobs`` when given, else the affinity-aware
+    :func:`default_job_count`) escalates -- to ``"native"`` (compiled
+    kernels per shard) when ready, else ``"process"`` -- and a sweep of at
+    least :data:`AUTO_NATIVE_CELLS` cells runs the compiled kernels
+    in-process (``jobs`` forced to 1: no fan-out cost below the process
+    threshold); the default remains ``"numpy"``.  Explicit names are
+    honoured as-is (except inside a daemonic worker, where nested pools
+    cannot exist: ``"process"`` silently degrades to serial numpy and
+    ``"native"`` runs its serial compiled path with one job).  Returns
     ``(backend, jobs)`` with ``jobs`` meaningful only for parallel backends.
     """
     if jobs is not None:
@@ -241,15 +293,28 @@ def resolve_engine(
         escalate = (
             workers >= 2 and cells >= AUTO_PROCESS_CELLS and not _in_daemon_worker()
         )
+        native_ok = (
+            "native" in _REGISTRY and cells >= AUTO_NATIVE_CELLS and _native_ready()
+        )
         if "contract" in _REGISTRY and should_contract(depth, nodes):
-            name = "contract"
+            name = "native" if native_ok else "contract"
+        elif native_ok:
+            name = "native"
         elif escalate and "process" in _REGISTRY:
             name = "process"
         else:
             name = "numpy"
+        if name == "native" and not escalate:
+            # Below the process threshold the compiled sweep runs
+            # in-process; sharding would only add dispatch overhead.
+            jobs = 1
     backend = get_backend(name)
     if not backend.parallel:
         return backend, 1
     if _in_daemon_worker():
+        if backend.name == "native":
+            # The serial compiled path needs no child processes, so an
+            # explicit "native" inside a pool worker still runs compiled.
+            return backend, 1
         return get_backend("numpy"), 1
     return backend, jobs if jobs is not None else default_job_count()

@@ -326,6 +326,65 @@ def _solve_contract(
 
 
 # ----------------------------------------------------------------------
+# Compiled backend ("native")
+# ----------------------------------------------------------------------
+def _native_sweep_for(
+    parent: np.ndarray, levels: Sequence[np.ndarray]
+) -> Optional[SweepFn]:
+    """A compiled two-pass kernel for one node range, or ``None``.
+
+    ``None`` means the compiled kernels are unusable here (Numba missing,
+    disabled via ``REPRO_DISABLE_NATIVE``, or a JIT failure) and the caller
+    should fall through to the numpy kernels.  Deep ranges (per
+    :func:`repro.parallel.backends.should_contract`) get the compiled
+    contraction rounds, everything else the fused compiled level sweep --
+    the same per-range decision the process shards make for the numpy
+    kernels.
+    """
+    from repro.flat import native
+
+    if not native.native_ready():
+        return None
+    deep = should_contract(len(levels) - 1, int(parent.shape[0]))
+    return native.native_sweeps_for(parent, levels, deep)
+
+
+def _solve_native(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    jobs: int,
+    chunk: Optional[int],
+) -> ScenarioForestTimes:
+    """Chunked execution of the JIT-compiled kernels, sharded when ``jobs>=2``.
+
+    With one worker the compiled sweep runs in-process through the same
+    chunked driver as every serial backend.  With two or more, the solve
+    reuses the entire ``"process"`` shared-memory machinery with a
+    per-shard ``kernel="native"`` hint, so worker count and compiled
+    kernels compose multiplicatively; the kernels are warmed *before* the
+    pool fork so children load the ``cache=True`` artifact instead of
+    compiling.  If the kernels turn out unusable the numpy path runs --
+    :func:`solve_forest_batch` normally swaps the backend (and records the
+    reason) before ever dispatching here, so this is a second belt.
+    """
+    levels = structure.levels
+    if levels is None:
+        levels = level_buckets(structure.depth)
+    sweep = _native_sweep_for(structure.parent, levels)
+    if sweep is None:
+        return _solve_numpy(structure, base, planes, count, 1, chunk)
+    if jobs >= 2:
+        offsets = np.asarray(structure.offsets, dtype=np.int64)
+        if len(plan_shards(offsets, jobs)) > 1:
+            return _solve_process_impl(
+                structure, base, planes, count, jobs, chunk, kernel="native"
+            )
+    return _solve_serial(structure, base, planes, count, chunk, sweep=sweep)
+
+
+# ----------------------------------------------------------------------
 # Sharded process backend ("process")
 # ----------------------------------------------------------------------
 #: Transient input block: structure arrays plus the current chunk's element
@@ -470,6 +529,7 @@ def _solve_shard_into(
     n_lo: int,
     n_hi: int,
     offsets_local: Sequence[int],
+    kernel: str = "auto",
 ) -> None:
     """Solve one shard's node range for one chunk; views scoped to this frame.
 
@@ -480,7 +540,11 @@ def _solve_shard_into(
     :func:`repro.parallel.backends.should_contract`) runs the contraction
     sweeps -- 1e-12-equal to, but not bitwise-identical with, the level
     sweeps -- so one deep chain inside an otherwise bushy design cannot
-    serialize its worker.
+    serialize its worker.  ``kernel="native"`` (the hint
+    :func:`_solve_native` sends) makes the shard run the JIT-compiled
+    kernels instead, with the same per-shard deep/shallow decision; a
+    worker where the compiled kernels are unusable falls back to the numpy
+    choice above, so a heterogeneous pool still completes correctly.
     """
     ins = _views(in_buf, _in_layout(n, width), _IN_FIELDS)
     outs = _views(out_buf, _out_layout(n, trees, count), _OUT_FIELDS)
@@ -492,7 +556,9 @@ def _solve_shard_into(
     ec = ins["ec"][n_lo:n_hi, :w]
     nc = ins["nc"][n_lo:n_hi, :w]
     sweep = None
-    if should_contract(len(levels) - 1, n_hi - n_lo):
+    if kernel == "native":
+        sweep = _native_sweep_for(parent, levels)
+    if sweep is None and should_contract(len(levels) - 1, n_hi - n_lo):
         sweep = _contract_sweep(parent)
     ree, tde, tre, tp, total = _solve_range(
         parent, levels, starts, er, ec, nc, sweep=sweep
@@ -603,6 +669,24 @@ def _solve_process(
     chunk: Optional[int],
 ) -> ScenarioForestTimes:
     """Sharded execution over shared-memory planes (see the module docstring)."""
+    return _solve_process_impl(structure, base, planes, count, jobs, chunk)
+
+
+def _solve_process_impl(
+    structure: ForestStructure,
+    base: BasePlanes,
+    planes: ScenarioPlanes,
+    count: int,
+    jobs: int,
+    chunk: Optional[int],
+    kernel: str = "auto",
+) -> ScenarioForestTimes:
+    """Shared body of ``"process"`` and sharded ``"native"`` solves.
+
+    ``kernel`` is forwarded to every shard task: ``"auto"`` keeps the
+    numpy level/contraction choice (the plain process backend, bitwise on
+    shallow shards), ``"native"`` runs the JIT-compiled kernels per shard.
+    """
     n = structure.node_count
     trees = structure.tree_count
     offsets = np.asarray(structure.offsets, dtype=np.int64)
@@ -637,6 +721,7 @@ def _solve_process(
                 # Task payloads must be picklable plain objects; this is
                 # O(trees/shard) packing, not a per-node hot path.
                 offsets[t_lo:t_hi].tolist(),  # reprolint: disable=RL002
+                kernel,
             )
             for (t_lo, t_hi), (n_lo, n_hi) in zip(shards, ranges)
         ]
@@ -673,6 +758,13 @@ register_backend(
     parallel=False,
     description="pointer-jumping tree contraction: O(log N) rounds "
     "regardless of depth, for chain-heavy forests",
+)
+register_backend(
+    "native",
+    _solve_native,
+    parallel=True,
+    description="Numba JIT-compiled fused sweeps, serial or per-shard "
+    "inside the process machinery; degrades to numpy without Numba",
 )
 
 
@@ -717,7 +809,24 @@ def solve_forest_batch(
     backend, jobs = resolve_engine(
         engine, cells=n * count, jobs=jobs, nodes=n, depth=depth
     )
+    reason = ""
+    if backend.name == "native":
+        from repro.flat import native
+
+        if not native.native_ready():
+            # Auto-selection never picks an unready "native", so this is an
+            # *explicit* request on a machine without usable Numba: honour
+            # the solve with the reference kernels and record why, instead
+            # of failing a pipeline over an optional accelerator.
+            reason = f"native kernels unavailable ({native.native_status()})"
+            backend, jobs = resolve_engine("numpy")
     record_selection(
-        engine, backend.name, nodes=n, scenarios=count, depth=depth, jobs=jobs
+        engine,
+        backend.name,
+        nodes=n,
+        scenarios=count,
+        depth=depth,
+        jobs=jobs,
+        reason=reason,
     )
     return backend.solver(structure, base, planes, count, jobs, scenario_chunk)

@@ -18,6 +18,8 @@ class TestRegistry:
         names = available_backends()
         assert "numpy" in names
         assert "process" in names
+        assert "contract" in names
+        assert "native" in names
 
     def test_get_backend_flags(self):
         assert get_backend("numpy").parallel is False
@@ -49,6 +51,13 @@ class TestRegistry:
 
 
 class TestResolveEngine:
+    @pytest.fixture(autouse=True)
+    def _without_native(self, monkeypatch):
+        """Pin the compiled kernels 'not ready' so the legacy
+        numpy/process/contract selection lattice is what's under test --
+        deterministic whether or not Numba is installed."""
+        monkeypatch.setattr(backends_module, "_native_ready", lambda: False)
+
     def test_small_sweep_stays_serial(self):
         backend, jobs = resolve_engine(None, cells=100, jobs=8)
         assert backend.name == "numpy" and jobs == 1
@@ -113,3 +122,94 @@ class TestResolveEngine:
     def test_explicit_contract_honoured(self):
         backend, jobs = resolve_engine("contract", cells=1, nodes=4, depth=1)
         assert backend.name == "contract" and jobs == 1
+
+
+class TestNativeSelection:
+    """Auto-selection with the compiled kernels reported ready.
+
+    Readiness is monkeypatched, so these run (and mean the same thing)
+    with or without a Numba installation.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _with_native(self, monkeypatch):
+        monkeypatch.setattr(backends_module, "_native_ready", lambda: True)
+
+    def test_big_sweep_escalation_prefers_native_shards(self):
+        backend, jobs = resolve_engine(None, cells=AUTO_PROCESS_CELLS, jobs=4)
+        assert backend.name == "native" and jobs == 4
+
+    def test_medium_sweep_runs_native_in_process(self):
+        # Above AUTO_NATIVE_CELLS but below the process threshold: compiled
+        # serial sweep, no fan-out even though workers were offered.
+        backend, jobs = resolve_engine(
+            None, cells=backends_module.AUTO_NATIVE_CELLS, jobs=4
+        )
+        assert backend.name == "native" and jobs == 1
+
+    def test_small_sweep_skips_native(self):
+        backend, jobs = resolve_engine(
+            None, cells=backends_module.AUTO_NATIVE_CELLS - 1, jobs=4
+        )
+        assert backend.name == "numpy" and jobs == 1
+
+    def test_depth_pathology_runs_compiled_contraction(self):
+        cells = backends_module.AUTO_NATIVE_CELLS * 2
+        backend, jobs = resolve_engine(None, cells=cells, nodes=cells, depth=cells - 1)
+        assert backend.name == "native"
+
+    def test_depth_pathology_below_native_floor_stays_contract(self):
+        backend, jobs = resolve_engine(None, cells=4000, nodes=4000, depth=3999)
+        assert backend.name == "contract" and jobs == 1
+
+    def test_small_sweep_never_probes_readiness(self, monkeypatch):
+        def boom():  # pragma: no cover - failing is the assertion
+            raise AssertionError("readiness probed for a tiny sweep")
+
+        monkeypatch.setattr(backends_module, "_native_ready", boom)
+        backend, _ = resolve_engine(None, cells=100, jobs=8)
+        assert backend.name == "numpy"
+
+    def test_explicit_native_in_daemon_stays_native_serial(self, monkeypatch):
+        # Unlike "process" (which must degrade to numpy -- nested pools
+        # cannot exist), the compiled serial path is legal in a worker.
+        monkeypatch.setattr(backends_module, "_in_daemon_worker", lambda: True)
+        backend, jobs = resolve_engine("native", cells=AUTO_PROCESS_CELLS, jobs=4)
+        assert backend.name == "native" and jobs == 1
+
+
+class TestAffinityAwareJobs:
+    """default_job_count() must follow the scheduling mask, not cpu_count.
+
+    A cgroup-capped container advertises every host core through
+    ``os.cpu_count()`` but only the granted ones through
+    ``os.sched_getaffinity(0)``; auto-selection keying off the former made
+    1-core containers pay process fan-out for nothing (ROADMAP item 1).
+    """
+
+    def test_default_job_count_reads_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        monkeypatch.setattr(backends_module.os, "cpu_count", lambda: 64)
+        assert backends_module.default_job_count() == 1
+
+    def test_one_core_mask_never_auto_escalates(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        monkeypatch.setattr(backends_module.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(backends_module, "_native_ready", lambda: False)
+        backend, jobs = resolve_engine(None, cells=AUTO_PROCESS_CELLS * 8)
+        assert backend.name == "numpy" and jobs == 1
+
+    def test_four_core_mask_escalates(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module.os,
+            "sched_getaffinity",
+            lambda pid: {0, 1, 2, 3},
+            raising=False,
+        )
+        monkeypatch.setattr(backends_module, "_native_ready", lambda: False)
+        backend, jobs = resolve_engine(None, cells=AUTO_PROCESS_CELLS * 8)
+        assert backend.name == "process" and jobs == 4

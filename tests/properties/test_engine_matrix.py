@@ -1,10 +1,15 @@
 """The cross-engine parity matrix: every backend, every shape, every chunking.
 
 One parametrized sweep asserting that ``numpy`` x ``process`` x ``contract``
-(x worker counts x the scenario-chunk edge cases S=1, chunk=1, chunk>S)
-agree at 1e-12 relative tolerance on every topology class of
+x ``native`` (x worker counts x the scenario-chunk edge cases S=1, chunk=1,
+chunk>S) agree at 1e-12 relative tolerance on every topology class of
 ``tests.properties.topologies`` -- and keep agreeing after forest-level
-``replace_tree`` splices.  (The design-level ECO axis -- ``update_net`` /
+``replace_tree`` splices.  The ``native`` arms are graceful by design:
+where Numba is not installed (or ``REPRO_DISABLE_NATIVE=1``) they degrade
+to the numpy kernels -- still a matrix cell worth pinning, since the
+degradation itself is part of the engine contract -- and with Numba they
+run the JIT-compiled kernels, serial and sharded (``process`` x ``native``
+composition).  (The design-level ECO axis -- ``update_net`` /
 ``resize_instance`` between parity checks -- is covered by
 ``test_parallel_parity.test_every_engine_agrees_on_pathological_topologies``.)
 
@@ -29,11 +34,16 @@ from tests.properties.topologies import (
 
 FIELDS = ("tp", "tde", "tre", "ree", "total_capacitance")
 
-#: The engine x jobs arms compared against the ``numpy`` reference.
+#: The engine x jobs arms compared against the ``numpy`` reference.  The
+#: ``native`` arms compile where Numba exists and degrade to numpy where it
+#: does not; ``("native", 2)`` is the process x native composition (compiled
+#: kernel per shard).
 ENGINE_ARMS = (
     ("contract", None),
     ("process", 2),
     ("process", 3),
+    ("native", 1),
+    ("native", 2),
 )
 
 
