@@ -36,8 +36,11 @@ Subcommands
     kernel backend outright (``auto``, ``numpy``, ``process``,
     ``contract``, ``native`` -- the last is the Numba JIT-compiled kernel
     path, degrading to ``numpy`` where Numba is unavailable), overriding
-    the ``--jobs``-derived choice.  Exit status 1 when the (overall)
-    verdict is FAIL, 2 when it is INDETERMINATE.
+    the ``--jobs``-derived choice.  ``--store DIR`` streams the stage
+    forest into a memory-mapped shard store (:mod:`repro.store`) and
+    solves out of core, bounding resident memory by one shard instead of
+    the design.  Exit status 1 when the (overall) verdict is FAIL, 2 when
+    it is INDETERMINATE.
 """
 
 from __future__ import annotations
@@ -129,12 +132,14 @@ def _cmd_timing(args: argparse.Namespace) -> int:
             is_path=True,
             input_drive_resistance=args.input_drive,
             default_wire_capacitance=args.wire_cap,
+            store_dir=args.store,
         )
     else:
         db = DesignDB(
             design,
             input_drive_resistance=args.input_drive,
             default_wire_capacitance=args.wire_cap,
+            store_dir=args.store,
         )
     graph = TimingGraph(db, clock_period=args.period, threshold=args.threshold)
     model = DelayModel(args.model)
@@ -230,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     timing.add_argument(
         "--wire-cap", type=float, default=0.0,
         help="default lumped wire capacitance for nets without parasitics (farads)",
+    )
+    timing.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="solve out of core: stream the stage forest into a "
+        "memory-mapped shard store at DIR (created or overwritten) and "
+        "solve shard-by-shard, bounding resident memory by one shard "
+        "instead of the design",
     )
     timing.add_argument(
         "--corners", default=None,

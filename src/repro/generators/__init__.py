@@ -19,12 +19,20 @@ Two output forms are offered:
 * :func:`random_design` builds whole seed-stable gate-level designs (netlist
   plus per-net parasitics) for the design-scale engine in
   :mod:`repro.graph` and its benchmarks;
+* :func:`stream_random_nets` is its out-of-core twin: seed-stable random
+  nets emitted as pre-concatenated :class:`NetBlock` numpy batches sized
+  for :meth:`repro.store.ShardStoreWriter.add_block`, so million-instance
+  benchmarks fabricate a shard store without ever materializing a design;
 * :func:`random_scenarios` builds seed-stable corner + Monte-Carlo
   :class:`~repro.scenarios.ScenarioSet` batches for the scenario-sweep
   benchmarks and parity property tests.
 """
 
-from repro.generators.random_designs import random_design
+from repro.generators.random_designs import (
+    NetBlock,
+    random_design,
+    stream_random_nets,
+)
 from repro.generators.random_scenarios import random_scenarios
 from repro.generators.random_trees import (
     RandomTreeConfig,
@@ -37,8 +45,10 @@ from repro.generators.random_trees import (
 )
 
 __all__ = [
+    "NetBlock",
     "RandomTreeConfig",
     "random_design",
+    "stream_random_nets",
     "random_scenarios",
     "random_tree",
     "random_trees",

@@ -14,12 +14,23 @@ Everything is driven by one ``random.Random(seed)``: the same
 ``(n_instances, seed, knobs)`` always produces the identical design and
 parasitics, which is what lets property tests shrink failures and benchmarks
 compare engines on the same workload.
+
+For out-of-core workloads the object graph above is the wrong shape: a
+million-instance benchmark must never hold a million ``Design`` objects.
+:func:`stream_random_nets` is the streaming twin -- it fabricates the *net
+parasitics only*, as pre-concatenated numpy blocks (:class:`NetBlock`)
+sized for :meth:`repro.store.ShardStoreWriter.add_block`, one
+``numpy.random.default_rng(seed)`` driving every draw so the stream is
+seed-stable block for block.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.tree import RCTree
 from repro.sta.cells import Cell, standard_cell_library
@@ -27,7 +38,7 @@ from repro.sta.netlist import Design
 from repro.sta.parasitics import NetParasitics, lumped, rc_tree_parasitics
 from repro.utils.checks import require_in_unit_interval
 
-__all__ = ["random_design"]
+__all__ = ["NetBlock", "random_design", "stream_random_nets"]
 
 
 def _random_net_tree(
@@ -156,3 +167,94 @@ def random_design(
         else:
             parasitics[name] = lumped(name, rng.uniform(*capacitance_range))
     return design, parasitics
+
+
+@dataclass(frozen=True)
+class NetBlock:
+    """A batch of random RC trees in block-concatenated flat-array form.
+
+    ``starts`` holds each tree's first block-local node index plus the
+    node-count sentinel (length ``tree_count + 1``); ``parent`` is
+    block-local and topological with ``-1`` at every tree root.  The field
+    set matches :meth:`repro.store.ShardStoreWriter.add_block` exactly, so
+    a block streams into a shard store with zero reshaping.
+    """
+
+    starts: np.ndarray
+    parent: np.ndarray
+    edge_r: np.ndarray
+    edge_c: np.ndarray
+    node_c: np.ndarray
+
+    @property
+    def tree_count(self) -> int:
+        return int(self.starts.shape[0]) - 1
+
+    @property
+    def node_count(self) -> int:
+        return int(self.parent.shape[0])
+
+
+def stream_random_nets(
+    n_nets: int,
+    seed: int = 0,
+    *,
+    nodes_range: Tuple[int, int] = (2, 24),
+    resistance_range: Tuple[float, float] = (20.0, 400.0),
+    capacitance_range: Tuple[float, float] = (1e-15, 1.2e-14),
+    distributed_edge_fraction: float = 0.4,
+    block_nets: int = 4096,
+) -> Iterator[NetBlock]:
+    """Stream ``n_nets`` random RC nets as :class:`NetBlock` batches.
+
+    The streaming twin of the parasitics half of :func:`random_design`:
+    every net is a random-attachment tree (node ``i`` hangs off a uniform
+    earlier node of its own tree, giving shallow ``O(log n)``-depth nets
+    like real signal routing) with uniform element values from the given
+    ranges; a ``distributed_edge_fraction`` slice of edges carries wire
+    capacitance (URC-style), the rest are pure resistors with node caps.
+    Everything is drawn from one ``numpy.random.default_rng(seed)`` and
+    vectorized per block, so fabricating a million nets takes seconds and
+    never holds more than ``block_nets`` nets in memory.  Identical
+    ``(n_nets, seed, knobs)`` replay the identical stream.
+    """
+    if n_nets < 1:
+        raise ValueError("n_nets must be >= 1")
+    if block_nets < 1:
+        raise ValueError("block_nets must be >= 1")
+    lo, hi = int(nodes_range[0]), int(nodes_range[1])
+    if lo < 2 or hi < lo:
+        raise ValueError("nodes_range must satisfy 2 <= lo <= hi")
+    require_in_unit_interval("distributed_edge_fraction", distributed_edge_fraction)
+    rng = np.random.default_rng(seed)
+    emitted = 0
+    while emitted < n_nets:
+        trees = min(block_nets, n_nets - emitted)
+        sizes = rng.integers(lo, hi + 1, size=trees)
+        starts = np.zeros(trees + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        nodes = int(starts[-1])
+        tree_of = np.repeat(np.arange(trees, dtype=np.int64), sizes)
+        lower = starts[tree_of]
+        index = np.arange(nodes, dtype=np.int64)
+        local = index - lower
+        # Node i attaches to a uniform earlier node of its own tree:
+        # floor(u * local) is in [0, local) for local >= 1.
+        attach = (rng.random(nodes) * local).astype(np.int64)
+        parent = np.where(local == 0, -1, lower + attach)
+        edge_r = rng.uniform(*resistance_range, size=nodes)
+        wire_c = rng.uniform(*capacitance_range, size=nodes)
+        node_c = rng.uniform(*capacitance_range, size=nodes)
+        distributed = rng.random(nodes) < distributed_edge_fraction
+        edge_c = np.where(distributed, wire_c, 0.0)
+        roots = local == 0
+        edge_r[roots] = 0.0
+        edge_c[roots] = 0.0
+        yield NetBlock(
+            starts=starts,
+            parent=parent,
+            edge_r=edge_r,
+            edge_c=edge_c,
+            node_c=node_c,
+        )
+        emitted += trees

@@ -19,6 +19,13 @@ affected by a cell swap (the instance's output net, whose drive resistance
 changed, and its input nets, whose sink capacitance changed).  Both splice the
 shared forest via :meth:`~repro.flat.FlatForest.replace_tree` so batch
 consumers (e.g. :func:`repro.apps.nets.design_net_summaries`) stay coherent.
+
+With ``store_dir=`` the shared forest goes out of core: stage trees stream
+straight into a :class:`repro.store.ShardStoreWriter` as they compile (one
+resident stage at a time, never a concatenated forest) and every solve runs
+shard-by-shard through :class:`repro.store.StoredForest` -- the same sink
+table, the same incremental updates, with working RSS bounded by one shard
+plus one scenario chunk instead of the design.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from repro.sta.cells import Cell
 from repro.sta.delaycalc import compile_stage
 from repro.sta.netlist import Design, Net
 from repro.sta.parasitics import NetParasitics
+from repro.store import ShardStoreWriter, StoredForest
 
 __all__ = ["DesignDB", "NetModel", "SinkTable", "ScenarioSinkTable"]
 
@@ -165,10 +173,13 @@ class DesignDB:
         *,
         input_drive_resistance: float = 0.0,
         default_wire_capacitance: float = 0.0,
+        store_dir: Optional[str] = None,
     ):
         self._design = design
         self._input_drive_resistance = input_drive_resistance
         self._default_wire_capacitance = default_wire_capacitance
+        self._store_dir = store_dir
+        self._store: Optional[StoredForest] = None
         self._nets: Dict[str, Net] = design.connectivity()
         self._clock_nets = set(design.clocks)
         self._instances = design.instances
@@ -230,45 +241,68 @@ class DesignDB:
         row_tree: List[int] = []  # per sink row, forest tree index
         row = 0
         offset = 0
+        tree_index = 0
         self._forest_stale: Dict[int, FlatTree] = {}
         self._scenario_layout_cache: Optional[_ScenarioLayout] = None
         clock_nets = self._clock_nets
-        for net in self._nets.values():
-            if net.driver is None or not net.loads:
-                continue
-            if net.name in clock_nets:
-                continue
-            flat, pin_index, wire_c = self._compile_net(net)
-            entry = _StageEntry(
-                net.name, len(trees), slice(row, row + len(pin_index))
-            )
-            entry.pin_index = pin_index
-            entry.flat = flat
-            entry.wire_c = wire_c
-            self._entries[net.name] = entry
-            tree_index = len(trees)
-            trees.append(flat)
-            # pin_index preserves the sink order (one entry per load).
-            for pin, local in pin_index.items():
-                nets.append(net.name)
-                pins.append(pin)
-                global_pin_index.append(offset + local)
-                row_tree.append(tree_index)
-            offset += len(flat)
-            row += len(pin_index)
+        writer: Optional[ShardStoreWriter] = None
+        if self._store_dir is not None:
+            writer = ShardStoreWriter(self._store_dir, overwrite=True)
+        try:
+            for net in self._nets.values():
+                if net.driver is None or not net.loads:
+                    continue
+                if net.name in clock_nets:
+                    continue
+                flat, pin_index, wire_c = self._compile_net(net)
+                entry = _StageEntry(
+                    net.name, tree_index, slice(row, row + len(pin_index))
+                )
+                entry.pin_index = pin_index
+                entry.wire_c = wire_c
+                self._entries[net.name] = entry
+                if writer is not None:
+                    # Stream the stage into the store and drop it: peak RSS
+                    # during compile stays O(shard), not O(design).
+                    writer.add_flat_tree(flat)
+                else:
+                    entry.flat = flat
+                    trees.append(flat)
+                # pin_index preserves the sink order (one entry per load).
+                for pin, local in pin_index.items():
+                    nets.append(net.name)
+                    pins.append(pin)
+                    global_pin_index.append(offset + local)
+                    row_tree.append(tree_index)
+                offset += len(flat)
+                row += len(pin_index)
+                tree_index += 1
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
         self._timed_net_order = [t for t in self._entries]
 
-        if trees:
-            self._forest: Optional[FlatForest] = FlatForest(trees)
+        times = None
+        self._forest: Optional[FlatForest] = None
+        if writer is not None:
+            if tree_index:
+                writer.close()
+                self._store = StoredForest(self._store_dir)
+                times = self._store.solve()
+            else:
+                writer.abort()
+        elif trees:
+            self._forest = FlatForest(trees)
             times = self._forest.solve()
+        if times is not None:
             indices = np.asarray(global_pin_index, dtype=np.int64)
             tree_of_row = np.asarray(row_tree, dtype=np.int64)
-            tp = times.tp[tree_of_row]
-            tde = times.tde[indices]
-            tre = times.tre[indices]
-            total = times.total_capacitance[tree_of_row]
+            tp = np.asarray(times.tp)[tree_of_row]
+            tde = np.asarray(times.tde[indices])
+            tre = np.asarray(times.tre[indices])
+            total = np.asarray(times.total_capacitance)[tree_of_row]
         else:
-            self._forest = None
             tp = np.zeros(0)
             tde = np.zeros(0)
             tre = np.zeros(0)
@@ -305,25 +339,59 @@ class DesignDB:
         """The batched per-sink characteristic times of every timed net."""
         return self._sinks
 
-    @property
-    def forest(self) -> Optional[FlatForest]:
-        """The shared stage-tree forest (``None`` for a design with no timed nets).
+    def _active_forest(self) -> Optional[Union[FlatForest, StoredForest]]:
+        """Whichever forest backs this database, with pending splices applied.
 
         Incremental updates queue their member replacements and the splices
         are applied here on first read -- an ECO loop that never consults the
-        forest pays nothing for keeping it coherent.
+        forest pays nothing for keeping it coherent.  Both forest kinds
+        expose the same ``replace_tree`` / ``solve_batch`` / ``_offsets``
+        surface, so the splice loop is shared.
         """
-        if self._forest is not None and self._forest_stale:
+        target = self._store if self._store is not None else self._forest
+        if target is not None and self._forest_stale:
             for tree_index, flat in self._forest_stale.items():
-                self._forest.replace_tree(tree_index, flat)
+                target.replace_tree(tree_index, flat)
             self._forest_stale.clear()
-        return self._forest
+        return target
+
+    @property
+    def forest(self) -> Optional[FlatForest]:
+        """The in-RAM stage-tree forest (``None`` for a design with no timed nets).
+
+        A store-backed database (``store_dir=``) has no resident forest by
+        design; reach for :attr:`store` instead.
+        """
+        if self._store is not None:
+            raise AnalysisError(
+                "this database is store-backed (store_dir=); its forest lives"
+                " on disk -- use .store for the StoredForest"
+            )
+        forest = self._active_forest()
+        assert forest is None or isinstance(forest, FlatForest)
+        return forest
+
+    @property
+    def store(self) -> Optional[StoredForest]:
+        """The on-disk forest behind ``store_dir=`` (``None`` when in-RAM)."""
+        if self._store is None:
+            return None
+        store = self._active_forest()
+        assert isinstance(store, StoredForest)
+        return store
 
     def stage_tree(self, net: str) -> FlatTree:
-        """The compiled stage tree of one timed net."""
+        """The compiled stage tree of one timed net.
+
+        A store-backed database does not retain compiled stages in RAM, so
+        the tree is recompiled on demand (O(net size)).
+        """
         entry = self._entries.get(net)
         if entry is None:
             raise AnalysisError(f"net {net!r} is not a timed net of this design")
+        if entry.flat is None:
+            flat, _, _ = self._compile_net(self._nets[net])
+            return flat
         return entry.flat
 
     def sink_rows(self, net: str) -> slice:
@@ -365,7 +433,7 @@ class DesignDB:
         run a scenario solve pay nothing for the wire/pin split beyond the
         per-stage wire array ``compile_stage`` already emits.
         """
-        forest = self.forest  # applies pending splices first
+        forest = self._active_forest()  # applies pending splices first
         if self._scenario_layout_cache is None:
             n = forest.node_count
             wire_c = np.empty(n)
@@ -417,7 +485,7 @@ class DesignDB:
         sinks = self._sinks
         names = list(scenarios.names)
         s = len(names)
-        if self._forest is None:
+        if self._forest is None and self._store is None:
             empty = np.zeros((s, 0))
             return ScenarioSinkTable(
                 scenario_names=names,
@@ -439,28 +507,65 @@ class DesignDB:
                     "report results for a scenario that was never applied"
                 )
         layout = self._scenario_layout()
-        forest = self.forest
+        forest = self._active_forest()
         net_scale = scenarios.net_scales(self._timed_net_order)  # (S, trees)
-        # Factor planes are built node-major -- (N, S), the kernels' own
-        # orientation -- and passed as transposed views: the serial engine's
-        # contiguity pass and the process engine's shared-plane fill both
-        # then cost zero / one memcpy instead of an (S, N) transpose.
-        node_scale = net_scale.T[forest._tree_id]  # (N, S)
-        r_factor = node_scale * scenarios.r_derates[np.newaxis, :]
-        r_factor[layout.drive_nodes, :] = scenarios.drive_derates[np.newaxis, :]
         c_derate = scenarios.c_derates[np.newaxis, :]
-        wire_factor = node_scale * c_derate
-        times = forest.solve_batch(
-            edge_r=(forest._edge_r[:, np.newaxis] * r_factor).T,
-            edge_c=(forest._edge_c[:, np.newaxis] * wire_factor).T,
-            node_c=(
-                layout.wire_c[:, np.newaxis] * wire_factor
-                + layout.pin_c[:, np.newaxis] * c_derate
-            ).T,
-            count=s,
-            engine=engine,
-            jobs=jobs,
-        )
+        if self._store is not None:
+            store = forest
+            tree_scale = np.ascontiguousarray(net_scale.T)  # (trees, S)
+            r_derates = scenarios.r_derates[np.newaxis, :]
+            drive_derates = scenarios.drive_derates[np.newaxis, :]
+
+            def planes_for(shard: int, node_lo: int, node_hi: int):
+                # One shard's effective (S, n) planes, fabricated on demand
+                # from the shard's own base arrays -- the sweep never holds
+                # an (S, N) design-wide matrix.
+                hot = store.materialize(shard)
+                _, _, tree_lo, tree_hi = store.shard_bounds(shard)
+                counts = np.diff(hot.starts)
+                node_scale = np.repeat(
+                    tree_scale[tree_lo:tree_hi], counts, axis=0
+                )  # (n, S)
+                r_factor = node_scale * r_derates
+                # Node 1 of every stage tree carries the drive-R edge.
+                r_factor[hot.starts[:-1] + 1, :] = drive_derates
+                wire_factor = node_scale * c_derate
+                window = slice(node_lo, node_hi)
+                return (
+                    (hot.edge_r[:, np.newaxis] * r_factor).T,
+                    (hot.edge_c[:, np.newaxis] * wire_factor).T,
+                    (
+                        layout.wire_c[window, np.newaxis] * wire_factor
+                        + layout.pin_c[window, np.newaxis] * c_derate
+                    ).T,
+                )
+
+            times = store.solve_batch(
+                count=s, engine=engine, jobs=jobs, planes_for=planes_for
+            )
+        else:
+            # Factor planes are built node-major -- (N, S), the kernels' own
+            # orientation -- and passed as transposed views: the serial
+            # engine's contiguity pass and the process engine's shared-plane
+            # fill both then cost zero / one memcpy instead of an (S, N)
+            # transpose.
+            node_scale = net_scale.T[forest._tree_id]  # (N, S)
+            r_factor = node_scale * scenarios.r_derates[np.newaxis, :]
+            r_factor[layout.drive_nodes, :] = scenarios.drive_derates[
+                np.newaxis, :
+            ]
+            wire_factor = node_scale * c_derate
+            times = forest.solve_batch(
+                edge_r=(forest._edge_r[:, np.newaxis] * r_factor).T,
+                edge_c=(forest._edge_c[:, np.newaxis] * wire_factor).T,
+                node_c=(
+                    layout.wire_c[:, np.newaxis] * wire_factor
+                    + layout.pin_c[:, np.newaxis] * c_derate
+                ).T,
+                count=s,
+                engine=engine,
+                jobs=jobs,
+            )
         return ScenarioSinkTable(
             scenario_names=names,
             nets=list(sinks.nets),
@@ -484,6 +589,12 @@ class DesignDB:
         evaluates in one batched solve, replacing per-candidate trial swaps.
         Returns ``(edge_r, node_c)``, each shaped ``(len(swaps), N)``.
         """
+        if self._store is not None:
+            raise AnalysisError(
+                "what-if cell planes need the in-RAM forest; a store-backed"
+                " database (store_dir=) evaluates candidate swaps through"
+                " update_instance_cell instead"
+            )
         forest = self.forest
         if forest is None:
             raise AnalysisError("the design has no timed nets to evaluate")
@@ -537,11 +648,11 @@ class DesignDB:
         """Re-compile + re-solve one net's stage and patch the shared state."""
         net = self._nets[entry.net]
         flat, pin_index, wire_c = self._compile_net(net)
-        entry.flat = flat
+        entry.flat = None if self._store is not None else flat
         entry.pin_index = pin_index
         entry.wire_c = wire_c
         self._scenario_layout_cache = None
-        if self._forest is not None:
+        if self._forest is not None or self._store is not None:
             self._forest_stale[entry.tree_index] = flat
         times = flat.solve()
         indices = np.asarray(
@@ -617,6 +728,7 @@ class DesignDB:
         is_path: bool = False,
         input_drive_resistance: float = 0.0,
         default_wire_capacitance: float = 0.0,
+        store_dir: Optional[str] = None,
     ) -> "DesignDB":
         """Build a database by streaming a SPEF file straight into net models.
 
@@ -651,4 +763,5 @@ class DesignDB:
             models,
             input_drive_resistance=input_drive_resistance,
             default_wire_capacitance=default_wire_capacitance,
+            store_dir=store_dir,
         )

@@ -47,7 +47,10 @@ from repro.parallel.engine import (
     solve_forest_batch,
 )
 from repro.parallel.sharding import (
+    CHUNK_BYTES_ENV,
     DEFAULT_CHUNK_CELLS,
+    MAX_CHUNK_CELLS,
+    default_chunk_cells,
     plan_shards,
     scenario_chunks,
     shard_node_ranges,
@@ -56,8 +59,11 @@ from repro.parallel.sharding import (
 __all__ = [
     "AUTO_NATIVE_CELLS",
     "AUTO_PROCESS_CELLS",
+    "CHUNK_BYTES_ENV",
     "CONTRACT_DEPTH_RATIO",
     "DEFAULT_CHUNK_CELLS",
+    "MAX_CHUNK_CELLS",
+    "default_chunk_cells",
     "ForestStructure",
     "KernelBackend",
     "available_backends",

@@ -239,6 +239,16 @@ def record_selection(
         if reason:
             line += f" reason={reason!r}"
         print(line, file=sys.stderr)
+    elif reason and requested not in (None, "auto") and requested != resolved:
+        # An *explicit* engine request silently running on a different
+        # backend is the one selection users must hear about even with the
+        # log knob off: a parity run believed to exercise "native" may in
+        # fact be re-measuring numpy.
+        print(
+            f"repro.engine: warning: requested engine {requested!r} "
+            f"fell back to {resolved!r}: {reason}",
+            file=sys.stderr,
+        )
 
 
 def last_selection() -> Optional[Dict[str, object]]:

@@ -25,7 +25,7 @@ Two output forms are offered:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,46 +43,94 @@ class _NetSection:
     resistors: List[Tuple[str, str, float]] = field(default_factory=list)
 
 
+#: Accepted SPEF input: a whole string, or any iterable of lines (an open
+#: file handle qualifies) for true streaming ingest.
+SpefSource = Union[str, Iterable[str]]
+
+
+def _apply_unit(fields: List[str], units: Dict[str, float]) -> None:
+    """Fold one ``*?_UNIT`` statement into the running unit table."""
+    if len(fields) >= 3 and fields[0] in ("*C_UNIT", "*R_UNIT", "*T_UNIT"):
+        value = parse_engineering(fields[1])
+        unit_name = fields[2].upper()
+        scale = {
+            "PF": 1e-12,
+            "FF": 1e-15,
+            "NF": 1e-9,
+            "UF": 1e-6,
+            "F": 1.0,
+            "OHM": 1.0,
+            "KOHM": 1e3,
+            "NS": 1e-9,
+            "PS": 1e-12,
+        }.get(unit_name)
+        if scale is None:
+            raise ParseError(f"unsupported SPEF unit {unit_name!r}")
+        units[fields[0][1]] = value * scale
+
+
+def _default_units() -> Dict[str, float]:
+    return {"C": 1e-12, "R": 1.0, "T": 1e-9}
+
+
 def _parse_units(lines: List[str]) -> Dict[str, float]:
-    units = {"C": 1e-12, "R": 1.0, "T": 1e-9}
+    units = _default_units()
     for line in lines:
-        fields = line.split()
-        if len(fields) >= 3 and fields[0] in ("*C_UNIT", "*R_UNIT", "*T_UNIT"):
-            value = parse_engineering(fields[1])
-            unit_name = fields[2].upper()
-            scale = {
-                "PF": 1e-12,
-                "FF": 1e-15,
-                "NF": 1e-9,
-                "UF": 1e-6,
-                "F": 1.0,
-                "OHM": 1.0,
-                "KOHM": 1e3,
-                "NS": 1e-9,
-                "PS": 1e-12,
-            }.get(unit_name)
-            if scale is None:
-                raise ParseError(f"unsupported SPEF unit {unit_name!r}")
-            units[fields[0][1]] = value * scale
+        _apply_unit(line.split(), units)
     return units
 
 
-def _iter_net_sections(text: str) -> Iterator[_NetSection]:
-    """Stream the ``*D_NET`` sections of a SPEF string, one at a time.
+def _count_drivers(net: _NetSection) -> int:
+    return sum(1 for _, _, direction in net.connections if direction.upper() == "I")
 
-    Unit statements are read from the header (and anywhere between net
-    sections, matching the previous whole-file scan for well-formed files);
-    each section is yielded complete at its ``*END``.
+
+def _iter_net_sections(
+    source: SpefSource, *, strict: bool = False
+) -> Iterator[_NetSection]:
+    """Stream the ``*D_NET`` sections of a SPEF source, one at a time.
+
+    ``source`` is a whole SPEF string or any iterable of lines -- an open
+    file handle streams a multi-gigabyte extraction without ever holding
+    the text.  String input keeps the historical whole-file unit scan
+    (unit statements anywhere apply to every net); line-iterable input
+    applies unit statements as they are encountered, which is identical
+    for well-formed files (units live in the header).
+
+    ``strict=True`` turns the malformations the lenient reader tolerates
+    into clean :class:`ParseError`\\ s: a net truncated by end-of-input
+    before its ``*END``, a new ``*D_NET`` opening mid-net, and duplicate
+    ``I``-direction ``*CONN`` drivers.  Transactional ingest
+    (:mod:`repro.store.ingest`) relies on strict mode so a broken stream
+    aborts before partial shard files can survive.
     """
-    lines = [line.strip() for line in text.splitlines() if line.strip()]
-    units = _parse_units(lines)
+    if isinstance(source, str):
+        stripped = [line.strip() for line in source.splitlines() if line.strip()]
+        units = _parse_units(stripped)
+        lines: Iterable[str] = stripped
+        incremental_units = False
+    else:
+        lines = (line.strip() for line in source)
+        units = _default_units()
+        incremental_units = True
 
     current: Optional[_NetSection] = None
     mode = None
-    for number, line in enumerate(lines, start=1):
+    number = 0
+    for line in lines:
+        if not line:
+            continue
+        number += 1
         fields = line.split()
         keyword = fields[0].upper()
+        if incremental_units:
+            _apply_unit(fields, units)
         if keyword == "*D_NET":
+            if strict and current is not None:
+                raise ParseError(
+                    f"net {current.name!r} not terminated by *END before the"
+                    " next *D_NET",
+                    line=number,
+                )
             if len(fields) < 3:
                 raise ParseError("malformed *D_NET line", line=number)
             current = _NetSection(name=fields[1], total_cap=float(fields[2]) * units["C"])
@@ -95,6 +143,12 @@ def _iter_net_sections(text: str) -> Iterator[_NetSection]:
             mode = "res"
         elif keyword == "*END":
             if current is not None:
+                if strict and _count_drivers(current) > 1:
+                    raise ParseError(
+                        f"net {current.name!r} has {_count_drivers(current)}"
+                        " I-direction *CONN drivers; a net has exactly one",
+                        line=number,
+                    )
                 yield current
             current = None
             mode = None
@@ -115,6 +169,11 @@ def _iter_net_sections(text: str) -> Iterator[_NetSection]:
                 current.resistors.append((fields[1], fields[2], float(fields[3]) * units["R"]))
         # Header lines and anything outside a net section are ignored.
     if current is not None:
+        if strict:
+            raise ParseError(
+                f"truncated SPEF: net {current.name!r} not terminated by *END"
+                " before end of input"
+            )
         # Tolerate a missing trailing *END.
         yield current
 
@@ -335,15 +394,18 @@ def _net_to_flat(net: _NetSection) -> SpefNet:
     )
 
 
-def iter_spef_nets(text: str) -> Iterator[SpefNet]:
-    """Stream a SPEF string as :class:`SpefNet` records, one per ``*D_NET``.
+def iter_spef_nets(source: SpefSource, *, strict: bool = False) -> Iterator[SpefNet]:
+    """Stream a SPEF source as :class:`SpefNet` records, one per ``*D_NET``.
 
     No dict :class:`~repro.core.tree.RCTree` is ever built -- each section
     goes straight from its resistor adjacency to preorder parent-index arrays,
     which is what keeps design-scale ingest
     (:meth:`repro.graph.DesignDB.from_spef`) linear with a small constant.
+    ``source`` may be a whole string or any iterable of lines (e.g. an open
+    file handle), and ``strict=True`` rejects truncated or duplicate-driver
+    sections instead of tolerating them -- see :func:`_iter_net_sections`.
     """
-    for section in _iter_net_sections(text):
+    for section in _iter_net_sections(source, strict=strict):
         yield _net_to_flat(section)
 
 

@@ -72,3 +72,75 @@ class TestAnalysisReady:
     def test_rejects_non_positive_counts(self):
         with pytest.raises(ValueError):
             random_design(0)
+
+
+class TestStreamRandomNets:
+    """The out-of-core twin: NetBlock batches for shard-store ingest."""
+
+    def _blocks(self, n=100, seed=3, **kwargs):
+        from repro.generators import stream_random_nets
+
+        return list(stream_random_nets(n, seed=seed, **kwargs))
+
+    def test_emits_exactly_n_nets_in_bounded_blocks(self):
+        blocks = self._blocks(n=100, block_nets=32)
+        assert sum(b.tree_count for b in blocks) == 100
+        assert all(b.tree_count <= 32 for b in blocks)
+        assert [b.tree_count for b in blocks] == [32, 32, 32, 4]
+
+    def test_blocks_are_valid_forest_slices(self):
+        import numpy as np
+
+        for block in self._blocks(n=60, block_nets=16, nodes_range=(2, 10)):
+            assert block.starts[0] == 0
+            assert block.starts[-1] == block.node_count
+            assert len(block.starts) == block.tree_count + 1
+            local = np.arange(block.node_count) - block.starts[
+                np.searchsorted(block.starts, np.arange(block.node_count), "right") - 1
+            ]
+            roots = local == 0
+            np.testing.assert_array_equal(block.parent[roots], -1)
+            # Non-root parents are earlier nodes of the same tree.
+            assert np.all(block.parent[~roots] < np.flatnonzero(~roots))
+            np.testing.assert_array_equal(block.edge_r[roots], 0.0)
+            np.testing.assert_array_equal(block.edge_c[roots], 0.0)
+
+    def test_stream_is_seed_stable(self):
+        import numpy as np
+
+        first = self._blocks(n=50, seed=9)
+        second = self._blocks(n=50, seed=9)
+        for a, b in zip(first, second):
+            for name in ("starts", "parent", "edge_r", "edge_c", "node_c"):
+                np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+
+    def test_different_seeds_differ(self):
+        import numpy as np
+
+        a = self._blocks(n=50, seed=1)[0]
+        b = self._blocks(n=50, seed=2)[0]
+        assert not np.array_equal(a.node_c, b.node_c)
+
+    def test_value_ranges_respected(self):
+        import numpy as np
+
+        block = self._blocks(
+            n=200, resistance_range=(10.0, 20.0), capacitance_range=(1e-15, 2e-15)
+        )[0]
+        nonroot = block.parent >= 0
+        assert np.all(block.edge_r[nonroot] >= 10.0)
+        assert np.all(block.edge_r[nonroot] <= 20.0)
+        assert np.all(block.node_c >= 1e-15)
+        assert np.all(block.node_c <= 2e-15)
+
+    def test_validates_arguments(self):
+        from repro.generators import stream_random_nets
+
+        with pytest.raises(ValueError):
+            list(stream_random_nets(0))
+        with pytest.raises(ValueError):
+            list(stream_random_nets(5, block_nets=0))
+        with pytest.raises(ValueError):
+            list(stream_random_nets(5, nodes_range=(1, 4)))
+        with pytest.raises(ValueError):
+            list(stream_random_nets(5, nodes_range=(6, 4)))

@@ -1,0 +1,161 @@
+"""Store-backed DesignDB: out-of-core compilation must be observationally
+identical to the in-RAM forest -- sink tables, scenario sweeps, ECO
+updates and the TimingGraph on top -- while refusing the APIs that would
+require a materialized forest."""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.generators import random_design, random_scenarios
+from repro.graph import DesignDB, TimingGraph
+from repro.scenarios import Scenario, ScenarioSet
+from repro.sta.cells import standard_cell_library
+from repro.sta.delaycalc import DelayModel
+
+RTOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_design(60, seed=21)
+
+
+@pytest.fixture
+def pair(workload, tmp_path):
+    design, parasitics = workload
+    ram = DesignDB(design, parasitics, input_drive_resistance=50.0)
+    stored = DesignDB(
+        design,
+        parasitics,
+        input_drive_resistance=50.0,
+        store_dir=str(tmp_path / "store"),
+    )
+    return ram, stored
+
+
+def _assert_sinks_match(ram_db, store_db):
+    expected, actual = ram_db.sinks, store_db.sinks
+    assert actual.nets == expected.nets
+    assert actual.pins == expected.pins
+    for name in ("tp", "tde", "tre", "total_capacitance"):
+        np.testing.assert_allclose(
+            np.asarray(getattr(actual, name)),
+            np.asarray(getattr(expected, name)),
+            rtol=RTOL,
+        )
+
+
+class TestCompilation:
+    def test_sink_tables_match_in_ram_compile(self, pair):
+        ram, stored = pair
+        _assert_sinks_match(ram, stored)
+
+    def test_store_directory_holds_manifest(self, pair):
+        _, stored = pair
+        assert stored.store is not None
+        assert os.path.exists(os.path.join(stored.store.directory, "manifest.json"))
+
+    def test_forest_property_is_guarded(self, pair):
+        _, stored = pair
+        with pytest.raises(AnalysisError, match="store"):
+            stored.forest
+
+    def test_whatif_is_guarded(self, pair, workload):
+        _, stored = pair
+        library = standard_cell_library()
+        instance = next(
+            name
+            for name, i in stored.instances.items()
+            if i.cell.name == "INV_X2"
+        )
+        with pytest.raises(AnalysisError, match="store"):
+            stored.whatif_cell_elements([(instance, library["INV_X4"])])
+
+    def test_stage_tree_recompiles_on_demand(self, pair):
+        ram, stored = pair
+        net = stored.timed_nets()[0]
+        expected = ram.stage_tree(net)
+        actual = stored.stage_tree(net)
+        np.testing.assert_allclose(actual._node_c, expected._node_c, rtol=0)
+        np.testing.assert_array_equal(actual._parent, expected._parent)
+
+
+class TestScenarios:
+    def test_sweep_matches_in_ram_solver(self, pair):
+        ram, stored = pair
+        scenarios = random_scenarios(5, seed=3)
+        expected = ram.solve_scenarios(scenarios)
+        actual = stored.solve_scenarios(scenarios)
+        assert actual.scenario_names == expected.scenario_names
+        for name in ("tp", "tde", "tre", "total_capacitance"):
+            np.testing.assert_allclose(
+                np.asarray(getattr(actual, name)),
+                np.asarray(getattr(expected, name)),
+                rtol=RTOL,
+            )
+
+    def test_net_scales_apply_out_of_core(self, pair):
+        ram, stored = pair
+        net = stored.timed_nets()[1]
+        base = Scenario(name="scaled", r_derate=1.1, c_derate=0.95)
+        scenarios = ScenarioSet(
+            [dataclasses.replace(base, net_scale={net: 1.5})]
+        )
+        expected = ram.solve_scenarios(scenarios)
+        actual = stored.solve_scenarios(scenarios)
+        np.testing.assert_allclose(
+            np.asarray(actual.tde), np.asarray(expected.tde), rtol=RTOL
+        )
+
+
+class TestIncremental:
+    def test_update_net_matches_in_ram_update(self, pair, workload):
+        ram, stored = pair
+        _, parasitics = workload
+        net = next(n for n in stored.timed_nets() if n in parasitics)
+        scaled = dataclasses.replace(
+            parasitics[net], lumped_capacitance=parasitics[net].lumped_capacitance * 2 + 1e-15
+        )
+        ram.update_net(net, scaled)
+        stored.update_net(net, scaled)
+        _assert_sinks_match(ram, stored)
+
+    def test_cell_swap_matches_in_ram_swap(self, pair):
+        ram, stored = pair
+        library = standard_cell_library()
+        instance = next(
+            name
+            for name, i in stored.instances.items()
+            if i.cell.name == "INV_X2"
+        )
+        ram.update_instance_cell(instance, library["INV_X4"])
+        stored.update_instance_cell(instance, library["INV_X4"])
+        _assert_sinks_match(ram, stored)
+
+
+class TestTimingGraph:
+    def test_graph_runs_unchanged_on_store_backed_db(self, pair):
+        ram, stored = pair
+        graph_ram = TimingGraph(ram, clock_period=2e-9)
+        graph_store = TimingGraph(stored, clock_period=2e-9)
+        for model in (DelayModel.ELMORE, DelayModel.UPPER_BOUND):
+            assert graph_store.worst_slack(model) == pytest.approx(
+                graph_ram.worst_slack(model), rel=RTOL
+            )
+
+    def test_scenario_report_matches(self, pair):
+        ram, stored = pair
+        scenarios = random_scenarios(4, seed=8)
+        report_ram = TimingGraph(ram, clock_period=2e-9).analyze_scenarios(scenarios)
+        report_store = TimingGraph(stored, clock_period=2e-9).analyze_scenarios(
+            scenarios
+        )
+        assert report_store.overall_verdict == report_ram.overall_verdict
+        assert report_store.verdicts == report_ram.verdicts
+        np.testing.assert_allclose(
+            report_store.worst_slack, report_ram.worst_slack, rtol=RTOL
+        )

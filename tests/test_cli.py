@@ -309,3 +309,75 @@ class TestTimingCorners:
                 ]
             )
         assert "--engine requires --corners" in capsys.readouterr().err
+
+
+class TestTimingStore:
+    @pytest.fixture
+    def design_files(self, tmp_path):
+        design, parasitics = random_design(30, seed=5)
+        netlist = tmp_path / "design.json"
+        write_design(design, netlist)
+        trees = {
+            name: record.tree
+            for name, record in parasitics.items()
+            if record.tree is not None
+        }
+        spef = tmp_path / "design.spef"
+        write_spef(trees, spef)
+        return str(netlist), str(spef)
+
+    def test_store_run_matches_in_ram_report(self, capsys, tmp_path, design_files):
+        netlist, spef = design_files
+        status = main(
+            ["timing", "--netlist", netlist, "--spef", spef, "--period", "5e-9"]
+        )
+        reference = json.loads(capsys.readouterr().out)
+        store_dir = str(tmp_path / "design.store")
+        store_status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--store", store_dir,
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert store_status == status == 0
+        assert payload["verdict"] == reference["verdict"]
+        for model, slack in reference["worst_slack"].items():
+            assert payload["worst_slack"][model] == pytest.approx(
+                slack, rel=1e-12, abs=1e-21
+            )
+        import os
+
+        assert os.path.exists(os.path.join(store_dir, "manifest.json"))
+
+    def test_store_corner_sweep(self, capsys, tmp_path, design_files):
+        netlist, spef = design_files
+        corners = tmp_path / "corners.json"
+        corners.write_text(json.dumps({
+            "scenarios": [
+                {"name": "typ"},
+                {"name": "slow", "r_derate": 1.2, "c_derate": 1.2},
+            ]
+        }), encoding="utf-8")
+        status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--corners", str(corners),
+            ]
+        )
+        reference = json.loads(capsys.readouterr().out)
+        store_status = main(
+            [
+                "timing", "--netlist", netlist, "--spef", spef,
+                "--period", "5e-9", "--corners", str(corners),
+                "--store", str(tmp_path / "d.store"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert store_status == status
+        assert payload["verdict"] == reference["verdict"]
+        for got, want in zip(payload["scenarios"], reference["scenarios"]):
+            for model, slack in want["worst_slack"].items():
+                assert got["worst_slack"][model] == pytest.approx(
+                    slack, rel=1e-12, abs=1e-21
+                )

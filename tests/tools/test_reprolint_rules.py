@@ -659,3 +659,117 @@ class TestNativeKernels:
         fired = rules_fired(result)
         assert "RL001" in fired
         assert "RL002" in fired
+
+
+# ----------------------------------------------------------------------
+# RL008 memmap lifetime
+# ----------------------------------------------------------------------
+class TestMemmapLifetime:
+    def test_fires_on_raw_memmap_outside_store_package(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/loader.py",
+            """
+            import numpy as np
+            from repro.store.format import release_memmap
+
+            def load(path, n):
+                block = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+                total = float(block.sum())
+                release_memmap(block)
+                return total
+            """,
+        )
+        assert "RL008" in rules_fired(result)
+
+    def test_fires_on_unreleased_memmap_in_store_package(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/store/leaky.py",
+            """
+            import numpy as np
+
+            def read_plane(path, n):
+                block = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+                return float(block.sum())
+            """,
+        )
+        assert "RL008" in rules_fired(result)
+
+    def test_fires_on_unreleased_factory_mapping(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/store/consumer.py",
+            """
+            from repro.store.format import map_field
+
+            def peek(path, spec, rows):
+                window = map_field(path, spec, rows, "r")
+                return float(window[0])
+            """,
+        )
+        assert "RL008" in rules_fired(result)
+
+    def test_silent_on_released_memmap_in_store_package(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/store/format.py",
+            """
+            import numpy as np
+
+            def release_memmap(*maps):
+                for mapping in maps:
+                    if isinstance(mapping, np.memmap) and mapping.mode != "r":
+                        mapping.flush()
+
+            def read_plane(path, n):
+                block = np.memmap(path, dtype=np.float64, mode="r", shape=(n,))
+                total = float(block.sum())
+                release_memmap(block)
+                return total
+            """,
+        )
+        assert "RL008" not in rules_fired(result)
+
+    def test_silent_on_finalize_paired_factory_mapping(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/store/views.py",
+            """
+            import weakref
+
+            from repro.store.format import map_field, release_memmap
+
+            def view(owner, path, spec, rows):
+                window = map_field(path, spec, rows, "r")
+                weakref.finalize(owner, release_memmap, window)
+                return window
+            """,
+        )
+        assert "RL008" not in rules_fired(result)
+
+    def test_silent_on_factory_itself(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/store/format.py",
+            """
+            import numpy as np
+
+            def map_field(path, spec, rows, mode):
+                return np.memmap(path, dtype=np.float64, mode=mode, shape=(rows,))
+            """,
+        )
+        assert "RL008" not in rules_fired(result)
+
+    def test_silent_on_memmap_free_module(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/flat/clean.py",
+            """
+            import numpy as np
+
+            def load(path):
+                return np.load(path)
+            """,
+        )
+        assert "RL008" not in rules_fired(result)

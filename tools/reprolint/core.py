@@ -142,6 +142,16 @@ class LintConfig:
     #: RL006 scope: directory name + filename prefix of benchmark modules.
     bench_dir: str = "benchmarks"
     bench_prefix: str = "bench_"
+    #: RL008 scope: the package (posix path fragment) that owns raw
+    #: ``np.memmap`` construction; everywhere else must go through one of
+    #: ``memmap_factories``.  ``memmap_releasers`` are the functions that
+    #: flush + drop a mapping (see ``repro.store.format.release_memmap``);
+    #: a function creating or borrowing a mapping must call one of them or
+    #: register a ``weakref.finalize`` in the same body.  Factories
+    #: themselves return the mapping (ownership transfer) and are exempt.
+    memmap_package: str = "repro/store/"
+    memmap_releasers: Tuple[str, ...] = ("release_memmap",)
+    memmap_factories: Tuple[str, ...] = ("map_field",)
 
     def relativize(self, path: Path) -> str:
         """Repo-relative posix path when possible, absolute posix otherwise."""

@@ -16,6 +16,7 @@ from tools.reprolint.rules.bench_oracle import BenchOracleRule
 from tools.reprolint.rules.cache_invalidation import CacheInvalidationRule
 from tools.reprolint.rules.dtype_discipline import DtypeDisciplineRule
 from tools.reprolint.rules.kernel_purity import KernelPurityRule
+from tools.reprolint.rules.memmap_lifetime import MemmapLifetimeRule
 from tools.reprolint.rules.native_kernels import NativeKernelRule
 from tools.reprolint.rules.registry_sync import RegistrySyncRule
 from tools.reprolint.rules.shm_lifetime import ShmLifetimeRule
@@ -29,6 +30,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     RegistrySyncRule,
     BenchOracleRule,
     NativeKernelRule,
+    MemmapLifetimeRule,
 ]
 
 
@@ -47,4 +49,5 @@ __all__ = [
     "RegistrySyncRule",
     "BenchOracleRule",
     "NativeKernelRule",
+    "MemmapLifetimeRule",
 ]

@@ -67,6 +67,13 @@ DEFAULT_CONTRACTS = (
         exempt_methods=("_model_of",),
     ),
     CacheContract(
+        module_suffix="repro/store/forest.py",
+        class_name="StoredForest",
+        attrs=("_shards",),
+        caches=("_layout_cache",),
+        invalidators=("_invalidate_shard",),
+    ),
+    CacheContract(
         module_suffix="repro/graph/timinggraph.py",
         class_name="TimingGraph",
         attrs=("_edge_delay", "_edge_arcs"),
