@@ -41,6 +41,14 @@ Subcommands
     solves out of core, bounding resident memory by one shard instead of
     the design.  Exit status 1 when the (overall) verdict is FAIL, 2 when
     it is INDETERMINATE.
+
+``serve [--host H] [--port P] [--tick SECONDS]``
+    Run the timing-as-a-service HTTP/JSON server (:mod:`repro.serve`):
+    clients load designs into named warm sessions and issue ECO edits,
+    slack/corner queries and coalesced what-if scoring over keep-alive
+    connections.  ``--tick`` sets the what-if coalescing window,
+    ``--engine``/``--jobs`` the default kernel backend for session solves
+    (overridable per session at creation).
 """
 
 from __future__ import annotations
@@ -185,6 +193,20 @@ def _cmd_pla(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    run_server(
+        args.host,
+        args.port,
+        tick=args.tick,
+        engine=None if args.engine in (None, "auto") else args.engine,
+        jobs=args.jobs,
+        executor_workers=args.executor_workers,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -270,6 +292,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="also write the JSON report to this file"
     )
     timing.set_defaults(func=_cmd_timing)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the timing-as-a-service HTTP/JSON server (repro.serve)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (default 8787; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--tick", type=float, default=0.002,
+        help="what-if coalescing window in seconds (default 2 ms; 0 still "
+        "coalesces requests that pile up during a solve but adds no latency)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for session corner sweeps (default: "
+        "auto-select by sweep size)",
+    )
+    serve.add_argument(
+        "--engine", default=None,
+        choices=["auto", "numpy", "process", "contract", "native"],
+        help="default kernel backend for session solves (sessions may "
+        "override at creation; 'native' falls back to 'numpy' without Numba)",
+    )
+    serve.add_argument(
+        "--executor-workers", type=int, default=4,
+        help="threads in the solve executor (default 4)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -279,12 +334,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "command", None) == "expression" and args.threshold is None:
         args.threshold = [0.5, 0.9]
-    if getattr(args, "jobs", None) is not None and getattr(args, "corners", None) is None:
-        # Silently running serial after the user asked for workers would be
-        # worse than refusing: --jobs parallelizes the corner sweep only.
-        parser.error("timing: --jobs requires --corners (it parallelizes the corner sweep)")
-    if getattr(args, "engine", None) is not None and getattr(args, "corners", None) is None:
-        parser.error("timing: --engine requires --corners (it selects the corner-sweep kernel)")
+    if getattr(args, "command", None) == "timing":
+        if args.jobs is not None and args.corners is None:
+            # Silently running serial after the user asked for workers would be
+            # worse than refusing: --jobs parallelizes the corner sweep only.
+            parser.error("timing: --jobs requires --corners (it parallelizes the corner sweep)")
+        if args.engine is not None and args.corners is None:
+            parser.error("timing: --engine requires --corners (it selects the corner-sweep kernel)")
     return args.func(args)
 
 

@@ -818,6 +818,9 @@ class TimingGraph:
         self,
         swaps: Sequence[Tuple[str, Cell]],
         model: DelayModel = DelayModel.UPPER_BOUND,
+        *,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> np.ndarray:
         """Worst slack if cell swap ``s`` were applied -- all swaps batched.
 
@@ -828,14 +831,17 @@ class TimingGraph:
         produces every candidate's worst slack under ``model``.  Nothing is
         mutated -- this is the decision kernel of
         :func:`repro.opt.sizing.upsize_critical_path`, replacing its
-        per-candidate trial loop.
+        per-candidate trial loop.  ``engine`` and ``jobs`` pin the batched
+        solve's kernel backend exactly as in :meth:`analyze_scenarios`.
         """
         if not swaps:
             return np.zeros(0)
         column = _MODEL_COLUMN[model]
         edge_r, node_c = self._db.whatif_cell_elements(swaps)
         forest = self._db.forest
-        times = forest.solve_batch(edge_r=edge_r, node_c=node_c, count=len(swaps))
+        times = forest.solve_batch(
+            edge_r=edge_r, node_c=node_c, count=len(swaps), engine=engine, jobs=jobs
+        )
         layout = self._db._scenario_layout()
         tp = times.tp[:, layout.sink_tree]
         tde = times.tde[:, layout.sink_nodes]

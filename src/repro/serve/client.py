@@ -1,0 +1,189 @@
+"""A minimal asyncio HTTP/JSON client for the timing service.
+
+:class:`ServeClient` keeps one persistent HTTP/1.1 connection (the server
+speaks keep-alive) and exposes the routes as coroutine methods returning
+decoded JSON payloads.  It exists so the tests, the engine-matrix arms,
+and the benchmark load generator all talk to the server the way a real
+client would -- through the socket, not through Python internals -- while
+staying stdlib-only.
+
+Server-side refusals (4xx/5xx) raise :class:`~repro.serve.schema.ServeError`
+with the envelope's ``code``/``message``, so test assertions on failure
+modes read the same as the server's own error mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.schema import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serve.TimingServer`."""
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServeClient":
+        """Open the persistent connection; returns ``self`` for chaining."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent; swallows teardown races)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        """``async with ServeClient(...)`` connects on entry."""
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Close the connection on ``async with`` exit."""
+        await self.close()
+
+    async def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One round trip; raises :class:`ServeError` on a non-200 response."""
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status, response = await self._read_response()
+        if status != 200:
+            error = response.get("error", {}) if isinstance(response, dict) else {}
+            raise ServeError(
+                error.get("message", f"HTTP {status}"),
+                status=status,
+                code=error.get("code", "http_error"),
+            )
+        return response
+
+    async def _read_response(self) -> "tuple[int, Dict[str, Any]]":
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(body.decode("utf-8")) if body else {}
+
+    # -- convenience wrappers over the routes --------------------------------
+
+    async def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` -- liveness probe."""
+        return await self.request("GET", "/healthz")
+
+    async def create_session(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /sessions`` -- load a design into a named session."""
+        return await self.request("POST", "/sessions", payload)
+
+    async def sessions(self) -> List[str]:
+        """``GET /sessions`` -- the sorted open session names."""
+        return (await self.request("GET", "/sessions"))["sessions"]
+
+    async def session_info(self, name: str) -> Dict[str, Any]:
+        """``GET /sessions/{name}`` -- session metadata + batching stats."""
+        return await self.request("GET", f"/sessions/{name}")
+
+    async def close_session(self, name: str) -> Dict[str, Any]:
+        """``POST /sessions/{name}/close`` -- close and free the session."""
+        return await self.request("POST", f"/sessions/{name}/close", {})
+
+    async def update_net(self, name: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """ECO: replace one net's parasitics; commits one session version."""
+        return await self.request(
+            "POST", f"/sessions/{name}/eco/update_net", payload
+        )
+
+    async def resize_instance(
+        self, name: str, instance: str, cell: Any
+    ) -> Dict[str, Any]:
+        """ECO: swap one instance's cell; commits one session version."""
+        return await self.request(
+            "POST",
+            f"/sessions/{name}/eco/resize_instance",
+            {"instance": instance, "cell": cell},
+        )
+
+    async def slack(
+        self,
+        name: str,
+        *,
+        model: Optional[str] = None,
+        pins: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Query worst/endpoint slack (optionally per-pin) under ``model``."""
+        payload: Dict[str, Any] = {}
+        if model is not None:
+            payload["model"] = model
+        if pins is not None:
+            payload["pins"] = list(pins)
+        return await self.request("POST", f"/sessions/{name}/query/slack", payload)
+
+    async def summary(
+        self, name: str, *, model: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Query the design-wide timing summary (verdict, worst slack)."""
+        payload: Dict[str, Any] = {}
+        if model is not None:
+            payload["model"] = model
+        return await self.request("POST", f"/sessions/{name}/query/summary", payload)
+
+    async def corners(
+        self,
+        name: str,
+        scenarios: Any,
+        *,
+        model: Optional[str] = None,
+        paths: bool = False,
+    ) -> Dict[str, Any]:
+        """Run a scenario/corner sweep; ``paths=True`` adds critical paths."""
+        payload: Dict[str, Any] = {"scenarios": scenarios, "paths": paths}
+        if model is not None:
+            payload["model"] = model
+        return await self.request("POST", f"/sessions/{name}/query/corners", payload)
+
+    async def whatif(
+        self, name: str, swaps: Sequence[Sequence[Any]], *, model: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Score what-if cell swaps (coalesced server-side into one solve)."""
+        payload: Dict[str, Any] = {"swaps": [list(swap) for swap in swaps]}
+        if model is not None:
+            payload["model"] = model
+        return await self.request("POST", f"/sessions/{name}/query/whatif", payload)

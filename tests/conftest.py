@@ -1,10 +1,37 @@
 """Shared fixtures for the test-suite."""
 
+import signal
+
 import pytest
 
 from repro.core.networks import figure3_tree, figure7_tree, rc_ladder, single_line
 from repro.core.timeconstants import characteristic_times
 from repro.generators.random_trees import RandomTreeConfig, random_tree
+
+
+@pytest.fixture
+def hang_guard():
+    """Fail the test with SIGALRM if it runs past a wall-clock deadline.
+
+    A deadlocked server or coalescer would otherwise stall the whole
+    suite; this is the in-tree fallback for environments without the
+    ``pytest-timeout`` plugin (CI additionally passes ``--timeout``).
+    SIGALRM only fires on the main thread, which is where pytest runs the
+    test body -- executor threads blocked on a lock don't mask it.
+    """
+
+    def arm(seconds: int = 60):
+        def on_alarm(signum, frame):
+            raise TimeoutError(f"test exceeded its {seconds}s hang guard")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(seconds)
+        return previous
+
+    previous_handler = arm()
+    yield arm
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, previous_handler)
 
 
 @pytest.fixture

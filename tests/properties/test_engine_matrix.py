@@ -121,3 +121,128 @@ def test_engine_matrix_survives_replace_tree(forest, seed):
     )
     forest.replace_tree(index, replacement)
     _assert_matrix(forest, 3, rng)
+
+
+# ----------------------------------------------------------------------
+# Server arms: the same parity matrix through repro.serve
+# ----------------------------------------------------------------------
+#
+# The service tier must be engine-transparent: a session pinned to any
+# registered backend answers byte-for-byte like a direct in-process graph
+# using that backend, whether the session is in-RAM or store-backed.
+# These arms are deterministic (no hypothesis): the interesting axis is
+# the engine x storage product, not the topology distribution, and each
+# arm spins up a real server.
+
+SERVER_ENGINE_ARMS = ("numpy", "contract", "native")
+
+
+def _serve_workload():
+    from repro.generators.random_designs import random_design
+
+    return random_design(90, seed=11)
+
+
+def _serve_session_payload(design, parasitics, name, **overrides):
+    from repro.serve.schema import parasitics_to_payload
+    from repro.sta.netlist import design_to_dict
+
+    payload = {
+        "name": name,
+        "netlist": design_to_dict(design),
+        "parasitics": [parasitics_to_payload(p) for p in parasitics.values()],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _run_server_arm(engine, store_dir, hang_guard):
+    import asyncio
+
+    from repro.serve import ServeClient, TimingServer
+
+    design, parasitics = _serve_workload()
+    spec = [{"name": "typ"}, {"name": "slow", "r_derate": 1.2, "c_derate": 1.1}]
+    overrides = {"engine": engine}
+    if store_dir is not None:
+        overrides["store_dir"] = store_dir
+
+    async def main():
+        server = TimingServer(port=0, tick=0.001)
+        await server.start()
+        client = ServeClient("127.0.0.1", server.port)
+        try:
+            await client.connect()
+            await client.create_session(
+                _serve_session_payload(design, parasitics, "m", **overrides)
+            )
+            slack = await client.slack("m")
+            corners = await client.corners("m", spec, paths=True)
+            whatif = None
+            if store_dir is None:
+                from repro.sta.cells import standard_cell_library
+
+                library = standard_cell_library()
+                instance = next(
+                    name
+                    for name, inst in sorted(design.instances.items())
+                    if inst.cell.name == "INV_X1"
+                )
+                whatif = (
+                    instance,
+                    await client.whatif("m", [[instance, "INV_X2"]]),
+                )
+            return slack, corners, whatif
+        finally:
+            await client.close()
+            await server.stop()
+
+    return asyncio.run(asyncio.wait_for(main(), 120.0)), design, parasitics, spec
+
+
+def _assert_server_arm(engine, store_dir, hang_guard):
+    import json
+
+    from repro.graph import DesignDB, TimingGraph
+    from repro.scenarios import ScenarioSet
+    from repro.sta.cells import standard_cell_library
+    from repro.sta.delaycalc import DelayModel
+
+    (slack, corners, whatif), design, parasitics, spec = _run_server_arm(
+        engine, store_dir, hang_guard
+    )
+    direct = TimingGraph(DesignDB(design, parasitics))
+    want = direct.worst_slack(DelayModel.UPPER_BOUND)
+    assert abs(slack["worst_slack"] - want) <= 1e-12 * abs(want), engine
+
+    expected_report = json.loads(
+        json.dumps(
+            direct.analyze_scenarios(
+                ScenarioSet.from_dict(spec),
+                path_model=DelayModel.UPPER_BOUND,
+                engine=engine,
+            ).to_dict()
+        )
+    )
+    assert corners["report"] == expected_report, engine
+
+    if whatif is not None:
+        instance, response = whatif
+        library = standard_cell_library()
+        expected = direct.whatif_resize_worst_slack(
+            [(instance, library["INV_X2"])], engine=engine
+        )
+        got = response["scores"][0]
+        assert abs(got - expected[0]) <= 1e-12 * abs(expected[0]), engine
+
+
+def test_server_arms_match_direct_calls_in_ram(hang_guard):
+    """Sessions pinned to each engine answer like direct graphs (in-RAM)."""
+    for engine in SERVER_ENGINE_ARMS:
+        _assert_server_arm(engine, None, hang_guard)
+
+
+def test_server_arms_match_direct_calls_store_backed(hang_guard, tmp_path):
+    """Store-backed sessions agree with in-RAM direct graphs per engine."""
+    for engine in SERVER_ENGINE_ARMS:
+        _assert_server_arm(engine, str(tmp_path / engine), hang_guard)

@@ -1,0 +1,150 @@
+"""The wire schema: payload parsing, refusal modes, and round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core.timeconstants import characteristic_times
+from repro.generators.random_designs import random_design
+from repro.serve.schema import (
+    ServeError,
+    cell_from_payload,
+    design_from_payload,
+    model_from_payload,
+    parasitics_from_payload,
+    parasitics_to_payload,
+    parse_json_body,
+    swaps_from_payload,
+)
+from repro.sta.cells import standard_cell_library
+from repro.sta.delaycalc import DelayModel
+from repro.sta.netlist import design_to_dict
+
+
+def test_parse_json_body_accepts_empty_and_objects():
+    assert parse_json_body(b"") == {}
+    assert parse_json_body(b'{"a": 1}') == {"a": 1}
+
+
+@pytest.mark.parametrize("body", [b"not json", b"[1, 2]", b'"string"', b"\xff\xfe"])
+def test_parse_json_body_refuses_non_objects(body):
+    with pytest.raises(ServeError) as excinfo:
+        parse_json_body(body)
+    assert excinfo.value.status == 400
+
+
+def test_lumped_parasitics_round_trip():
+    parsed = parasitics_from_payload({"net": "n1", "lumped_capacitance": 2.5e-14})
+    assert parsed.net == "n1"
+    assert parsed.tree is None
+    assert parsed.lumped_capacitance == 2.5e-14
+    assert parasitics_to_payload(parsed) == {
+        "net": "n1",
+        "lumped_capacitance": 2.5e-14,
+    }
+
+
+def test_tree_parasitics_round_trip_is_exact():
+    """Serialize -> JSON -> parse reproduces identical characteristic times."""
+    _, parasitics = random_design(80, seed=3)
+    trees = [p for p in parasitics.values() if p.tree is not None]
+    assert trees, "the generator should emit tree-form nets"
+    for original in trees:
+        payload = json.loads(json.dumps(parasitics_to_payload(original)))
+        rebuilt = parasitics_from_payload(payload)
+        assert rebuilt.net == original.net
+        assert rebuilt.pin_nodes == original.pin_nodes
+        for node in original.pin_nodes.values():
+            a = characteristic_times(original.tree, node)
+            b = characteristic_times(rebuilt.tree, node)
+            assert (a.tp, a.tde, a.tre) == (b.tp, b.tde, b.tre)
+
+
+def test_parasitics_require_exactly_one_form():
+    with pytest.raises(ServeError):
+        parasitics_from_payload({"net": "n1"})
+    with pytest.raises(ServeError):
+        parasitics_from_payload(
+            {"net": "n1", "lumped_capacitance": 1e-15, "tree": {"branches": []}}
+        )
+    with pytest.raises(ServeError):
+        parasitics_from_payload({"net": "", "lumped_capacitance": 1e-15})
+
+
+def test_tree_parasitics_refuse_malformed_branches():
+    base = {"net": "n1", "tree": {"root": "r", "branches": [{"parent": "r"}]}}
+    with pytest.raises(ServeError):
+        parasitics_from_payload(base)
+    cyclic = {
+        "net": "n1",
+        "tree": {
+            "root": "r",
+            "branches": [
+                {"parent": "r", "node": "a", "resistance": 1.0},
+                {"parent": "a", "node": "a", "resistance": 1.0},
+            ],
+        },
+    }
+    with pytest.raises(ServeError):
+        parasitics_from_payload(cyclic)
+
+
+def test_design_payload_round_trips_and_refuses_garbage():
+    design, _ = random_design(40, seed=1)
+    rebuilt = design_from_payload({"netlist": design_to_dict(design)})
+    assert set(rebuilt.instances) == set(design.instances)
+    with pytest.raises(ServeError):
+        design_from_payload({})
+    with pytest.raises(ServeError):
+        design_from_payload({"netlist": {"instances": "nope"}})
+
+
+def test_cell_by_name_and_inline():
+    library = standard_cell_library()
+    assert cell_from_payload("INV_X2", library) is library["INV_X2"]
+    inline = cell_from_payload(
+        {
+            "name": "CUSTOM",
+            "inputs": ["A"],
+            "output": "Y",
+            "input_capacitance": 6e-15,
+            "drive_resistance": 3e3,
+            "intrinsic_delay": 4e-11,
+        }
+    )
+    assert inline.name == "CUSTOM"
+    assert inline.drive_resistance == 3e3
+    with pytest.raises(ServeError) as excinfo:
+        cell_from_payload("NOT_A_CELL", library)
+    assert excinfo.value.code == "unknown_cell"
+    with pytest.raises(ServeError):
+        cell_from_payload({"name": "X"})  # missing fields
+
+
+def test_swaps_payload():
+    library = standard_cell_library()
+    swaps = swaps_from_payload(
+        {"swaps": [["u1", "INV_X2"], ["u2", "BUF_X4"]]}, library
+    )
+    assert [(i, c.name) for i, c in swaps] == [("u1", "INV_X2"), ("u2", "BUF_X4")]
+    for bad in [{}, {"swaps": []}, {"swaps": ["u1"]}, {"swaps": [["", "INV_X2"]]}]:
+        with pytest.raises(ServeError):
+            swaps_from_payload(bad, library)
+
+
+def test_model_payload():
+    assert model_from_payload({}, DelayModel.UPPER_BOUND) is DelayModel.UPPER_BOUND
+    assert model_from_payload({"model": "elmore"}, DelayModel.UPPER_BOUND) is (
+        DelayModel.ELMORE
+    )
+    with pytest.raises(ServeError) as excinfo:
+        model_from_payload({"model": "median"}, DelayModel.UPPER_BOUND)
+    assert excinfo.value.code == "unknown_model"
+
+
+def test_serve_error_envelope():
+    error = ServeError("nope", status=404, code="unknown_session")
+    assert error.to_payload() == {
+        "ok": False,
+        "error": {"code": "unknown_session", "message": "nope"},
+    }

@@ -773,3 +773,108 @@ class TestMemmapLifetime:
             """,
         )
         assert "RL008" not in rules_fired(result)
+
+
+# ----------------------------------------------------------------------
+# RL009 serve handler discipline
+# ----------------------------------------------------------------------
+class TestServeHandlers:
+    def test_fires_on_direct_kernel_call_in_coroutine(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/handlers.py",
+            """
+            async def query_slack(session, model):
+                return session.graph.worst_slack(model)
+            """,
+        )
+        assert "RL009" in rules_fired(result)
+
+    def test_fires_on_direct_eco_call_in_coroutine(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/handlers.py",
+            """
+            async def eco(session, net, parasitics):
+                async with session.lock:
+                    return session.graph.update_net(net, parasitics)
+            """,
+        )
+        assert "RL009" in rules_fired(result)
+
+    def test_fires_on_bare_name_call(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/batching.py",
+            """
+            from repro.graph import analyze_scenarios
+
+            async def corners(scenarios):
+                return analyze_scenarios(scenarios)
+            """,
+        )
+        assert "RL009" in rules_fired(result)
+
+    def test_fires_in_nested_coroutine(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/handlers.py",
+            """
+            async def outer(session):
+                async def inner():
+                    return session.graph.endpoint_slacks()
+                return await inner()
+            """,
+        )
+        assert "RL009" in rules_fired(result)
+
+    def test_silent_on_executor_reference(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/handlers.py",
+            """
+            async def query_slack(loop, executor, session, model):
+                async with session.lock:
+                    return await loop.run_in_executor(
+                        executor, session.graph.worst_slack, model
+                    )
+            """,
+        )
+        assert "RL009" not in rules_fired(result)
+
+    def test_silent_on_lambda_and_nested_def_thunks(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/handlers.py",
+            """
+            async def query(loop, executor, session, swaps):
+                def thunk():
+                    return session.graph.whatif_resize_worst_slack(swaps)
+
+                deferred = lambda: session.graph.certify()
+                return await loop.run_in_executor(executor, thunk)
+            """,
+        )
+        assert "RL009" not in rules_fired(result)
+
+    def test_silent_on_sync_functions_in_serve_package(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/serve/session.py",
+            """
+            def whatif_scores(graph, swaps, model):
+                return graph.whatif_resize_worst_slack(swaps, model)
+            """,
+        )
+        assert "RL009" not in rules_fired(result)
+
+    def test_silent_outside_serve_package(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "repro/apps/tuner.py",
+            """
+            async def sweep(graph, scenarios):
+                return graph.analyze_scenarios(scenarios)
+            """,
+        )
+        assert "RL009" not in rules_fired(result)

@@ -13,7 +13,8 @@ Scans ``README.md`` and every ``docs/*.md`` for
 
 Additionally audits the engine-layer packages and the linter
 (:data:`DOCSTRING_PACKAGES`: ``repro.flat``, ``repro.graph``,
-``repro.scenarios``, ``repro.parallel``, ``tools.reprolint``)
+``repro.scenarios``, ``repro.parallel``, ``repro.serve``,
+``tools.reprolint``)
 for **missing docstrings**: every public module-level function and class --
 and every public method/property of those classes -- defined in one of
 those packages must carry one, so the generated ``docs/api.md`` can never
@@ -41,6 +42,7 @@ DOCSTRING_PACKAGES = (
     "repro.graph",
     "repro.scenarios",
     "repro.parallel",
+    "repro.serve",
     "tools.reprolint",
 )
 

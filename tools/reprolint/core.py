@@ -152,6 +152,35 @@ class LintConfig:
     memmap_package: str = "repro/store/"
     memmap_releasers: Tuple[str, ...] = ("release_memmap",)
     memmap_factories: Tuple[str, ...] = ("map_field",)
+    #: RL009 scope: the service package (posix path fragment).  Handler
+    #: coroutines (``async def``) inside it must never call a solve/sweep
+    #: kernel or ECO hook directly -- a kernel on the event loop blocks
+    #: every connected client for the whole sweep.  Compute belongs in
+    #: synchronous session methods handed to ``run_in_executor`` (or to the
+    #: coalescing batcher); calls inside ``lambda``/nested ``def`` thunks
+    #: are deferred work and therefore allowed.
+    serve_package: str = "repro/serve/"
+    #: Kernel / solve / ECO entry points banned from handler coroutines.
+    serve_kernel_calls: Tuple[str, ...] = (
+        "solve",
+        "solve_batch",
+        "solve_scenarios",
+        "solve_forest_batch",
+        "sweep_scenarios",
+        "sweep_scenarios_contract",
+        "analyze_scenarios",
+        "scenario_pin_slacks",
+        "worst_slack",
+        "endpoint_slacks",
+        "pin_slacks",
+        "critical_path",
+        "certify",
+        "whatif_resize_worst_slack",
+        "whatif_cell_elements",
+        "update_net",
+        "update_instance_cell",
+        "resize_instance",
+    )
 
     def relativize(self, path: Path) -> str:
         """Repo-relative posix path when possible, absolute posix otherwise."""

@@ -19,6 +19,7 @@ from tools.reprolint.rules.kernel_purity import KernelPurityRule
 from tools.reprolint.rules.memmap_lifetime import MemmapLifetimeRule
 from tools.reprolint.rules.native_kernels import NativeKernelRule
 from tools.reprolint.rules.registry_sync import RegistrySyncRule
+from tools.reprolint.rules.serve_handlers import ServeHandlerRule
 from tools.reprolint.rules.shm_lifetime import ShmLifetimeRule
 
 #: Every shipped rule, in id order.
@@ -31,6 +32,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     BenchOracleRule,
     NativeKernelRule,
     MemmapLifetimeRule,
+    ServeHandlerRule,
 ]
 
 
@@ -50,4 +52,5 @@ __all__ = [
     "BenchOracleRule",
     "NativeKernelRule",
     "MemmapLifetimeRule",
+    "ServeHandlerRule",
 ]
